@@ -1,0 +1,171 @@
+//! Structured (filter) pruning — the paper's §III-A category 2, Fig. 2(c).
+//!
+//! Removes entire output filters with the lowest L2 norm. Structured
+//! pruning converts its full sparsity into dense-kernel speedups (TensorRT
+//! exploits the uniform structure directly, as the paper notes) but, also
+//! as the paper notes, "often decreases model accuracy, as essential
+//! weights may be pruned alongside redundant ones". Not one of the Table 2
+//! baselines — used by the taxonomy ablation to demonstrate the
+//! structured/semi-structured/unstructured trade-off triangle.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use upaq::compress::{build_report, CompressionContext, CompressionOutcome, Compressor};
+use upaq::{Result, UpaqError};
+use upaq_hwmodel::exec::{BitAllocation, SparsityKind};
+use upaq_nn::Model;
+use upaq_tensor::Tensor;
+
+/// The structured-pruning comparator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelPrune {
+    /// Fraction of output filters removed per layer.
+    pub prune_fraction: f32,
+}
+
+impl Default for ChannelPrune {
+    fn default() -> Self {
+        ChannelPrune { prune_fraction: 0.4 }
+    }
+}
+
+impl Compressor for ChannelPrune {
+    fn name(&self) -> &str {
+        "Channel-Prune"
+    }
+
+    fn compress(&self, model: &Model, ctx: &CompressionContext) -> Result<CompressionOutcome> {
+        if !(0.0..1.0).contains(&self.prune_fraction) {
+            return Err(UpaqError::BadConfig(format!(
+                "prune_fraction {} out of [0,1)",
+                self.prune_fraction
+            )));
+        }
+        let mut mc = model.deep_copy();
+        let weighted = mc.weighted_layers();
+        if weighted.is_empty() {
+            return Err(UpaqError::NothingToCompress);
+        }
+        let mut bits = BitAllocation::new();
+        let mut kinds = HashMap::new();
+        for &id in &weighted {
+            if ctx.is_skipped(id) {
+                continue;
+            }
+            let w = mc.layer(id)?.weights().expect("weighted").clone();
+            let dims = w.shape().dims().to_vec();
+            // Filter = leading-axis slice (out-channel for convs, row for
+            // linear layers).
+            let filters = dims[0];
+            let filter_len = w.len() / filters.max(1);
+            if filters < 2 {
+                continue;
+            }
+            let data = w.as_slice();
+            let mut norms: Vec<(usize, f32)> = (0..filters)
+                .map(|f| {
+                    let l2 = data[f * filter_len..(f + 1) * filter_len]
+                        .iter()
+                        .map(|v| v * v)
+                        .sum::<f32>()
+                        .sqrt();
+                    (f, l2)
+                })
+                .collect();
+            norms.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let drop = ((filters as f32 * self.prune_fraction) as usize).min(filters - 1);
+            let mut out = data.to_vec();
+            for &(f, _) in norms.iter().take(drop) {
+                for v in &mut out[f * filter_len..(f + 1) * filter_len] {
+                    *v = 0.0;
+                }
+            }
+            mc.layer_mut(id)?.set_weights(Tensor::from_vec(w.shape().clone(), out)?);
+            bits.insert(id, 32);
+            kinds.insert(id, SparsityKind::Structured);
+        }
+        let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
+        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_hwmodel::DeviceProfile;
+    use upaq_nn::Layer;
+    use upaq_tensor::Shape;
+
+    fn setup() -> (Model, CompressionContext) {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 4);
+        m.add_layer(Layer::conv2d("c1", 4, 10, 3, 1, 1, 1), &[input]).unwrap();
+        let mut shapes = HashMap::new();
+        shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
+        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+    }
+
+    #[test]
+    fn whole_filters_zeroed() {
+        let (m, ctx) = setup();
+        let outcome = ChannelPrune::default().compress(&m, &ctx).unwrap();
+        let w = outcome.model.layer(1).unwrap().weights().unwrap();
+        let filter_len = 4 * 9;
+        let mut zeroed = 0;
+        for f in 0..10 {
+            let slice = &w.as_slice()[f * filter_len..(f + 1) * filter_len];
+            let all_zero = slice.iter().all(|&v| v == 0.0);
+            let none_zero = slice.iter().all(|&v| v != 0.0);
+            assert!(all_zero || none_zero, "filter {f} partially pruned");
+            if all_zero {
+                zeroed += 1;
+            }
+        }
+        assert_eq!(zeroed, 4); // 40 % of 10
+        assert_eq!(outcome.kinds[&1], SparsityKind::Structured);
+    }
+
+    #[test]
+    fn keeps_highest_energy_filters() {
+        let (m, ctx) = setup();
+        let original = m.layer(1).unwrap().weights().unwrap().clone();
+        let filter_len = 4 * 9;
+        // Find the max-norm filter; it must survive.
+        let norms: Vec<f32> = (0..10)
+            .map(|f| {
+                original.as_slice()[f * filter_len..(f + 1) * filter_len]
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f32>()
+            })
+            .collect();
+        let best = norms
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let outcome = ChannelPrune::default().compress(&m, &ctx).unwrap();
+        let w = outcome.model.layer(1).unwrap().weights().unwrap();
+        let survived = w.as_slice()[best * filter_len..(best + 1) * filter_len]
+            .iter()
+            .any(|&v| v != 0.0);
+        assert!(survived);
+    }
+
+    #[test]
+    fn structured_gets_full_latency_credit() {
+        // Structured sparsity converts fully to speed even at fp32 — the
+        // property that distinguishes it in the taxonomy.
+        let (m, ctx) = setup();
+        let base = build_report("base", &m, &m, &BitAllocation::new(), &HashMap::new(), &ctx).unwrap();
+        let outcome = ChannelPrune::default().compress(&m, &ctx).unwrap();
+        assert!(outcome.report.latency_ms < base.latency_ms);
+    }
+
+    #[test]
+    fn rejects_bad_fraction() {
+        let (m, ctx) = setup();
+        assert!(ChannelPrune { prune_fraction: 1.0 }.compress(&m, &ctx).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! Baseline compression frameworks the paper compares UPAQ against.
+//!
+//! All four implement [`upaq::Compressor`] so the experiment harness treats
+//! every framework identically:
+//!
+//! * [`ps_qs`] — **Ps&Qs** (Hawks et al., Frontiers in AI 2021):
+//!   quantization-aware iterative *unstructured* magnitude pruning with
+//!   uniform per-layer bitwidths;
+//! * [`clip_q`] — **Clip-Q** (Tung & Mori, CVPR 2018): per-layer clipping
+//!   partitions weights — clipped weights are pruned, survivors quantized;
+//! * [`r_toss`] — **R-TOSS** (Balasubramaniam et al., DAC 2023):
+//!   semi-structured pruning with a fixed *entry-pattern* dictionary chosen
+//!   per kernel by L2 norm, plus connectivity pruning; no quantization;
+//! * [`lidar_ptq`] — **LiDAR-PTQ** (Zhou et al., 2024): post-training
+//!   quantization with max-min calibration and adaptive (error-compensating)
+//!   rounding; no pruning.
+//!
+//! Each module documents how its knobs were set to match the compression
+//! ratios the paper reports for that framework (Table 2).
+
+pub mod channel_prune;
+pub mod clip_q;
+pub mod lidar_ptq;
+pub mod ps_qs;
+pub mod r_toss;
+mod util;
+
+pub use channel_prune::ChannelPrune;
+pub use clip_q::ClipQ;
+pub use lidar_ptq::LidarPtq;
+pub use ps_qs::PsQs;
+pub use r_toss::RToss;
+
+use upaq::Compressor;
+
+/// All baselines in the paper's Table 2 column order, boxed behind the
+/// common [`Compressor`] interface.
+pub fn all_baselines() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(PsQs::default()),
+        Box::new(ClipQ::default()),
+        Box::new(RToss::default()),
+        Box::new(LidarPtq::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_baselines_in_table_order() {
+        let names: Vec<String> = all_baselines().iter().map(|b| b.name().to_string()).collect();
+        assert_eq!(names, vec!["Ps&Qs", "CLIP-Q", "R-TOSS", "LIDAR-PTQ"]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench behind **Figs. 4–6**: the per-inference latency deltas
+//! that the speedup/energy figures derive from, measured both as analytic
+//! device-model evaluations and as real Rust forward passes of dense vs
+//! UPAQ-compressed detectors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use upaq::compress::{CompressionContext, Compressor, Upaq};
+use upaq::config::UpaqConfig;
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+fn bench_dense_vs_compressed_inference(c: &mut Criterion) {
+    let data = Dataset::generate(&DatasetConfig::small(), 3);
+    let cloud = data.lidar(0);
+    let dense = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ctx = CompressionContext::new(
+        DeviceProfile::jetson_orin_nano(),
+        dense.input_shapes(),
+        9,
+    )
+    .with_skip_layers(vec![dense.head_layer().unwrap()]);
+    let mut hck = dense.clone();
+    hck.model = Upaq::new(UpaqConfig::hck())
+        .compress(&dense.model, &ctx)
+        .unwrap()
+        .model;
+    let mut lck = dense.clone();
+    lck.model = Upaq::new(UpaqConfig::lck())
+        .compress(&dense.model, &ctx)
+        .unwrap()
+        .model;
+
+    let mut group = c.benchmark_group("fig4_real_forward");
+    group.sample_size(10);
+    group.bench_function("dense", |b| b.iter(|| black_box(dense.detect(&cloud).unwrap())));
+    group.bench_function("upaq_lck", |b| b.iter(|| black_box(lck.detect(&cloud).unwrap())));
+    group.bench_function("upaq_hck", |b| b.iter(|| black_box(hck.detect(&cloud).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_vs_compressed_inference);
+criterion_main!(benches);

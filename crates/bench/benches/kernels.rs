@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the compression primitives: pattern
+//! generation (Algorithm 2), the `mp_quantizer` (Algorithm 6), kernel
+//! masking, and sparse vs dense convolution — the mechanisms behind the
+//! paper's speedup claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use upaq::pattern::{generate_candidates, generate_pattern};
+use upaq::quantizer::mp_quantizer;
+use upaq_tensor::ops::{conv2d, Conv2dParams};
+use upaq_tensor::sparse::KernelMask;
+use upaq_tensor::{Shape, Tensor};
+
+fn bench_pattern_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_generation");
+    group.bench_function("single_pattern", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(generate_pattern(3, 3, &mut rng)));
+    });
+    group.bench_function("candidate_set_of_8", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(generate_candidates(3, 3, 8, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mp_quantizer");
+    for size in [9usize, 576, 36_864] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Tensor::uniform(Shape::vector(size), -1.0, 1.0, &mut rng);
+        for bits in [4u8, 8, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{size}w"), bits),
+                &bits,
+                |b, &bits| b.iter(|| black_box(mp_quantizer(&t, bits).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_masking(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let weights = Tensor::uniform(Shape::nchw(64, 64, 3, 3), -1.0, 1.0, &mut rng);
+    let mask = KernelMask::from_positions(3, &[(0, 0), (1, 1), (2, 2)]);
+    c.bench_function("mask_apply_to_64x64x3x3", |b| {
+        b.iter(|| black_box(mask.apply_to_weights(&weights).unwrap()));
+    });
+}
+
+fn bench_sparse_conv_speedup(c: &mut Criterion) {
+    // The mechanism behind Fig. 4: pattern-pruned kernels genuinely do less
+    // work in the conv inner loop.
+    let mut rng = StdRng::seed_from_u64(5);
+    let input = Tensor::uniform(Shape::nchw(1, 32, 32, 32), -1.0, 1.0, &mut rng);
+    let dense = Tensor::uniform(Shape::nchw(32, 32, 3, 3), -0.1, 0.1, &mut rng);
+    let mask = KernelMask::from_positions(3, &[(0, 0), (1, 1)]);
+    let pruned = mask.apply_to_weights(&dense).unwrap();
+    let params = Conv2dParams::same(3);
+
+    let mut group = c.benchmark_group("conv2d_32ch_32x32");
+    group.sample_size(20);
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(conv2d(&input, &dense, None, params).unwrap()));
+    });
+    group.bench_function("pattern_pruned_2of9", |b| {
+        b.iter(|| black_box(conv2d(&input, &pruned, None, params).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pattern_generation,
+    bench_quantizer,
+    bench_masking,
+    bench_sparse_conv_speedup
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind **Table 1**: cost-model evaluation and actual
+//! single-frame inference latency for each detector at test scale.
+//!
+//! The absolute wall-clock numbers here are this machine's, not the
+//! paper's; the table's *predicted* times come from the calibrated device
+//! model exercised by `bench_cost_model`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashMap;
+use std::hint::black_box;
+use upaq_hwmodel::exec::{model_executions, BitAllocation};
+use upaq_hwmodel::latency::estimate;
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::zoo::{build_paper_model, ModelKind};
+
+fn bench_cost_model(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_4080();
+    let mut group = c.benchmark_group("table1_cost_model");
+    for kind in ModelKind::ALL {
+        let (model, shapes) = build_paper_model(kind).unwrap();
+        let costs = upaq_nn::stats::model_costs(&model, &shapes).unwrap();
+        let execs = model_executions(&model, &costs, &BitAllocation::new(), &HashMap::new());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.display_name()),
+            &execs,
+            |b, execs| b.iter(|| black_box(estimate(&device, execs))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_real_inference(c: &mut Criterion) {
+    // Actual forward pass of the tiny PointPillars — real Rust inference,
+    // exercising the sparse conv path end to end.
+    let data = Dataset::generate(&DatasetConfig::small(), 1);
+    let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let cloud = data.lidar(0);
+    let mut group = c.benchmark_group("real_inference");
+    group.sample_size(10);
+    group.bench_function("pointpillars_tiny_detect", |b| {
+        b.iter(|| black_box(det.detect(&cloud).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_real_inference);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench behind **Table 2**: wall-clock cost of each compression
+//! framework's search on a small detector (the "compression stage
+//! computational cost" the paper's root-group optimization exists to
+//! reduce).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use upaq::compress::{CompressionContext, Compressor, Upaq};
+use upaq::config::UpaqConfig;
+use upaq_baselines::{ClipQ, LidarPtq, PsQs, RToss};
+use upaq_hwmodel::DeviceProfile;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+fn bench_frameworks(c: &mut Criterion) {
+    let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ctx = CompressionContext::new(
+        DeviceProfile::jetson_orin_nano(),
+        det.input_shapes(),
+        1,
+    )
+    .with_skip_layers(vec![det.head_layer().unwrap()]);
+
+    let frameworks: Vec<Box<dyn Compressor>> = vec![
+        Box::new(PsQs::default()),
+        Box::new(ClipQ::default()),
+        Box::new(RToss::default()),
+        Box::new(LidarPtq::default()),
+        Box::new(Upaq::new(UpaqConfig::lck())),
+        Box::new(Upaq::new(UpaqConfig::hck())),
+    ];
+    let mut group = c.benchmark_group("table2_compression_search");
+    group.sample_size(10);
+    for framework in &frameworks {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(framework.name()),
+            framework,
+            |b, framework| b.iter(|| black_box(framework.compress(&det.model, &ctx).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Regenerates **Fig. 4**: inference speedups per framework on (a)
+//! PointPillars and (b) SMOKE, relative to the uncompressed base model on
+//! the Jetson Orin.
+//!
+//! Reuses `table2` results when cached; otherwise runs the full harness.
+
+use upaq_bench::harness::{
+    load_or_run, run_pointpillars_table2, run_smoke_table2, HarnessConfig, Table2Result,
+};
+use upaq_bench::paper::{paper_row, PaperRow};
+
+fn print_panel(label: &str, result: &Table2Result, paper: &'static [PaperRow; 7]) {
+    println!("\nFig 4({label}): {} inference speedup vs base (Jetson Orin)", result.model);
+    let base = result.rows[0].latency_jetson_ms;
+    let paper_base = paper[0].latency_jetson_ms;
+    for row in &result.rows {
+        let speedup = base / row.latency_jetson_ms;
+        let paper_speedup = paper_row(paper, &row.framework)
+            .map(|p| paper_base / p.latency_jetson_ms)
+            .unwrap_or(1.0);
+        let bar = "█".repeat((speedup * 20.0) as usize);
+        println!(
+            "  {:<12} {bar} {:.2}× (paper {:.2}×)",
+            row.framework, speedup, paper_speedup
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HarnessConfig::from_env();
+    let pp = load_or_run("table2_pointpillars", || run_pointpillars_table2(&cfg))?;
+    print_panel("a", &pp, &upaq_bench::paper::POINTPILLARS_TABLE2);
+    let sm = load_or_run("table2_smoke", || run_smoke_table2(&cfg))?;
+    print_panel("b", &sm, &upaq_bench::paper::SMOKE_TABLE2);
+    Ok(())
+}

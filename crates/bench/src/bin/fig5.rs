@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 5**: energy-usage reduction per framework on (a)
+//! PointPillars and (b) SMOKE, relative to the uncompressed base model on
+//! the Jetson Orin.
+
+use upaq_bench::harness::{
+    load_or_run, run_pointpillars_table2, run_smoke_table2, HarnessConfig, Table2Result,
+};
+use upaq_bench::paper::{paper_row, PaperRow};
+
+fn print_panel(label: &str, result: &Table2Result, paper: &'static [PaperRow; 7]) {
+    println!("\nFig 5({label}): {} energy reduction vs base (Jetson Orin)", result.model);
+    let base = result.rows[0].energy_jetson_j;
+    let paper_base = paper[0].energy_jetson_j;
+    for row in &result.rows {
+        let reduction = base / row.energy_jetson_j;
+        let paper_reduction = paper_row(paper, &row.framework)
+            .map(|p| paper_base / p.energy_jetson_j)
+            .unwrap_or(1.0);
+        let bar = "█".repeat((reduction * 20.0) as usize);
+        println!(
+            "  {:<12} {bar} {:.2}× (paper {:.2}×)",
+            row.framework, reduction, paper_reduction
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HarnessConfig::from_env();
+    let pp = load_or_run("table2_pointpillars", || run_pointpillars_table2(&cfg))?;
+    print_panel("a", &pp, &upaq_bench::paper::POINTPILLARS_TABLE2);
+    let sm = load_or_run("table2_smoke", || run_smoke_table2(&cfg))?;
+    print_panel("b", &sm, &upaq_bench::paper::SMOKE_TABLE2);
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Fig. 6**: qualitative BEV detections — ground truth vs
+//! predictions for the Base model, R-TOSS, UPAQ (LCK) and UPAQ (HCK) on one
+//! KITTI-like test scene.
+//!
+//! Legend: `G` ground-truth only, `P` prediction only, `#` overlap. A
+//! well-aligned detector paints mostly `#` (the paper's "bounding boxes
+//! closely aligned with the ground truth").
+
+use upaq::compress::{CompressionContext, Compressor, Upaq};
+use upaq::config::UpaqConfig;
+use upaq_baselines::RToss;
+use upaq_bench::harness::{calibrated_devices, HarnessConfig};
+use upaq_bench::render::{alignment, BevCanvas};
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::fit_lidar_head;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HarnessConfig::from_env();
+    let data = Dataset::generate(&DatasetConfig::evaluation(cfg.scenes), cfg.seed);
+    let split = data.split();
+    let refit: Vec<usize> = split.train.iter().copied().take(cfg.refit_scenes).collect();
+    let scene_idx = *split.test.first().unwrap_or(&0);
+
+    eprintln!("[fig6] fitting base PointPillars…");
+    let mut base = PointPillars::build(&PointPillarsConfig::paper())?;
+    fit_lidar_head(&mut base, &data, &refit, 1e-3)?;
+    let shapes = base.input_shapes();
+    let head = base.head_layer()?;
+    let devices = calibrated_devices(&base.model, &shapes, &upaq_bench::paper::POINTPILLARS_TABLE2[0])?;
+    let ctx = CompressionContext::new(devices.jetson, shapes, cfg.seed).with_skip_layers(vec![head]);
+
+    let canvas = BevCanvas::default();
+    let scene = data.scene(scene_idx);
+    let cloud = data.lidar(scene_idx);
+
+    let frameworks: Vec<(&str, Option<Box<dyn Compressor>>)> = vec![
+        ("Base Model", None),
+        ("R-TOSS", Some(Box::new(RToss::default()))),
+        ("UPAQ (LCK)", Some(Box::new(Upaq::new(UpaqConfig::lck())))),
+        ("UPAQ (HCK)", Some(Box::new(Upaq::new(UpaqConfig::hck())))),
+    ];
+
+    let mut records = Vec::new();
+    for (name, compressor) in frameworks {
+        let det = match compressor {
+            None => base.clone(),
+            Some(c) => {
+                eprintln!("[fig6] compressing with {name}…");
+                let outcome = c.compress(&base.model, &ctx)?;
+                let mut det = base.clone();
+                det.model = outcome.model;
+                fit_lidar_head(&mut det, &data, &refit, 1e-3)?;
+                det
+            }
+        };
+        let preds = det.detect(&cloud)?;
+        let align = alignment(&canvas, scene, &preds);
+        println!("\n── {name} ── ({} predictions, GT coverage {:.0}%, spurious {:.0}%)",
+            preds.len(), align.gt_covered * 100.0, align.spurious * 100.0);
+        println!("{}", canvas.render(scene, &preds));
+        records.push(serde_json::json!({
+            "framework": name,
+            "predictions": preds.len(),
+            "gt_covered": align.gt_covered,
+            "spurious": align.spurious,
+        }));
+    }
+    upaq_bench::harness::save_result("fig6", &records)?;
+    println!("Legend: G ground truth only · P prediction only · # overlap");
+    Ok(())
+}

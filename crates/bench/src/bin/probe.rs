@@ -1,0 +1,79 @@
+//! Diagnostic probe for the paper-scale PointPillars detector: prints
+//! detection counts, localization errors and AP at several IoU thresholds
+//! on train vs held-out scenes. Not a paper artifact — a harness-debugging
+//! tool.
+
+use upaq_bench::harness::HarnessConfig;
+use upaq_det3d::iou::bev_iou;
+use upaq_det3d::map::{average_precision, FrameBox};
+use upaq_det3d::Box3d;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_kitti::ObjectClass;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::fit_lidar_head;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HarnessConfig::from_env();
+    let data = Dataset::generate(&DatasetConfig::evaluation(cfg.scenes), cfg.seed);
+    let split = data.split();
+    let refit: Vec<usize> = split.train.iter().copied().take(cfg.refit_scenes).collect();
+
+    let mut det = PointPillars::build(&PointPillarsConfig::paper())?;
+    let report = fit_lidar_head(&mut det, &data, &refit, 1e-3)?;
+    println!("fit: {} samples, mse {:.4}", report.samples, report.mse);
+
+    for (label, scenes) in [("train", &refit), ("test", &split.test)] {
+        let mut all_dets: Vec<FrameBox> = Vec::new();
+        let mut all_gt: Vec<FrameBox> = Vec::new();
+        let mut offset_sum = 0.0f32;
+        let mut offset_n = 0usize;
+        for (frame, &idx) in scenes.iter().enumerate() {
+            let boxes = det.detect(&data.lidar(idx))?;
+            let scene = data.scene(idx);
+            println!(
+                "  [{label}] scene {idx}: {} detections vs {} gt, scores {:?}",
+                boxes.len(),
+                scene.objects.len(),
+                boxes.iter().map(|b| (b.score * 100.0) as i32).collect::<Vec<_>>()
+            );
+            for b in &boxes {
+                // Distance to the nearest same-class GT.
+                let best = scene
+                    .objects
+                    .iter()
+                    .filter(|o| o.class == b.class)
+                    .map(|o| {
+                        let dx = o.center[0] - b.center[0];
+                        let dy = o.center[1] - b.center[1];
+                        (dx * dx + dy * dy).sqrt()
+                    })
+                    .fold(f32::INFINITY, f32::min);
+                if best.is_finite() {
+                    offset_sum += best;
+                    offset_n += 1;
+                }
+                let best_iou = scene
+                    .objects
+                    .iter()
+                    .map(|o| bev_iou(b, &Box3d::from_object(o)))
+                    .fold(0.0f32, f32::max);
+                print!(" iou{:.2}", best_iou);
+                all_dets.push(FrameBox { frame, b: b.clone() });
+            }
+            println!();
+            for o in &scene.objects {
+                all_gt.push(FrameBox { frame, b: Box3d::from_object(o) });
+            }
+        }
+        println!(
+            "  [{label}] mean offset to nearest GT: {:.2} m over {} dets",
+            offset_sum / offset_n.max(1) as f32,
+            offset_n
+        );
+        let ap_car = average_precision(ObjectClass::Car, &all_dets, &all_gt);
+        println!("  [{label}] car AP(IoU): {ap_car:.1}");
+        let map_dist = upaq_det3d::map::nuscenes_map(&all_dets, &all_gt);
+        println!("  [{label}] nuScenes-style mAP: {map_dist:.1}");
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Diagnostic probe for the paper-scale SMOKE detector (harness-debugging
+//! tool, not a paper artifact).
+
+use upaq_bench::harness::HarnessConfig;
+use upaq_det3d::map::{nuscenes_map, FrameBox};
+use upaq_det3d::Box3d;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pretrain::fit_camera_head;
+use upaq_models::smoke::{Smoke, SmokeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = HarnessConfig::from_env();
+    let smoke_cfg = SmokeConfig::paper();
+    let mut dcfg = DatasetConfig::evaluation(cfg.scenes);
+    dcfg.camera = smoke_cfg.calib.clone();
+    let data = Dataset::generate(&dcfg, cfg.seed);
+    let split = data.split();
+    let refit: Vec<usize> = split.train.iter().copied().take(cfg.refit_scenes).collect();
+
+    let lambda: f64 = std::env::var("UPAQ_LAMBDA").ok().and_then(|v| v.parse().ok()).unwrap_or(upaq_bench::harness::CAMERA_LAMBDA);
+    eprintln!("[probe_smoke] refit {} scenes, lambda {lambda}", refit.len());
+    let mut det = Smoke::build(&smoke_cfg)?;
+    fit_camera_head(&mut det, &data, &refit, lambda)?;
+
+    let holdout: Vec<usize> = split
+        .train
+        .iter()
+        .copied()
+        .skip(cfg.refit_scenes)
+        .take(4)
+        .collect();
+    for (label, scenes) in [("train", &refit), ("holdout", &holdout), ("test", &split.test)] {
+        let mut all_dets: Vec<FrameBox> = Vec::new();
+        let mut all_gt: Vec<FrameBox> = Vec::new();
+        let mut depth_err_sum = 0.0f32;
+        let mut lateral_err_sum = 0.0f32;
+        let mut matched = 0usize;
+        for (frame, &idx) in scenes.iter().enumerate().take(6) {
+            let boxes = det.detect(&data.camera(idx))?;
+            let scene = data.scene(idx);
+            let visible = scene
+                .objects
+                .iter()
+                .filter(|o| smoke_cfg.calib.project(o.center).is_some())
+                .count();
+            println!(
+                "  [{label}] scene {idx}: {} detections vs {} gt ({} projectable), scores {:?}",
+                boxes.len(),
+                scene.objects.len(),
+                visible,
+                boxes.iter().map(|b| (b.score * 100.0) as i32).collect::<Vec<_>>()
+            );
+            for b in &boxes {
+                if let Some(nearest) = scene
+                    .objects
+                    .iter()
+                    .min_by(|a, o| {
+                        let d = |obj: &&upaq_kitti::SceneObject| {
+                            let dx = obj.center[0] - b.center[0];
+                            let dy = obj.center[1] - b.center[1];
+                            dx * dx + dy * dy
+                        };
+                        d(a).partial_cmp(&d(o)).unwrap()
+                    })
+                {
+                    depth_err_sum += (nearest.center[0] - b.center[0]).abs();
+                    lateral_err_sum += (nearest.center[1] - b.center[1]).abs();
+                    matched += 1;
+                }
+                all_dets.push(FrameBox { frame, b: b.clone() });
+            }
+            for o in &scene.objects {
+                all_gt.push(FrameBox { frame, b: Box3d::from_object(o) });
+            }
+        }
+        if matched > 0 {
+            println!(
+                "  [{label}] mean |depth err| {:.2} m, mean |lateral err| {:.2} m",
+                depth_err_sum / matched as f32,
+                lateral_err_sum / matched as f32
+            );
+        }
+        println!("  [{label}] nuScenes-style mAP: {:.1}", nuscenes_map(&all_dets, &all_gt));
+    }
+    Ok(())
+}

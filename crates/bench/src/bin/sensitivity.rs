@@ -1,0 +1,49 @@
+//! Per-layer quantization/pruning sensitivity report for paper-scale
+//! PointPillars — the evidence behind the paper's mixed-precision argument
+//! ("there is a distinct difference in sensitivity to quantization from
+//! layer to layer", §III-B).
+//!
+//! Run with `cargo run -p upaq-bench --release --bin sensitivity`.
+
+use upaq::sensitivity::{analyze, most_sensitive};
+use upaq_bench::table::print_table;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let det = PointPillars::build(&PointPillarsConfig::paper())?;
+    let records = analyze(&det.model, &[4, 8, 16], &[2, 3])?;
+
+    println!("Per-layer sensitivity (paper-scale PointPillars):\n");
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.weights.to_string(),
+                format!("{:.1}", r.quantization[0].1),
+                format!("{:.1}", r.quantization[1].1),
+                format!("{:.1}", r.quantization[2].1),
+                format!("{:.0}%", r.pruning[0].1 * 100.0),
+                format!("{:.0}%", r.pruning[1].1 * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        &["Layer", "Weights", "SQNR@4b dB", "SQNR@8b dB", "SQNR@16b dB", "L2@n=2", "L2@n=3"],
+        &rows,
+    );
+
+    println!("\nMost quantization-sensitive layers (lowest 4-bit SQNR):");
+    for r in most_sensitive(&records, 5) {
+        println!("  {} — {:.1} dB at 4 bits", r.name, r.quantization[0].1);
+    }
+    println!("\nThe spread across layers is what mixed precision exploits: the E_s");
+    println!("search can give sensitive layers more bits and insensitive ones fewer.");
+
+    upaq_bench::harness::save_result(
+        "sensitivity",
+        &records,
+    )?;
+    println!("\nSaved to target/upaq-results/sensitivity.json");
+    Ok(())
+}

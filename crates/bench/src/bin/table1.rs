@@ -1,0 +1,58 @@
+//! Regenerates **Table 1**: 3D OD model sizes vs execution time.
+//!
+//! The device model is calibrated once on the PointPillar row (the paper's
+//! 6.85 ms anchor); every other execution time is a prediction from that
+//! model's MAC/traffic profile. Run with `cargo run -p upaq-bench --release
+//! --bin table1`.
+
+use std::collections::HashMap;
+use upaq_bench::harness::save_result;
+use upaq_bench::table::print_table;
+use upaq_hwmodel::calibrate_to;
+use upaq_hwmodel::exec::{model_executions, BitAllocation};
+use upaq_hwmodel::latency::estimate;
+use upaq_hwmodel::DeviceProfile;
+use upaq_models::zoo::{build_paper_model, ModelKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table 1: Comparison of 3D OD model sizes vs execution time");
+    println!("(times predicted by the analytic device model, calibrated on the PointPillar row)\n");
+
+    // Calibrate on the anchor model.
+    let (anchor_model, anchor_shapes) = build_paper_model(ModelKind::PointPillars)?;
+    let anchor_costs = upaq_nn::stats::model_costs(&anchor_model, &anchor_shapes)?;
+    let anchor_execs =
+        model_executions(&anchor_model, &anchor_costs, &BitAllocation::new(), &HashMap::new());
+    // Table 1 measures a workstation-class device; energy is not reported in
+    // Table 1, so calibrate it loosely via the Table-2 RTX energy anchor.
+    let device = calibrate_to(&DeviceProfile::rtx_4080(), &anchor_execs, 6.85e-3, 0.875);
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for kind in ModelKind::ALL {
+        let (model, shapes) = build_paper_model(kind)?;
+        let costs = upaq_nn::stats::model_costs(&model, &shapes)?;
+        let execs = model_executions(&model, &costs, &BitAllocation::new(), &HashMap::new());
+        let est = estimate(&device, &execs);
+        let params_m = model.param_count() as f64 / 1e6;
+        rows.push(vec![
+            kind.display_name().to_string(),
+            format!("{params_m:.2} (paper {:.2})", kind.table1_params_m()),
+            format!("{:.2} (paper {:.2})", est.latency_ms(), kind.table1_exec_ms()),
+        ]);
+        records.push(serde_json::json!({
+            "model": kind.display_name(),
+            "params_millions": params_m,
+            "paper_params_millions": kind.table1_params_m(),
+            "exec_ms": est.latency_ms(),
+            "paper_exec_ms": kind.table1_exec_ms(),
+        }));
+    }
+    print_table(
+        &["Models", "Number of parameters (Millions)", "Execution time (ms)"],
+        &rows,
+    );
+    save_result("table1", &records)?;
+    println!("\nSaved to target/upaq-results/table1.json");
+    Ok(())
+}

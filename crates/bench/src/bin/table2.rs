@@ -1,0 +1,73 @@
+//! Regenerates **Table 2**: the full framework comparison on PointPillars
+//! and SMOKE — compression ratio, mAP, inference time and energy on both
+//! devices.
+//!
+//! Run with `cargo run -p upaq-bench --release --bin table2`. Scale with
+//! `UPAQ_SCENES` / `UPAQ_REFIT`; pass `--pointpillars` or `--smoke` to run
+//! one block only. Results are cached under `target/upaq-results/`.
+
+use upaq_bench::harness::{
+    load_or_run, run_pointpillars_table2, run_smoke_table2, HarnessConfig, Table2Result,
+};
+use upaq_bench::paper::{paper_row, PaperRow};
+use upaq_bench::table::print_table;
+
+fn print_block(result: &Table2Result, paper: &'static [PaperRow; 7]) {
+    println!("\n=== {} ===", result.model);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let p = paper_row(paper, &r.framework);
+            let fmt = |measured: f64, paper_v: Option<f64>, dec: usize| match paper_v {
+                Some(pv) => format!("{measured:.dec$} ({pv:.dec$})"),
+                None => format!("{measured:.dec$}"),
+            };
+            vec![
+                r.framework.clone(),
+                fmt(r.compression, p.map(|p| p.compression), 2),
+                fmt(f64::from(r.map), p.map(|p| p.map), 2),
+                fmt(r.latency_rtx_ms, p.map(|p| p.latency_rtx_ms), 2),
+                fmt(r.latency_jetson_ms, p.map(|p| p.latency_jetson_ms), 2),
+                fmt(r.energy_rtx_j, p.map(|p| p.energy_rtx_j), 3),
+                fmt(r.energy_jetson_j, p.map(|p| p.energy_jetson_j), 3),
+                format!("{:.1}%", r.sparsity * 100.0),
+                format!("{:.1}", r.mean_bits),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Framework",
+            "Compression (paper)",
+            "mAP (paper)",
+            "RTX ms (paper)",
+            "Jetson ms (paper)",
+            "RTX J (paper)",
+            "Jetson J (paper)",
+            "Sparsity",
+            "Mean bits",
+        ],
+        &rows,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let run_pp = args.len() < 2 || args.iter().any(|a| a == "--pointpillars");
+    let run_sm = args.len() < 2 || args.iter().any(|a| a == "--smoke");
+    let cfg = HarnessConfig::from_env();
+    eprintln!("[table2] config: {cfg:?}");
+
+    if run_pp {
+        let result = load_or_run("table2_pointpillars", || run_pointpillars_table2(&cfg))?;
+        print_block(&result, &upaq_bench::paper::POINTPILLARS_TABLE2);
+    }
+    if run_sm {
+        let result = load_or_run("table2_smoke", || run_smoke_table2(&cfg))?;
+        print_block(&result, &upaq_bench::paper::SMOKE_TABLE2);
+    }
+    println!("\nMeasured values are this reproduction's; parenthesized values are the paper's.");
+    println!("Results cached in target/upaq-results/.");
+    Ok(())
+}

@@ -1,0 +1,187 @@
+//! ASCII bird's-eye-view rendering for the Fig. 6 qualitative comparison.
+//!
+//! The paper's Fig. 6 shows ground-truth boxes (blue) against each
+//! framework's predictions (red) in the BEV plane. The terminal rendering
+//! uses `G` for ground-truth-only cells, `P` for prediction-only cells, and
+//! `#` where they overlap — a well-aligned detector paints mostly `#`.
+
+use upaq_det3d::Box3d;
+use upaq_kitti::scene::Scene;
+
+/// Character grid parameters for the BEV map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BevCanvas {
+    /// Character columns (y axis, left-right mirrored to read naturally).
+    pub cols: usize,
+    /// Character rows (x axis, sensor at the bottom).
+    pub rows: usize,
+    /// Metres covered forward.
+    pub x_max: f32,
+    /// Metres covered left/right of centre.
+    pub y_half: f32,
+}
+
+impl Default for BevCanvas {
+    fn default() -> Self {
+        BevCanvas { cols: 72, rows: 26, x_max: 70.0, y_half: 40.0 }
+    }
+}
+
+impl BevCanvas {
+    fn cell(&self, x: f32, y: f32) -> Option<(usize, usize)> {
+        if !(0.0..self.x_max).contains(&x) || y.abs() >= self.y_half {
+            return None;
+        }
+        // Sensor at the bottom row; +y (left) on the left of the canvas.
+        let row = self.rows - 1 - ((x / self.x_max) * self.rows as f32) as usize;
+        let col = (((self.y_half - y) / (2.0 * self.y_half)) * self.cols as f32) as usize;
+        Some((row.min(self.rows - 1), col.min(self.cols - 1)))
+    }
+
+    fn paint(&self, grid: &mut [Vec<u8>], b: &Box3d, flag: u8) {
+        // Rasterize the BEV footprint by sampling its interior.
+        let corners = b.bev_corners();
+        let steps = 12;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                let u = i as f32 / steps as f32;
+                let v = j as f32 / steps as f32;
+                // Bilinear interpolation over the quad.
+                let top = [
+                    corners[0][0] + (corners[1][0] - corners[0][0]) * u,
+                    corners[0][1] + (corners[1][1] - corners[0][1]) * u,
+                ];
+                let bottom = [
+                    corners[3][0] + (corners[2][0] - corners[3][0]) * u,
+                    corners[3][1] + (corners[2][1] - corners[3][1]) * u,
+                ];
+                let x = top[0] + (bottom[0] - top[0]) * v;
+                let y = top[1] + (bottom[1] - top[1]) * v;
+                if let Some((r, c)) = self.cell(x, y) {
+                    grid[r][c] |= flag;
+                }
+            }
+        }
+    }
+
+    /// Renders ground truth vs predictions into a multi-line string.
+    pub fn render(&self, scene: &Scene, predictions: &[Box3d]) -> String {
+        let mut grid = vec![vec![0u8; self.cols]; self.rows];
+        for obj in &scene.objects {
+            self.paint(&mut grid, &Box3d::from_object(obj), 1);
+        }
+        for p in predictions {
+            self.paint(&mut grid, p, 2);
+        }
+        let mut out = String::with_capacity((self.cols + 3) * (self.rows + 2));
+        out.push('+');
+        out.push_str(&"-".repeat(self.cols));
+        out.push_str("+\n");
+        for row in &grid {
+            out.push('|');
+            for &cell in row {
+                out.push(match cell {
+                    0 => ' ',
+                    1 => 'G',
+                    2 => 'P',
+                    _ => '#',
+                });
+            }
+            out.push_str("|\n");
+        }
+        out.push('+');
+        out.push_str(&"-".repeat(self.cols));
+        out.push_str("+\n");
+        out
+    }
+}
+
+/// Alignment statistics for a rendered comparison: how much of the ground
+/// truth the predictions cover and how much prediction area is spurious.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alignment {
+    /// Fraction of GT-painted cells also painted by a prediction.
+    pub gt_covered: f32,
+    /// Fraction of prediction-painted cells not touching any GT.
+    pub spurious: f32,
+}
+
+/// Computes [`Alignment`] over the same rasterization [`BevCanvas::render`]
+/// uses.
+pub fn alignment(canvas: &BevCanvas, scene: &Scene, predictions: &[Box3d]) -> Alignment {
+    let mut grid = vec![vec![0u8; canvas.cols]; canvas.rows];
+    for obj in &scene.objects {
+        canvas.paint(&mut grid, &Box3d::from_object(obj), 1);
+    }
+    for p in predictions {
+        canvas.paint(&mut grid, p, 2);
+    }
+    let mut gt = 0usize;
+    let mut both = 0usize;
+    let mut pred = 0usize;
+    for row in &grid {
+        for &cell in row {
+            if cell & 1 != 0 {
+                gt += 1;
+                if cell & 2 != 0 {
+                    both += 1;
+                }
+            }
+            if cell & 2 != 0 {
+                pred += 1;
+            }
+        }
+    }
+    Alignment {
+        gt_covered: if gt == 0 { 0.0 } else { both as f32 / gt as f32 },
+        spurious: if pred == 0 { 0.0 } else { (pred - both) as f32 / pred as f32 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::scene::SceneConfig;
+    use upaq_kitti::ObjectClass;
+
+    #[test]
+    fn perfect_predictions_fully_overlap() {
+        let scene = Scene::generate(0, &SceneConfig::default(), 3);
+        let preds: Vec<Box3d> = scene.objects.iter().map(Box3d::from_object).collect();
+        let canvas = BevCanvas::default();
+        let text = canvas.render(&scene, &preds);
+        assert!(text.contains('#'));
+        assert!(!text.contains('G'), "perfect overlap leaves no GT-only cells");
+        let a = alignment(&canvas, &scene, &preds);
+        assert!(a.gt_covered > 0.99);
+        assert!(a.spurious < 0.01);
+    }
+
+    #[test]
+    fn empty_predictions_show_gt_only() {
+        let scene = Scene::generate(0, &SceneConfig::default(), 4);
+        let canvas = BevCanvas::default();
+        let text = canvas.render(&scene, &[]);
+        assert!(text.contains('G'));
+        assert!(!text.contains('P'));
+        let a = alignment(&canvas, &scene, &[]);
+        assert_eq!(a.gt_covered, 0.0);
+    }
+
+    #[test]
+    fn misaligned_predictions_are_spurious() {
+        let mut scene = Scene::generate(0, &SceneConfig::default(), 5);
+        scene.objects.clear();
+        let stray = Box3d::axis_aligned(ObjectClass::Car, [30.0, 10.0, 0.8], [4.0, 2.0, 1.6], 0.9);
+        let a = alignment(&BevCanvas::default(), &scene, &[stray]);
+        assert_eq!(a.spurious, 1.0);
+    }
+
+    #[test]
+    fn canvas_bounds_respected() {
+        let canvas = BevCanvas::default();
+        assert!(canvas.cell(-1.0, 0.0).is_none());
+        assert!(canvas.cell(10.0, 100.0).is_none());
+        assert!(canvas.cell(10.0, 0.0).is_some());
+    }
+}

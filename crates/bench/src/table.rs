@@ -1,0 +1,56 @@
+//! Terminal table rendering for the harness binaries.
+
+/// Prints a markdown-style table: header row, separator, data rows.
+/// Column widths adapt to content.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let body: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", body.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats a measured-vs-paper pair as `measured (paper X)`.
+pub fn vs_paper(measured: f64, paper: f64, decimals: usize) -> String {
+    format!("{measured:.decimals$} (paper {paper:.decimals$})")
+}
+
+/// Formats a ratio with an `×` suffix.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}×")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(vs_paper(1.234, 1.0, 2), "1.23 (paper 1.00)");
+        assert_eq!(ratio(5.615), "5.62×");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".into(), "second".into()], vec!["x".into(), "y".into()]],
+        );
+    }
+}

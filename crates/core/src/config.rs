@@ -1,0 +1,142 @@
+//! UPAQ configuration and the paper's HCK / LCK presets.
+
+use crate::pattern::PatternKind;
+use crate::{Result, UpaqError};
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the UPAQ compression pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpaqConfig {
+    /// Human-readable variant label (shows up in reports).
+    pub label: String,
+    /// Non-zero weights kept per k×k kernel pattern.
+    pub nonzeros: usize,
+    /// Candidate quantization bitwidths the mixed-precision search sweeps
+    /// (paper: 4–16).
+    pub quant_bits: Vec<u8>,
+    /// Efficiency-score weight on SQNR (paper α = 0.3).
+    pub alpha: f64,
+    /// Efficiency-score weight on inverse latency (paper β = 0.4).
+    pub beta: f64,
+    /// Efficiency-score weight on inverse energy (paper γ = 0.3).
+    pub gamma: f64,
+    /// Random candidate patterns drawn per root group.
+    pub patterns_per_group: usize,
+    /// Virtual kernel side used by the 1×1 transformation (Algorithm 5).
+    pub virtual_kernel: usize,
+    /// Pattern families the generator may draw from (ablations restrict
+    /// this; the paper's full generator uses all four).
+    pub pattern_kinds: Vec<PatternKind>,
+    /// Whether 1×1 kernels are transformed and compressed (Algorithm 5).
+    /// Disabling this reproduces the "traditional methods that fix the
+    /// values of these 1×1 convolutional layers" the paper argues against.
+    pub compress_pointwise: bool,
+    /// Pattern-generation seed.
+    pub seed: u64,
+}
+
+impl UpaqConfig {
+    /// **HCK** — biased toward higher compression: 2 non-zeros per 3×3
+    /// kernel, aggressive 4/8-bit mixed precision (paper §V-A).
+    pub fn hck() -> Self {
+        UpaqConfig {
+            label: "UPAQ (HCK)".into(),
+            nonzeros: 2,
+            quant_bits: vec![4, 8],
+            alpha: 0.3,
+            beta: 0.4,
+            gamma: 0.3,
+            patterns_per_group: 8,
+            virtual_kernel: 3,
+            pattern_kinds: PatternKind::ALL.to_vec(),
+            compress_pointwise: true,
+            seed: 0x0075_4151,
+        }
+    }
+
+    /// **LCK** — biased toward accuracy: 3 non-zeros per 3×3 kernel, gentler
+    /// 8/16-bit mixed precision (paper §V-A).
+    pub fn lck() -> Self {
+        UpaqConfig {
+            label: "UPAQ (LCK)".into(),
+            nonzeros: 3,
+            quant_bits: vec![8, 16],
+            ..UpaqConfig::hck()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UpaqError::BadConfig`] for empty bit lists, zero pattern
+    /// budgets, zero non-zeros, weights outside `[0, 1]`, or a virtual
+    /// kernel smaller than 2.
+    pub fn validate(&self) -> Result<()> {
+        if self.nonzeros == 0 {
+            return Err(UpaqError::BadConfig("nonzeros must be ≥ 1".into()));
+        }
+        if self.quant_bits.is_empty() {
+            return Err(UpaqError::BadConfig("quant_bits must not be empty".into()));
+        }
+        if self.patterns_per_group == 0 {
+            return Err(UpaqError::BadConfig("patterns_per_group must be ≥ 1".into()));
+        }
+        if self.virtual_kernel < 2 {
+            return Err(UpaqError::BadConfig("virtual_kernel must be ≥ 2".into()));
+        }
+        if self.pattern_kinds.is_empty() {
+            return Err(UpaqError::BadConfig("pattern_kinds must not be empty".into()));
+        }
+        for (name, v) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(UpaqError::BadConfig(format!("{name} must be in [0, 1], got {v}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for UpaqConfig {
+    fn default() -> Self {
+        UpaqConfig::lck()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let hck = UpaqConfig::hck();
+        assert_eq!(hck.nonzeros, 2);
+        assert_eq!(hck.quant_bits, vec![4, 8]);
+        let lck = UpaqConfig::lck();
+        assert_eq!(lck.nonzeros, 3);
+        assert_eq!(lck.quant_bits, vec![8, 16]);
+        // Paper's score weights: α=0.3, β=0.4, γ=0.3.
+        assert_eq!((lck.alpha, lck.beta, lck.gamma), (0.3, 0.4, 0.3));
+        assert!(hck.validate().is_ok());
+        assert!(lck.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = UpaqConfig::hck();
+        c.nonzeros = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = UpaqConfig::hck();
+        c.quant_bits.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = UpaqConfig::hck();
+        c.alpha = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = UpaqConfig::hck();
+        c.virtual_kernel = 1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Pattern generator — **Algorithm 2** of the paper.
+//!
+//! Generates a random arrangement of `n` non-zero positions inside a `d × d`
+//! kernel from one of four families: main diagonal, anti-diagonal, a run
+//! within a random row, or a run within a random column. The paper argues
+//! this on-the-fly generator reaches better compression than a fixed
+//! pattern dictionary (the R-TOSS approach) because the mask is adapted per
+//! root group by the efficiency-score search.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use upaq_tensor::sparse::KernelMask;
+
+/// The four pattern families of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Positions `(i, i)`.
+    MainDiagonal,
+    /// Positions `(i, d−1−i)`.
+    AntiDiagonal,
+    /// A horizontal run inside one row.
+    Row,
+    /// A vertical run inside one column.
+    Column,
+}
+
+impl PatternKind {
+    /// All families, in the paper's listing order.
+    pub const ALL: [PatternKind; 4] = [
+        PatternKind::MainDiagonal,
+        PatternKind::AntiDiagonal,
+        PatternKind::Row,
+        PatternKind::Column,
+    ];
+}
+
+/// A generated kernel pattern: the family plus the concrete non-zero
+/// positions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pattern {
+    kind: PatternKind,
+    dim: usize,
+    positions: Vec<(usize, usize)>,
+}
+
+impl Pattern {
+    /// The family this pattern was drawn from.
+    pub fn kind(&self) -> PatternKind {
+        self.kind
+    }
+
+    /// Kernel side length `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The non-zero positions.
+    pub fn positions(&self) -> &[(usize, usize)] {
+        &self.positions
+    }
+
+    /// Number of non-zero positions.
+    pub fn nonzeros(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// The keep-mask this pattern induces.
+    pub fn mask(&self) -> KernelMask {
+        KernelMask::from_positions(self.dim, &self.positions)
+    }
+}
+
+/// Generates one random pattern with `n` non-zeros in a `d × d` kernel —
+/// Algorithm 2 verbatim: pick a family uniformly, then place the run.
+///
+/// `n` is clamped to `d` (diagonals and runs cannot exceed the kernel side;
+/// the paper's `min(n, d)` does the same for diagonals).
+///
+/// # Panics
+///
+/// Panics when `d == 0` or `n == 0`.
+pub fn generate_pattern(n: usize, d: usize, rng: &mut impl Rng) -> Pattern {
+    generate_pattern_from(&PatternKind::ALL, n, d, rng)
+}
+
+/// Like [`generate_pattern`] but drawing the family from a restricted list
+/// (the pattern-family ablation).
+///
+/// # Panics
+///
+/// Panics when `d == 0`, `n == 0`, or `kinds` is empty.
+pub fn generate_pattern_from(
+    kinds: &[PatternKind],
+    n: usize,
+    d: usize,
+    rng: &mut impl Rng,
+) -> Pattern {
+    assert!(d > 0 && n > 0, "pattern needs d > 0 and n > 0");
+    assert!(!kinds.is_empty(), "pattern family list must not be empty");
+    let kind = kinds[rng.gen_range(0..kinds.len())];
+    pattern_of_kind(kind, n, d, rng)
+}
+
+/// Generates a pattern of a specific family (the ablation benches sweep
+/// families individually).
+///
+/// # Panics
+///
+/// Panics when `d == 0` or `n == 0`.
+pub fn pattern_of_kind(kind: PatternKind, n: usize, d: usize, rng: &mut impl Rng) -> Pattern {
+    assert!(d > 0 && n > 0, "pattern needs d > 0 and n > 0");
+    let n = n.min(d);
+    let positions = match kind {
+        PatternKind::MainDiagonal => (0..n).map(|i| (i, i)).collect(),
+        PatternKind::AntiDiagonal => (0..n).map(|i| (i, d - i - 1)).collect(),
+        PatternKind::Row => {
+            let row = rng.gen_range(0..d);
+            let start_col = rng.gen_range(0..=(d - n));
+            (0..n).map(|i| (row, start_col + i)).collect()
+        }
+        PatternKind::Column => {
+            let col = rng.gen_range(0..d);
+            let start_row = rng.gen_range(0..=(d - n));
+            (0..n).map(|i| (start_row + i, col)).collect()
+        }
+    };
+    Pattern { kind, dim: d, positions }
+}
+
+/// Draws up to `count` *distinct* random patterns — the candidate set the
+/// compression stage scores with `E_s`.
+pub fn generate_candidates(n: usize, d: usize, count: usize, rng: &mut impl Rng) -> Vec<Pattern> {
+    generate_candidates_from(&PatternKind::ALL, n, d, count, rng)
+}
+
+/// Like [`generate_candidates`] but restricted to the given families.
+pub fn generate_candidates_from(
+    kinds: &[PatternKind],
+    n: usize,
+    d: usize,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<Pattern> {
+    let mut out: Vec<Pattern> = Vec::with_capacity(count);
+    // Distinct patterns for small (n, d) are limited; bound the attempts.
+    for _ in 0..count * 8 {
+        if out.len() == count {
+            break;
+        }
+        let p = generate_pattern_from(kinds, n, d, rng);
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exact_nonzero_count() {
+        let mut r = rng(1);
+        for n in 1..=3 {
+            for _ in 0..20 {
+                let p = generate_pattern(n, 3, &mut r);
+                assert_eq!(p.nonzeros(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_inside_kernel() {
+        let mut r = rng(2);
+        for _ in 0..100 {
+            let p = generate_pattern(3, 5, &mut r);
+            for &(row, col) in p.positions() {
+                assert!(row < 5 && col < 5);
+            }
+        }
+    }
+
+    #[test]
+    fn n_clamped_to_dim() {
+        let mut r = rng(3);
+        let p = generate_pattern(9, 3, &mut r);
+        assert_eq!(p.nonzeros(), 3);
+    }
+
+    #[test]
+    fn families_shape_correctly() {
+        let mut r = rng(4);
+        let main = pattern_of_kind(PatternKind::MainDiagonal, 3, 3, &mut r);
+        assert_eq!(main.positions(), &[(0, 0), (1, 1), (2, 2)]);
+        let anti = pattern_of_kind(PatternKind::AntiDiagonal, 3, 3, &mut r);
+        assert_eq!(anti.positions(), &[(0, 2), (1, 1), (2, 0)]);
+        let row = pattern_of_kind(PatternKind::Row, 2, 3, &mut r);
+        let rows: Vec<usize> = row.positions().iter().map(|p| p.0).collect();
+        assert!(rows.windows(2).all(|w| w[0] == w[1]), "row pattern spans one row");
+        let col = pattern_of_kind(PatternKind::Column, 2, 3, &mut r);
+        let cols: Vec<usize> = col.positions().iter().map(|p| p.1).collect();
+        assert!(cols.windows(2).all(|w| w[0] == w[1]), "column pattern spans one column");
+    }
+
+    #[test]
+    fn row_runs_are_contiguous() {
+        let mut r = rng(5);
+        for _ in 0..50 {
+            let p = pattern_of_kind(PatternKind::Row, 2, 4, &mut r);
+            let cols: Vec<usize> = p.positions().iter().map(|q| q.1).collect();
+            assert_eq!(cols[1], cols[0] + 1);
+        }
+    }
+
+    #[test]
+    fn mask_matches_positions() {
+        let mut r = rng(6);
+        let p = generate_pattern(2, 3, &mut r);
+        let mask = p.mask();
+        assert_eq!(mask.kept(), 2);
+        for &(row, col) in p.positions() {
+            assert!(mask.is_kept(row, col));
+        }
+    }
+
+    #[test]
+    fn candidates_distinct() {
+        let mut r = rng(7);
+        let cands = generate_candidates(2, 3, 6, &mut r);
+        for (i, a) in cands.iter().enumerate() {
+            for b in cands.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn generation_deterministic_per_seed() {
+        let a = generate_pattern(2, 3, &mut rng(9));
+        let b = generate_pattern(2, 3, &mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 0")]
+    fn rejects_zero_nonzeros() {
+        let _ = generate_pattern(0, 3, &mut rng(0));
+    }
+}

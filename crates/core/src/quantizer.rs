@@ -1,0 +1,97 @@
+//! `mp_quantizer` — **Algorithm 6** of the paper.
+//!
+//! Symmetric per-tensor quantization returning the quantized-and-restored
+//! kernel plus its SQNR. The mixed-precision behaviour comes from the
+//! caller (Algorithms 4/5) sweeping the `quant_bit` array and keeping the
+//! bitwidth with the best efficiency score.
+
+use crate::Result;
+use upaq_tensor::quant::fake_quantize;
+use upaq_tensor::Tensor;
+
+/// Result of one `mp_quantizer` call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKernel {
+    /// The de-quantized ("fake-quantized") kernel written back to the model.
+    pub kernel: Tensor,
+    /// Signal-to-quantization-noise ratio (power ratio, not dB).
+    pub sqnr: f32,
+    /// Bitwidth used.
+    pub bits: u8,
+}
+
+/// Algorithm 6: quantize `kernel` symmetrically at `bits` bits.
+///
+/// Steps (paper lines 1–8): `α = max(|min|, |max|)`,
+/// `scale = α / (2^(b−1) − 1)`, `x_q = clip(round(x / scale))`,
+/// `sqnr = var(x) / var(x − x̂)`.
+///
+/// # Errors
+///
+/// Returns an error for unsupported bitwidths (outside 2..=16).
+pub fn mp_quantizer(kernel: &Tensor, bits: u8) -> Result<QuantizedKernel> {
+    let (restored, sqnr) = fake_quantize(kernel, bits)?;
+    Ok(QuantizedKernel { kernel: restored, sqnr, bits })
+}
+
+/// Sweeps a `quant_bit` array, returning one [`QuantizedKernel`] per entry
+/// (callers score each with `E_s` and keep the winner).
+///
+/// # Errors
+///
+/// Returns an error when `bits` is empty or contains unsupported widths.
+pub fn quantize_candidates(kernel: &Tensor, bits: &[u8]) -> Result<Vec<QuantizedKernel>> {
+    if bits.is_empty() {
+        return Err(crate::UpaqError::BadConfig("quant_bits must not be empty".into()));
+    }
+    bits.iter().map(|&b| mp_quantizer(kernel, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_tensor::Shape;
+
+    fn kernel() -> Tensor {
+        Tensor::from_vec(
+            Shape::matrix(3, 3),
+            vec![0.9, -0.4, 0.0, 0.2, -0.8, 0.1, 0.0, 0.5, -0.3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn preserves_shape_and_zeros() {
+        let q = mp_quantizer(&kernel(), 8).unwrap();
+        assert_eq!(q.kernel.shape(), kernel().shape());
+        assert_eq!(q.kernel.get(&[0, 2]).unwrap(), 0.0);
+        assert_eq!(q.bits, 8);
+    }
+
+    #[test]
+    fn sqnr_improves_with_bits() {
+        let k = kernel();
+        let q4 = mp_quantizer(&k, 4).unwrap();
+        let q16 = mp_quantizer(&k, 16).unwrap();
+        assert!(q16.sqnr > q4.sqnr);
+    }
+
+    #[test]
+    fn candidate_sweep_covers_all_bits() {
+        let cands = quantize_candidates(&kernel(), &[4, 8, 16]).unwrap();
+        assert_eq!(cands.len(), 3);
+        assert_eq!(cands[0].bits, 4);
+        assert_eq!(cands[2].bits, 16);
+    }
+
+    #[test]
+    fn empty_bits_rejected() {
+        assert!(quantize_candidates(&kernel(), &[]).is_err());
+    }
+
+    #[test]
+    fn unsupported_bits_propagate() {
+        assert!(mp_quantizer(&kernel(), 1).is_err());
+        assert!(quantize_candidates(&kernel(), &[8, 40]).is_err());
+    }
+}

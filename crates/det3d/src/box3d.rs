@@ -1,0 +1,128 @@
+//! 9-DoF 3D bounding boxes.
+
+use serde::{Deserialize, Serialize};
+use upaq_kitti::scene::SceneObject;
+use upaq_kitti::ObjectClass;
+
+/// A detected or ground-truth 3D box with class and confidence.
+///
+/// Follows the KITTI LiDAR frame (x forward, y left, z up); `yaw` rotates
+/// the footprint around +z. Ground-truth boxes carry `score = 1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Box3d {
+    /// Object category.
+    pub class: ObjectClass,
+    /// Centre `(x, y, z)` in metres.
+    pub center: [f32; 3],
+    /// Size `(length, width, height)` in metres.
+    pub dims: [f32; 3],
+    /// Heading around +z, radians.
+    pub yaw: f32,
+    /// Detection confidence in `[0, 1]`.
+    pub score: f32,
+}
+
+impl Box3d {
+    /// An axis-aligned box (yaw = 0).
+    pub fn axis_aligned(class: ObjectClass, center: [f32; 3], dims: [f32; 3], score: f32) -> Self {
+        Box3d { class, center, dims, yaw: 0.0, score }
+    }
+
+    /// Converts a ground-truth scene object into a unit-score box.
+    pub fn from_object(obj: &SceneObject) -> Self {
+        Box3d {
+            class: obj.class,
+            center: obj.center,
+            dims: obj.dims,
+            yaw: obj.yaw,
+            score: 1.0,
+        }
+    }
+
+    /// BEV footprint area in m².
+    pub fn bev_area(&self) -> f32 {
+        self.dims[0] * self.dims[1]
+    }
+
+    /// Box volume in m³.
+    pub fn volume(&self) -> f32 {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Vertical extent `(z_min, z_max)`.
+    pub fn z_range(&self) -> (f32, f32) {
+        let h2 = self.dims[2] / 2.0;
+        (self.center[2] - h2, self.center[2] + h2)
+    }
+
+    /// The four BEV corners `(x, y)` in counter-clockwise order.
+    pub fn bev_corners(&self) -> [[f32; 2]; 4] {
+        let (l2, w2) = (self.dims[0] / 2.0, self.dims[1] / 2.0);
+        let (s, c) = self.yaw.sin_cos();
+        let local = [[l2, w2], [-l2, w2], [-l2, -w2], [l2, -w2]];
+        local.map(|[lx, ly]| {
+            [
+                self.center[0] + c * lx - s * ly,
+                self.center[1] + s * lx + c * ly,
+            ]
+        })
+    }
+
+    /// Planar distance from the sensor origin.
+    pub fn range(&self) -> f32 {
+        (self.center[0] * self.center[0] + self.center[1] * self.center[1]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn car(center: [f32; 3]) -> Box3d {
+        Box3d::axis_aligned(ObjectClass::Car, center, [4.0, 2.0, 1.6], 0.9)
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let b = car([3.0, 4.0, 0.8]);
+        assert!((b.bev_area() - 8.0).abs() < 1e-6);
+        assert!((b.volume() - 12.8).abs() < 1e-5);
+        assert_eq!(b.z_range(), (0.0, 1.6));
+        assert!((b.range() - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn corners_ccw_and_centered() {
+        let b = car([10.0, -2.0, 0.8]);
+        let cs = b.bev_corners();
+        let cx: f32 = cs.iter().map(|c| c[0]).sum::<f32>() / 4.0;
+        let cy: f32 = cs.iter().map(|c| c[1]).sum::<f32>() / 4.0;
+        assert!((cx - 10.0).abs() < 1e-4 && (cy + 2.0).abs() < 1e-4);
+        // Shoelace formula: CCW order gives positive signed area.
+        let mut signed = 0.0;
+        for i in 0..4 {
+            let [x0, y0] = cs[i];
+            let [x1, y1] = cs[(i + 1) % 4];
+            signed += x0 * y1 - x1 * y0;
+        }
+        assert!(signed > 0.0, "corners must be counter-clockwise");
+        assert!((signed / 2.0 - 8.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_object_copies_pose() {
+        let obj = SceneObject {
+            class: ObjectClass::Cyclist,
+            center: [5.0, 1.0, 0.85],
+            dims: [1.7, 0.6, 1.7],
+            yaw: 0.3,
+            occlusion: 0.0,
+            difficulty: upaq_kitti::Difficulty::Easy,
+        };
+        let b = Box3d::from_object(&obj);
+        assert_eq!(b.class, ObjectClass::Cyclist);
+        assert_eq!(b.center, obj.center);
+        assert_eq!(b.yaw, 0.3);
+        assert_eq!(b.score, 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Camera-space detection head (SMOKE-style).
+//!
+//! Monocular detectors like SMOKE predict per-pixel keypoint scores plus a
+//! regressed depth, then *lift* each keypoint to 3D through the camera
+//! geometry. This module mirrors that: the head output lives on a
+//! downsampled image grid with channels
+//! `(score_0..score_C, du, dv, depth_code, log l, log w, log h, sin, cos)`;
+//! decoding un-projects `(u, v, depth)` into the vehicle frame.
+//!
+//! Depth is regressed as `depth_code = depth / DEPTH_SCALE` so the channel
+//! stays in a numerically comfortable range for the network.
+
+use crate::box3d::Box3d;
+use crate::head::REGRESSION_CHANNELS;
+use crate::nms::nms;
+use serde::{Deserialize, Serialize};
+use upaq_kitti::camera::CameraCalib;
+use upaq_kitti::ObjectClass;
+use upaq_tensor::{Shape, Tensor};
+
+/// Metres of depth represented by one unit of the depth channel.
+pub const DEPTH_SCALE: f32 = 20.0;
+
+/// Decoding parameters of a camera-space head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CameraHeadSpec {
+    /// Camera the image grid derives from.
+    pub calib: CameraCalib,
+    /// Downsampling factor between the input image and the head grid.
+    pub stride: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Minimum sigmoid score to emit a detection.
+    pub score_threshold: f32,
+    /// NMS BEV-IoU threshold.
+    pub nms_iou: f32,
+    /// Maximum detections per frame.
+    pub max_detections: usize,
+}
+
+impl CameraHeadSpec {
+    /// Standard three-class head at the given stride.
+    pub fn kitti(calib: CameraCalib, stride: usize) -> Self {
+        CameraHeadSpec {
+            calib,
+            stride,
+            num_classes: ObjectClass::ALL.len(),
+            score_threshold: 0.3,
+            nms_iou: 0.3,
+            max_detections: 50,
+        }
+    }
+
+    /// Head grid height (input image height / stride).
+    pub fn grid_h(&self) -> usize {
+        self.calib.height / self.stride
+    }
+
+    /// Head grid width.
+    pub fn grid_w(&self) -> usize {
+        self.calib.width / self.stride
+    }
+
+    /// Total output channels.
+    pub fn channels(&self) -> usize {
+        self.num_classes + REGRESSION_CHANNELS
+    }
+
+    /// Expected head-output shape.
+    pub fn output_shape(&self) -> Shape {
+        Shape::nchw(1, self.channels(), self.grid_h(), self.grid_w())
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn logit(p: f32) -> f32 {
+    (p / (1.0 - p)).ln()
+}
+
+/// Lifts an image-grid cell plus regressed values into a 3D box.
+fn lift(
+    spec: &CameraHeadSpec,
+    class: ObjectClass,
+    gu: usize,
+    gv: usize,
+    reg: &dyn Fn(usize) -> f32,
+    score: f32,
+) -> Box3d {
+    let calib = &spec.calib;
+    // Offsets may point several cells away: every cell the object paints
+    // regresses back to the keypoint (centre-point supervision), so
+    // near-duplicate decodes converge and collapse in NMS.
+    let u = (gu as f32 + 0.5 + reg(0).clamp(-6.0, 6.0)) * spec.stride as f32;
+    let v = (gv as f32 + 0.5 + reg(1).clamp(-6.0, 6.0)) * spec.stride as f32;
+    let depth = (reg(2) * DEPTH_SCALE).clamp(1.0, 120.0);
+    // Inverse pinhole projection (see CameraCalib::project).
+    let x = depth;
+    let y = -(u - calib.cx) * depth / calib.fx;
+    let z = calib.mount_height - (v - calib.cy) * depth / calib.fy;
+    let (al, aw, ah) = class.mean_dims();
+    Box3d {
+        class,
+        center: [x, y, z],
+        dims: [
+            al * reg(3).clamp(-1.5, 1.5).exp(),
+            aw * reg(4).clamp(-1.5, 1.5).exp(),
+            ah * reg(5).clamp(-1.5, 1.5).exp(),
+        ],
+        yaw: reg(6).atan2(reg(7)),
+        score,
+    }
+}
+
+/// Decodes a camera-head output tensor into 3D detections.
+///
+/// # Panics
+///
+/// Panics when `output` does not match [`CameraHeadSpec::output_shape`].
+pub fn decode_camera(output: &Tensor, spec: &CameraHeadSpec) -> Vec<Box3d> {
+    assert_eq!(output.shape(), &spec.output_shape(), "camera head output shape mismatch");
+    let (h, w) = (spec.grid_h(), spec.grid_w());
+    let n_cells = h * w;
+    let data = output.as_slice();
+    let reg_base = spec.num_classes * n_cells;
+
+    let mut candidates = Vec::new();
+    for gv in 0..h {
+        for gu in 0..w {
+            let idx = gv * w + gu;
+            for ci in 0..spec.num_classes {
+                let score = sigmoid(data[ci * n_cells + idx]);
+                if score < spec.score_threshold {
+                    continue;
+                }
+                let class = match ObjectClass::from_index(ci) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                let reg = |k: usize| data[reg_base + k * n_cells + idx];
+                candidates.push(lift(spec, class, gu, gv, &reg, score));
+            }
+        }
+    }
+    let mut kept = nms(candidates, spec.nms_iou);
+    kept.truncate(spec.max_detections);
+    kept
+}
+
+/// Encodes ground-truth boxes into the ideal camera-head output (inverse of
+/// [`decode_camera`] up to clamps). Boxes projecting outside the image are
+/// skipped — exactly the monocular blind spots the paper's Fig. 1 shows.
+///
+/// Centre-point supervision: the keypoint cell carries the full score
+/// logit, and every cell inside the object's screen-space bounding box
+/// carries a lower positive logit with `(du, dv)` pointing back at the
+/// keypoint — painted-but-off-centre cells then decode to the same 3D box
+/// and NMS merges them instead of scattering laterally-offset duplicates.
+pub fn encode_camera_targets(boxes: &[Box3d], spec: &CameraHeadSpec) -> Tensor {
+    let (h, w) = (spec.grid_h(), spec.grid_w());
+    let n_cells = h * w;
+    let mut data = vec![0.0f32; spec.channels() * n_cells];
+    for v in data.iter_mut().take(spec.num_classes * n_cells) {
+        *v = -6.0;
+    }
+    let reg_base = spec.num_classes * n_cells;
+    let stride = spec.stride as f32;
+
+    for b in boxes {
+        let proj = match spec.calib.project(b.center) {
+            Some(p) => p,
+            None => continue,
+        };
+        let (u, v, depth) = proj;
+        let kp_gu = (u / stride - 0.5).round();
+        let kp_gv = (v / stride - 0.5).round();
+        if kp_gu < 0.0 || kp_gv < 0.0 || kp_gu as usize >= w || kp_gv as usize >= h {
+            continue;
+        }
+
+        // Screen-space AABB of the projected box corners.
+        let bev = |dx: f32, dy: f32, dz: f32| {
+            [b.center[0] + dx, b.center[1] + dy, b.center[2] + dz]
+        };
+        let (l2, w2, h2) = (b.dims[0] / 2.0, b.dims[1] / 2.0, b.dims[2] / 2.0);
+        let mut min_u = f32::INFINITY;
+        let mut max_u = f32::NEG_INFINITY;
+        let mut min_v = f32::INFINITY;
+        let mut max_v = f32::NEG_INFINITY;
+        for &sx in &[-l2, l2] {
+            for &sy in &[-w2, w2] {
+                for &sz in &[-h2, h2] {
+                    if let Some((cu, cv, _)) = spec.calib.project(bev(sx, sy, sz)) {
+                        min_u = min_u.min(cu);
+                        max_u = max_u.max(cu);
+                        min_v = min_v.min(cv);
+                        max_v = max_v.max(cv);
+                    }
+                }
+            }
+        }
+
+        let mut write = |gu: usize, gv: usize, score: f32| {
+            let idx = gv * w + gu;
+            let slot = &mut data[b.class.index() * n_cells + idx];
+            if *slot >= logit(score) {
+                return;
+            }
+            *slot = logit(score);
+            let (al, aw, ah) = b.class.mean_dims();
+            let du = u / stride - (gu as f32 + 0.5);
+            let dv = v / stride - (gv as f32 + 0.5);
+            let reg = [
+                du.clamp(-6.0, 6.0),
+                dv.clamp(-6.0, 6.0),
+                depth / DEPTH_SCALE,
+                (b.dims[0] / al).ln(),
+                (b.dims[1] / aw).ln(),
+                (b.dims[2] / ah).ln(),
+                b.yaw.sin(),
+                b.yaw.cos(),
+            ];
+            for (k, val) in reg.iter().enumerate() {
+                data[reg_base + k * n_cells + idx] = *val;
+            }
+        };
+
+        if min_u.is_finite() {
+            let g0u = ((min_u / stride - 0.5).floor().max(0.0)) as usize;
+            let g1u = ((max_u / stride - 0.5).ceil().min(w as f32 - 1.0)) as usize;
+            let g0v = ((min_v / stride - 0.5).floor().max(0.0)) as usize;
+            let g1v = ((max_v / stride - 0.5).ceil().min(h as f32 - 1.0)) as usize;
+            for gv in g0v..=g1v {
+                for gu in g0u..=g1u {
+                    if (gu, gv) != (kp_gu as usize, kp_gv as usize) {
+                        write(gu, gv, 0.75);
+                    }
+                }
+            }
+        }
+        write(kp_gu as usize, kp_gv as usize, 0.95);
+    }
+    Tensor::from_vec(spec.output_shape(), data).expect("target buffer matches shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iou::bev_iou;
+
+    fn spec() -> CameraHeadSpec {
+        CameraHeadSpec::kitti(CameraCalib::kitti_small(124, 38), 2)
+    }
+
+    fn car(x: f32, y: f32, yaw: f32) -> Box3d {
+        Box3d {
+            class: ObjectClass::Car,
+            center: [x, y, 0.8],
+            dims: [4.0, 1.7, 1.5],
+            yaw,
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_recovers_position() {
+        let spec = spec();
+        let gt = vec![car(20.0, 2.0, 0.5)];
+        let decoded = decode_camera(&encode_camera_targets(&gt, &spec), &spec);
+        assert_eq!(decoded.len(), 1);
+        let d = &decoded[0];
+        // Depth quantization through the grid limits precision; positions
+        // should land within ~1 m.
+        assert!((d.center[0] - 20.0).abs() < 1.0, "x={}", d.center[0]);
+        assert!((d.center[1] - 2.0).abs() < 1.0, "y={}", d.center[1]);
+        assert!(bev_iou(d, &gt[0]) > 0.4, "iou {}", bev_iou(d, &gt[0]));
+    }
+
+    #[test]
+    fn behind_camera_boxes_skipped() {
+        let spec = spec();
+        let gt = vec![car(-10.0, 0.0, 0.0)];
+        assert!(decode_camera(&encode_camera_targets(&gt, &spec), &spec).is_empty());
+    }
+
+    #[test]
+    fn off_image_boxes_skipped() {
+        let spec = spec();
+        // Far to the side at close range: projects off-image.
+        let gt = vec![car(3.0, 30.0, 0.0)];
+        assert!(decode_camera(&encode_camera_targets(&gt, &spec), &spec).is_empty());
+    }
+
+    #[test]
+    fn depth_scale_roundtrip() {
+        let spec = spec();
+        for depth in [10.0f32, 25.0, 50.0] {
+            let gt = vec![car(depth, 0.0, 0.0)];
+            let decoded = decode_camera(&encode_camera_targets(&gt, &spec), &spec);
+            assert_eq!(decoded.len(), 1, "depth {depth}");
+            assert!((decoded[0].center[0] - depth).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn shapes_and_channels() {
+        let s = spec();
+        assert_eq!(s.grid_h(), 19);
+        assert_eq!(s.grid_w(), 62);
+        assert_eq!(s.channels(), 11);
+        assert_eq!(s.output_shape().dims(), &[1, 11, 19, 62]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_shape_panics() {
+        let s = spec();
+        let _ = decode_camera(&Tensor::zeros(Shape::nchw(1, 11, 4, 4)), &s);
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end evaluation: detections vs ground truth → AP / mAP.
+
+use crate::box3d::Box3d;
+use crate::map::{average_precision, mean_average_precision, nuscenes_map, FrameBox};
+use serde::{Deserialize, Serialize};
+use upaq_kitti::scene::Scene;
+use upaq_kitti::ObjectClass;
+
+/// Result of evaluating a detector over a scene set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Mean AP over present classes with IoU matching, percent.
+    pub map: f32,
+    /// nuScenes-style mAP (centre-distance matching averaged over the
+    /// 0.5/1/2/4 m thresholds), percent — the primary accuracy metric of
+    /// the experiment harness (see EXPERIMENTS.md).
+    pub map_dist: f32,
+    /// Per-class `(class, AP)` pairs for classes present in the ground truth.
+    pub per_class: Vec<(ObjectClass, f32)>,
+    /// Total ground-truth objects evaluated.
+    pub gt_count: usize,
+    /// Total detections evaluated.
+    pub det_count: usize,
+}
+
+/// Evaluates per-frame detections against per-frame ground-truth scenes.
+///
+/// `detections[i]` must correspond to `scenes[i]`.
+///
+/// # Panics
+///
+/// Panics when the two slices have different lengths.
+pub fn evaluate_detections(detections: &[Vec<Box3d>], scenes: &[&Scene]) -> EvalResult {
+    assert_eq!(
+        detections.len(),
+        scenes.len(),
+        "one detection list per scene required"
+    );
+    let mut det_frames = Vec::new();
+    let mut gt_frames = Vec::new();
+    for (frame, (dets, scene)) in detections.iter().zip(scenes).enumerate() {
+        for d in dets {
+            det_frames.push(FrameBox { frame, b: d.clone() });
+        }
+        for obj in &scene.objects {
+            gt_frames.push(FrameBox { frame, b: Box3d::from_object(obj) });
+        }
+    }
+    let mut per_class = Vec::new();
+    for class in ObjectClass::ALL {
+        if gt_frames.iter().any(|g| g.b.class == class) {
+            per_class.push((class, average_precision(class, &det_frames, &gt_frames)));
+        }
+    }
+    EvalResult {
+        map: mean_average_precision(&det_frames, &gt_frames),
+        map_dist: nuscenes_map(&det_frames, &gt_frames),
+        per_class,
+        gt_count: gt_frames.len(),
+        det_count: det_frames.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::scene::SceneConfig;
+
+    #[test]
+    fn perfect_oracle_scores_100() {
+        let scenes: Vec<Scene> = (0..4)
+            .map(|i| Scene::generate(i, &SceneConfig::default(), 42 + i as u64))
+            .collect();
+        let refs: Vec<&Scene> = scenes.iter().collect();
+        let dets: Vec<Vec<Box3d>> = scenes
+            .iter()
+            .map(|s| {
+                s.objects
+                    .iter()
+                    .map(|o| {
+                        let mut b = Box3d::from_object(o);
+                        b.score = 0.9;
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        let result = evaluate_detections(&dets, &refs);
+        assert!((result.map - 100.0).abs() < 1e-2, "map={}", result.map);
+        assert_eq!(result.gt_count, scenes.iter().map(|s| s.objects.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn blind_detector_scores_0() {
+        let scene = Scene::generate(0, &SceneConfig::default(), 1);
+        let result = evaluate_detections(&[Vec::new()], &[&scene]);
+        assert_eq!(result.map, 0.0);
+        assert_eq!(result.det_count, 0);
+    }
+
+    #[test]
+    fn noisy_oracle_scores_between() {
+        // Perturb positions by ~1 m: car IoU drops below 0.7 for some.
+        let scenes: Vec<Scene> = (0..4)
+            .map(|i| Scene::generate(i, &SceneConfig::default(), 7 + i as u64))
+            .collect();
+        let refs: Vec<&Scene> = scenes.iter().collect();
+        let dets: Vec<Vec<Box3d>> = scenes
+            .iter()
+            .map(|s| {
+                s.objects
+                    .iter()
+                    .enumerate()
+                    .map(|(k, o)| {
+                        let mut b = Box3d::from_object(o);
+                        b.score = 0.8;
+                        b.center[0] += if k % 2 == 0 { 1.0 } else { 0.1 };
+                        b
+                    })
+                    .collect()
+            })
+            .collect();
+        let result = evaluate_detections(&dets, &refs);
+        assert!(result.map > 5.0 && result.map < 99.9, "map={}", result.map);
+    }
+
+    #[test]
+    #[should_panic(expected = "one detection list per scene")]
+    fn mismatched_lengths_panic() {
+        let scene = Scene::generate(0, &SceneConfig::default(), 1);
+        let _ = evaluate_detections(&[], &[&scene]);
+    }
+}

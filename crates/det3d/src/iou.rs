@@ -1,0 +1,193 @@
+//! Exact rotated-box intersection-over-union.
+//!
+//! BEV IoU clips one footprint polygon against the other
+//! (Sutherland–Hodgman) and measures the intersection area with the shoelace
+//! formula; 3D IoU extends that with vertical overlap. These are the same
+//! definitions the KITTI benchmark uses.
+
+use crate::box3d::Box3d;
+
+/// Area of the intersection of two convex polygons given as CCW vertex
+/// lists. Returns 0 for degenerate inputs.
+pub fn convex_intersection_area(subject: &[[f32; 2]], clip: &[[f32; 2]]) -> f32 {
+    if subject.len() < 3 || clip.len() < 3 {
+        return 0.0;
+    }
+    let mut poly: Vec<[f32; 2]> = subject.to_vec();
+    for i in 0..clip.len() {
+        if poly.is_empty() {
+            return 0.0;
+        }
+        let a = clip[i];
+        let b = clip[(i + 1) % clip.len()];
+        // Keep points on the left of edge a→b (CCW interior).
+        let inside = |p: [f32; 2]| (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]) >= 0.0;
+        let mut next = Vec::with_capacity(poly.len() + 2);
+        for j in 0..poly.len() {
+            let cur = poly[j];
+            let prev = poly[(j + poly.len() - 1) % poly.len()];
+            let cur_in = inside(cur);
+            let prev_in = inside(prev);
+            if cur_in {
+                if !prev_in {
+                    if let Some(p) = line_intersect(prev, cur, a, b) {
+                        next.push(p);
+                    }
+                }
+                next.push(cur);
+            } else if prev_in {
+                if let Some(p) = line_intersect(prev, cur, a, b) {
+                    next.push(p);
+                }
+            }
+        }
+        poly = next;
+    }
+    polygon_area(&poly)
+}
+
+fn line_intersect(p1: [f32; 2], p2: [f32; 2], a: [f32; 2], b: [f32; 2]) -> Option<[f32; 2]> {
+    let d1 = [p2[0] - p1[0], p2[1] - p1[1]];
+    let d2 = [b[0] - a[0], b[1] - a[1]];
+    let denom = d1[0] * d2[1] - d1[1] * d2[0];
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let t = ((a[0] - p1[0]) * d2[1] - (a[1] - p1[1]) * d2[0]) / denom;
+    Some([p1[0] + t * d1[0], p1[1] + t * d1[1]])
+}
+
+/// Shoelace area of a polygon (absolute value).
+pub fn polygon_area(poly: &[[f32; 2]]) -> f32 {
+    if poly.len() < 3 {
+        return 0.0;
+    }
+    let mut signed = 0.0;
+    for i in 0..poly.len() {
+        let [x0, y0] = poly[i];
+        let [x1, y1] = poly[(i + 1) % poly.len()];
+        signed += x0 * y1 - x1 * y0;
+    }
+    (signed / 2.0).abs()
+}
+
+/// Bird's-eye-view IoU of two (possibly rotated) boxes, in `[0, 1]`.
+pub fn bev_iou(a: &Box3d, b: &Box3d) -> f32 {
+    let inter = convex_intersection_area(&a.bev_corners(), &b.bev_corners());
+    let union = a.bev_area() + b.bev_area() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+/// Full 3D IoU: BEV intersection × vertical overlap over the volume union.
+pub fn iou_3d(a: &Box3d, b: &Box3d) -> f32 {
+    let bev_inter = convex_intersection_area(&a.bev_corners(), &b.bev_corners());
+    let (az0, az1) = a.z_range();
+    let (bz0, bz1) = b.z_range();
+    let z_overlap = (az1.min(bz1) - az0.max(bz0)).max(0.0);
+    let inter = bev_inter * z_overlap;
+    let union = a.volume() + b.volume() - inter;
+    if union <= 0.0 {
+        0.0
+    } else {
+        (inter / union).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::ObjectClass;
+
+    fn car_at(x: f32, y: f32, yaw: f32) -> Box3d {
+        Box3d {
+            class: ObjectClass::Car,
+            center: [x, y, 0.8],
+            dims: [4.0, 2.0, 1.6],
+            yaw,
+            score: 1.0,
+        }
+    }
+
+    #[test]
+    fn identical_boxes_have_unit_iou() {
+        let a = car_at(10.0, 0.0, 0.4);
+        assert!((bev_iou(&a, &a) - 1.0).abs() < 1e-4);
+        assert!((iou_3d(&a, &a) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn disjoint_boxes_have_zero_iou() {
+        let a = car_at(10.0, 0.0, 0.0);
+        let b = car_at(30.0, 10.0, 0.0);
+        assert_eq!(bev_iou(&a, &b), 0.0);
+        assert_eq!(iou_3d(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_axis_aligned() {
+        // Shift by half the length: intersection 2×2=4, union 8+8−4=12.
+        let a = car_at(10.0, 0.0, 0.0);
+        let b = car_at(12.0, 0.0, 0.0);
+        assert!((bev_iou(&a, &b) - 4.0 / 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotation_changes_iou() {
+        let a = car_at(10.0, 0.0, 0.0);
+        let b = car_at(10.0, 0.0, std::f32::consts::FRAC_PI_2);
+        let iou = bev_iou(&a, &b);
+        // 4×2 box crossed with itself rotated 90°: intersection is 2×2 = 4,
+        // union 8+8−4 = 12.
+        assert!((iou - 1.0 / 3.0).abs() < 1e-3, "iou={iou}");
+    }
+
+    #[test]
+    fn iou_is_symmetric() {
+        let a = car_at(10.0, 0.0, 0.3);
+        let b = car_at(11.0, 0.5, -0.2);
+        assert!((bev_iou(&a, &b) - bev_iou(&b, &a)).abs() < 1e-5);
+        assert!((iou_3d(&a, &b) - iou_3d(&b, &a)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn vertical_offset_reduces_3d_iou_only() {
+        let a = car_at(10.0, 0.0, 0.0);
+        let mut b = car_at(10.0, 0.0, 0.0);
+        b.center[2] += 0.8; // half-height offset
+        assert!((bev_iou(&a, &b) - 1.0).abs() < 1e-4);
+        let i3 = iou_3d(&a, &b);
+        // Overlap height 0.8 of 1.6 → inter = 8×0.8 = 6.4, union = 2·12.8−6.4.
+        assert!((i3 - 6.4 / 19.2).abs() < 1e-3, "i3={i3}");
+    }
+
+    #[test]
+    fn polygon_area_square() {
+        let square = [[0.0, 0.0], [1.0, 0.0], [1.0, 1.0], [0.0, 1.0]];
+        assert!((polygon_area(&square) - 1.0).abs() < 1e-6);
+        assert_eq!(polygon_area(&square[..2]), 0.0);
+    }
+
+    #[test]
+    fn intersection_contained_box() {
+        let outer = [[0.0, 0.0], [4.0, 0.0], [4.0, 4.0], [0.0, 4.0]];
+        let inner = [[1.0, 1.0], [2.0, 1.0], [2.0, 2.0], [1.0, 2.0]];
+        assert!((convex_intersection_area(&inner, &outer) - 1.0).abs() < 1e-5);
+        assert!((convex_intersection_area(&outer, &inner) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn iou_bounded_unit_interval() {
+        for dx in 0..8 {
+            for yaw_step in 0..8 {
+                let a = car_at(10.0, 0.0, 0.0);
+                let b = car_at(10.0 + dx as f32, 0.5, yaw_step as f32 * 0.4);
+                let iou = bev_iou(&a, &b);
+                assert!((0.0..=1.0).contains(&iou));
+            }
+        }
+    }
+}

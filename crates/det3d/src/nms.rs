@@ -1,0 +1,81 @@
+//! Greedy non-maximum suppression over BEV IoU.
+
+use crate::box3d::Box3d;
+use crate::iou::bev_iou;
+
+/// Suppresses overlapping detections: boxes are visited in descending score
+/// order; a box is kept unless it overlaps an already-kept box *of the same
+/// class* with BEV IoU above `iou_threshold`.
+///
+/// Returns the surviving boxes in descending score order.
+pub fn nms(mut detections: Vec<Box3d>, iou_threshold: f32) -> Vec<Box3d> {
+    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Box3d> = Vec::with_capacity(detections.len());
+    for det in detections {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == det.class && bev_iou(k, &det) > iou_threshold);
+        if !suppressed {
+            kept.push(det);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::ObjectClass;
+
+    fn car(x: f32, score: f32) -> Box3d {
+        Box3d::axis_aligned(ObjectClass::Car, [x, 0.0, 0.8], [4.0, 2.0, 1.6], score)
+    }
+
+    #[test]
+    fn duplicate_suppressed_keeping_best() {
+        let out = nms(vec![car(10.0, 0.6), car(10.2, 0.9)], 0.5);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].score, 0.9);
+    }
+
+    #[test]
+    fn distant_boxes_survive() {
+        let out = nms(vec![car(10.0, 0.6), car(30.0, 0.9)], 0.5);
+        assert_eq!(out.len(), 2);
+        // Sorted by score descending.
+        assert!(out[0].score >= out[1].score);
+    }
+
+    #[test]
+    fn different_classes_do_not_suppress() {
+        let mut ped = car(10.0, 0.5);
+        ped.class = ObjectClass::Pedestrian;
+        let out = nms(vec![car(10.0, 0.9), ped], 0.1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn threshold_controls_aggressiveness() {
+        // ~33% overlap pair: survives at 0.5 threshold, suppressed at 0.2.
+        let pair = vec![car(10.0, 0.9), car(12.0, 0.8)];
+        assert_eq!(nms(pair.clone(), 0.5).len(), 2);
+        assert_eq!(nms(pair, 0.2).len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_ok() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn chain_suppression_uses_kept_boxes_only() {
+        // b overlaps a (kept) → suppressed; c overlaps b but not a → kept.
+        let a = car(10.0, 0.9);
+        let b = car(11.5, 0.8);
+        let c = car(13.5, 0.7);
+        let out = nms(vec![a, b, c], 0.25);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].center[0], 10.0);
+        assert_eq!(out[1].center[0], 13.5);
+    }
+}

@@ -1,0 +1,299 @@
+//! Pillar encoding: LiDAR sweeps → BEV pseudo-image.
+//!
+//! PointPillars discretizes the cloud into vertical columns ("pillars") and
+//! feeds per-pillar point features through a Pillar Feature Network of 1×1
+//! convolutions. Here the pillar stage computes the nine per-pillar input
+//! statistics; the 1×1 PFN layers live in the model itself (they are exactly
+//! the kernels the paper's Algorithm 5 transforms before quantization).
+
+use serde::{Deserialize, Serialize};
+use upaq_kitti::lidar::PointCloud;
+use upaq_tensor::{Shape, Tensor};
+
+/// Bird's-eye-view grid geometry shared by the pillar encoder and the
+/// detection head.
+///
+/// Rows (tensor H axis) run along +x (forward), columns (W axis) along +y
+/// (left), so `cell (0, 0)` is the nearest-right corner of the range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BevGrid {
+    /// Minimum x (forward) covered, metres.
+    pub x_min: f32,
+    /// Maximum x covered, metres.
+    pub x_max: f32,
+    /// Minimum y (left) covered, metres.
+    pub y_min: f32,
+    /// Maximum y covered, metres.
+    pub y_max: f32,
+    /// Cells along x (tensor height).
+    pub cells_x: usize,
+    /// Cells along y (tensor width).
+    pub cells_y: usize,
+}
+
+impl BevGrid {
+    /// The standard KITTI PointPillars range at a configurable resolution.
+    pub fn kitti(cells_x: usize, cells_y: usize) -> Self {
+        BevGrid { x_min: 0.0, x_max: 69.12, y_min: -39.68, y_max: 39.68, cells_x, cells_y }
+    }
+
+    /// Cell edge lengths `(dx, dy)` in metres.
+    pub fn cell_size(&self) -> (f32, f32) {
+        (
+            (self.x_max - self.x_min) / self.cells_x as f32,
+            (self.y_max - self.y_min) / self.cells_y as f32,
+        )
+    }
+
+    /// The cell containing a metric point, or `None` outside the range.
+    pub fn cell_of(&self, x: f32, y: f32) -> Option<(usize, usize)> {
+        if x < self.x_min || x >= self.x_max || y < self.y_min || y >= self.y_max {
+            return None;
+        }
+        let (dx, dy) = self.cell_size();
+        let cx = ((x - self.x_min) / dx) as usize;
+        let cy = ((y - self.y_min) / dy) as usize;
+        Some((cx.min(self.cells_x - 1), cy.min(self.cells_y - 1)))
+    }
+
+    /// Metric centre of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is out of range.
+    pub fn cell_center(&self, cx: usize, cy: usize) -> (f32, f32) {
+        assert!(cx < self.cells_x && cy < self.cells_y, "cell out of range");
+        let (dx, dy) = self.cell_size();
+        (
+            self.x_min + (cx as f32 + 0.5) * dx,
+            self.y_min + (cy as f32 + 0.5) * dy,
+        )
+    }
+}
+
+/// Number of per-pillar feature channels produced by [`pillarize`].
+pub const PILLAR_CHANNELS: usize = 12;
+
+/// Pillar-encoder parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PillarConfig {
+    /// BEV grid geometry.
+    pub grid: BevGrid,
+    /// Points above this height are ignored (metres).
+    pub z_max: f32,
+    /// Count normalizer: channel 0 stores `min(count, cap) / cap`.
+    pub count_cap: usize,
+}
+
+impl PillarConfig {
+    /// Standard configuration over the KITTI range.
+    pub fn kitti(cells_x: usize, cells_y: usize) -> Self {
+        PillarConfig { grid: BevGrid::kitti(cells_x, cells_y), z_max: 4.0, count_cap: 32 }
+    }
+}
+
+/// Encodes a point cloud into a `[1, 12, cells_x, cells_y]` pseudo-image.
+///
+/// Channels: 0 normalized point count, 1 mean z, 2 max z, 3 z std-dev,
+/// 4 mean intensity, 5 mean x-offset from the cell centre, 6 mean y-offset,
+/// 7 occupancy flag, 8 normalized range of the cell centre, 9/10/11 the
+/// in-cell point-spread second moments (σ²ₓ, σ²ᵧ, σₓᵧ) — the local surface
+/// direction, which is what lets a per-cell head regress heading.
+///
+/// Signed quantities (channels 5/6 offsets and 11 covariance) are remapped
+/// into `[0, 1]` (0.5 = zero): the networks downstream start with a
+/// ReLU-ing 1×1 PFN, and signed features would lose their negative half at
+/// the first activation — destroying exactly the sub-cell localization
+/// signal the box regressor needs.
+pub fn pillarize(cloud: &PointCloud, config: &PillarConfig) -> Tensor {
+    let grid = &config.grid;
+    let (h, w) = (grid.cells_x, grid.cells_y);
+    let n_cells = h * w;
+    let mut count = vec![0u32; n_cells];
+    let mut sum_z = vec![0.0f32; n_cells];
+    let mut max_z = vec![0.0f32; n_cells];
+    let mut sum_z2 = vec![0.0f32; n_cells];
+    let mut sum_i = vec![0.0f32; n_cells];
+    let mut sum_dx = vec![0.0f32; n_cells];
+    let mut sum_dy = vec![0.0f32; n_cells];
+    let mut sum_dx2 = vec![0.0f32; n_cells];
+    let mut sum_dy2 = vec![0.0f32; n_cells];
+    let mut sum_dxdy = vec![0.0f32; n_cells];
+
+    for p in cloud.points() {
+        let [x, y, z] = p.position;
+        if z > config.z_max {
+            continue;
+        }
+        if let Some((cx, cy)) = grid.cell_of(x, y) {
+            let idx = cx * w + cy;
+            let (ccx, ccy) = grid.cell_center(cx, cy);
+            count[idx] += 1;
+            sum_z[idx] += z;
+            sum_z2[idx] += z * z;
+            max_z[idx] = max_z[idx].max(z);
+            sum_i[idx] += p.intensity;
+            let dx = x - ccx;
+            let dy = y - ccy;
+            sum_dx[idx] += dx;
+            sum_dy[idx] += dy;
+            sum_dx2[idx] += dx * dx;
+            sum_dy2[idx] += dy * dy;
+            sum_dxdy[idx] += dx * dy;
+        }
+    }
+
+    let mut data = vec![0.0f32; PILLAR_CHANNELS * n_cells];
+    let max_range = (grid.x_max * grid.x_max + grid.y_max.max(-grid.y_min).powi(2)).sqrt();
+    for idx in 0..n_cells {
+        let n = count[idx] as f32;
+        let (cx, cy) = (idx / w, idx % w);
+        let (ccx, ccy) = grid.cell_center(cx, cy);
+        data[idx] = (n.min(config.count_cap as f32)) / config.count_cap as f32;
+        if n > 0.0 {
+            let mean_z = sum_z[idx] / n;
+            data[n_cells + idx] = mean_z;
+            data[2 * n_cells + idx] = max_z[idx];
+            data[3 * n_cells + idx] = (sum_z2[idx] / n - mean_z * mean_z).max(0.0).sqrt();
+            data[4 * n_cells + idx] = sum_i[idx] / n;
+            let (dx_cell, dy_cell) = grid.cell_size();
+            let mean_dx = sum_dx[idx] / n;
+            let mean_dy = sum_dy[idx] / n;
+            data[5 * n_cells + idx] = (mean_dx / dx_cell + 0.5).clamp(0.0, 1.0);
+            data[6 * n_cells + idx] = (mean_dy / dy_cell + 0.5).clamp(0.0, 1.0);
+            data[7 * n_cells + idx] = 1.0;
+            // Second moments of the in-cell point spread, normalized by the
+            // cell area; covariance shifted so zero maps to 0.5.
+            let var_x = (sum_dx2[idx] / n - mean_dx * mean_dx).max(0.0);
+            let var_y = (sum_dy2[idx] / n - mean_dy * mean_dy).max(0.0);
+            let cov = sum_dxdy[idx] / n - mean_dx * mean_dy;
+            let norm = dx_cell * dy_cell;
+            data[9 * n_cells + idx] = (var_x / norm).min(1.0);
+            data[10 * n_cells + idx] = (var_y / norm).min(1.0);
+            data[11 * n_cells + idx] = (cov / norm * 2.0 + 0.5).clamp(0.0, 1.0);
+        }
+        data[8 * n_cells + idx] = (ccx * ccx + ccy * ccy).sqrt() / max_range;
+    }
+
+    Tensor::from_vec(Shape::nchw(1, PILLAR_CHANNELS, h, w), data)
+        .expect("pillar buffer matches declared shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::dataset::{Dataset, DatasetConfig};
+    use upaq_kitti::lidar::LidarPoint;
+
+    fn cloud_of(points: Vec<LidarPoint>) -> PointCloud {
+        PointCloud::from_points(points)
+    }
+
+    #[test]
+    fn grid_cell_mapping_roundtrip() {
+        let grid = BevGrid::kitti(32, 32);
+        let (x, y) = grid.cell_center(5, 20);
+        assert_eq!(grid.cell_of(x, y), Some((5, 20)));
+        assert_eq!(grid.cell_of(-1.0, 0.0), None);
+        assert_eq!(grid.cell_of(0.0, 100.0), None);
+    }
+
+    #[test]
+    fn cell_size_consistent() {
+        let grid = BevGrid::kitti(64, 64);
+        let (dx, dy) = grid.cell_size();
+        assert!((dx * 64.0 - 69.12).abs() < 1e-3);
+        assert!((dy * 64.0 - 79.36).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pillarize_shape_and_occupancy() {
+        let cfg = PillarConfig::kitti(16, 16);
+        let p = LidarPoint { position: [10.0, 0.0, 1.0], intensity: 0.5 };
+        let cloud = cloud_of(vec![p; 8]);
+        let img = pillarize(&cloud, &cfg);
+        assert_eq!(img.shape().dims(), &[1, 12, 16, 16]);
+        let (cx, cy) = cfg.grid.cell_of(10.0, 0.0).unwrap();
+        // Occupancy channel (7) set exactly at the populated cell.
+        assert_eq!(img.get(&[0, 7, cx, cy]).unwrap(), 1.0);
+        let occupied: f32 = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .map(|(a, b)| img.get(&[0, 7, a, b]).unwrap())
+            .sum();
+        assert_eq!(occupied, 1.0);
+        // Mean z of identical points is their z.
+        assert!((img.get(&[0, 1, cx, cy]).unwrap() - 1.0).abs() < 1e-5);
+        // Count channel: 8 points over cap 32 → 0.25.
+        assert!((img.get(&[0, 0, cx, cy]).unwrap() - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn high_points_filtered() {
+        let cfg = PillarConfig::kitti(8, 8);
+        let cloud = cloud_of(vec![LidarPoint { position: [10.0, 0.0, 10.0], intensity: 0.5 }]);
+        let img = pillarize(&cloud, &cfg);
+        assert_eq!(img.map(|v| if v == 1.0 { 1.0 } else { 0.0 }).sum(), 0.0);
+    }
+
+    #[test]
+    fn empty_cells_have_zero_features() {
+        let cfg = PillarConfig::kitti(8, 8);
+        let img = pillarize(&cloud_of(vec![]), &cfg);
+        // All channels except range (8) must be zero.
+        for c in (0..12).filter(|&c| c != 8) {
+            for a in 0..8 {
+                for b in 0..8 {
+                    assert_eq!(img.get(&[0, c, a, b]).unwrap(), 0.0);
+                }
+            }
+        }
+        // Range channel is positive away from the origin.
+        assert!(img.get(&[0, 8, 7, 7]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn real_cloud_produces_structure() {
+        let dataset = Dataset::generate(&DatasetConfig::small(), 5);
+        let cloud = dataset.lidar(0);
+        let cfg = PillarConfig::kitti(32, 32);
+        let img = pillarize(&cloud, &cfg);
+        // Some cells occupied, not all.
+        let occupied: f32 = (0..32)
+            .flat_map(|a| (0..32).map(move |b| (a, b)))
+            .map(|(a, b)| img.get(&[0, 7, a, b]).unwrap())
+            .sum();
+        assert!(occupied > 10.0 && occupied < 1000.0, "occupied={occupied}");
+    }
+
+    #[test]
+    fn offsets_normalized_to_unit_interval() {
+        let dataset = Dataset::generate(&DatasetConfig::small(), 6);
+        let cloud = dataset.lidar(1);
+        let cfg = PillarConfig::kitti(32, 32);
+        let img = pillarize(&cloud, &cfg);
+        for a in 0..32 {
+            for b in 0..32 {
+                let dx = img.get(&[0, 5, a, b]).unwrap();
+                let dy = img.get(&[0, 6, a, b]).unwrap();
+                assert!((0.0..=1.0).contains(&dx));
+                assert!((0.0..=1.0).contains(&dy));
+            }
+        }
+    }
+
+    #[test]
+    fn offset_channel_encodes_sub_cell_position() {
+        // A point left-of-centre vs right-of-centre must produce different
+        // (and correctly ordered) offset codes.
+        let cfg = PillarConfig::kitti(16, 16);
+        let (cx, cy) = cfg.grid.cell_of(10.0, 0.0).unwrap();
+        let (ccx, _) = cfg.grid.cell_center(cx, cy);
+        let low = cloud_of(vec![LidarPoint { position: [ccx - 1.0, 0.0, 1.0], intensity: 0.5 }]);
+        let high = cloud_of(vec![LidarPoint { position: [ccx + 1.0, 0.0, 1.0], intensity: 0.5 }]);
+        let img_low = pillarize(&low, &cfg);
+        let img_high = pillarize(&high, &cfg);
+        let v_low = img_low.get(&[0, 5, cx, cy]).unwrap();
+        let v_high = img_high.get(&[0, 5, cx, cy]).unwrap();
+        assert!(v_low < 0.5 && v_high > 0.5, "low {v_low}, high {v_high}");
+    }
+}

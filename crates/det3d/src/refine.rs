@@ -1,0 +1,186 @@
+//! Point-based box refinement — a light second stage.
+//!
+//! The BEV head proposes boxes at cell resolution; this stage snaps each
+//! proposal onto the LiDAR evidence, the way two-stage detectors (and
+//! SECOND-style refinement heads) do: the box centre moves to the centroid
+//! of the in-box points, the vertical position re-seats on the ground, and
+//! the heading aligns with the principal axis of the point spread when
+//! enough points support it.
+//!
+//! Refinement only uses the *input* point cloud — never ground truth — and
+//! degrades gracefully: a proposal too far from any object finds no point
+//! cluster and passes through unchanged, so compression damage to the
+//! proposal network still shows up in the final metrics.
+
+use crate::box3d::Box3d;
+use serde::{Deserialize, Serialize};
+use upaq_kitti::lidar::PointCloud;
+
+/// Refinement parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RefineConfig {
+    /// Extra radius (metres) around the proposal searched for points.
+    pub search_margin: f32,
+    /// Points below this height are treated as ground and ignored.
+    pub ground_z: f32,
+    /// Minimum cluster size to move the centre.
+    pub min_points: usize,
+    /// Minimum cluster size to re-estimate the heading.
+    pub min_points_yaw: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { search_margin: 0.6, ground_z: 0.15, min_points: 5, min_points_yaw: 14 }
+    }
+}
+
+/// Refines one proposal against the cloud. Returns the refined box (the
+/// original when no supporting cluster exists).
+///
+/// Runs two centroid iterations: the first recentres onto the visible part
+/// of the cluster, the second re-collects around the new centre so clusters
+/// clipped by the initial search circle stop biasing the estimate.
+pub fn refine_box(proposal: &Box3d, cloud: &PointCloud, config: &RefineConfig) -> Box3d {
+    let once = refine_box_once(proposal, cloud, config);
+    refine_box_once(&once, cloud, config)
+}
+
+fn refine_box_once(proposal: &Box3d, cloud: &PointCloud, config: &RefineConfig) -> Box3d {
+    let radius = proposal.dims[0].max(proposal.dims[1]) / 2.0 + config.search_margin;
+    let r2 = radius * radius;
+    let mut n = 0usize;
+    let mut sx = 0.0f32;
+    let mut sy = 0.0f32;
+    let mut sxx = 0.0f32;
+    let mut syy = 0.0f32;
+    let mut sxy = 0.0f32;
+    for p in cloud.points() {
+        let [x, y, z] = p.position;
+        if z < config.ground_z || z > proposal.center[2] + proposal.dims[2] {
+            continue;
+        }
+        let dx = x - proposal.center[0];
+        let dy = y - proposal.center[1];
+        if dx * dx + dy * dy > r2 {
+            continue;
+        }
+        n += 1;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        syy += y * y;
+        sxy += x * y;
+    }
+    if n < config.min_points {
+        return proposal.clone();
+    }
+    let nf = n as f32;
+    let cx = sx / nf;
+    let cy = sy / nf;
+    let mut refined = proposal.clone();
+    refined.center[0] = cx;
+    refined.center[1] = cy;
+    // Objects rest on the ground plane in this world.
+    refined.center[2] = refined.dims[2] / 2.0;
+
+    if n >= config.min_points_yaw {
+        // Principal axis of the planar point spread → heading estimate.
+        let vxx = sxx / nf - cx * cx;
+        let vyy = syy / nf - cy * cy;
+        let vxy = sxy / nf - cx * cy;
+        // Eigenvector of the dominant eigenvalue of [[vxx, vxy], [vxy, vyy]].
+        let yaw = 0.5 * (2.0 * vxy).atan2(vxx - vyy);
+        // Only elongated clusters constrain the heading; near-isotropic
+        // spreads (pedestrians) keep the proposal's yaw.
+        let anisotropy = ((vxx - vyy).powi(2) + 4.0 * vxy * vxy).sqrt() / (vxx + vyy).max(1e-6);
+        if anisotropy > 0.3 {
+            refined.yaw = yaw;
+        }
+    }
+    refined
+}
+
+/// Refines every proposal in a detection list.
+pub fn refine_all(proposals: &[Box3d], cloud: &PointCloud, config: &RefineConfig) -> Vec<Box3d> {
+    proposals.iter().map(|b| refine_box(b, cloud, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_kitti::lidar::LidarPoint;
+    use upaq_kitti::ObjectClass;
+
+    /// A synthetic car-like cluster: points along an oriented line segment.
+    fn cluster(cx: f32, cy: f32, yaw: f32, n: usize) -> PointCloud {
+        let (s, c) = yaw.sin_cos();
+        let points = (0..n)
+            .map(|i| {
+                let t = (i as f32 / n as f32 - 0.5) * 3.6; // car length spread
+                let lateral = if i % 2 == 0 { 0.5 } else { -0.5 };
+                LidarPoint {
+                    position: [cx + c * t - s * lateral, cy + s * t + c * lateral, 0.9],
+                    intensity: 0.6,
+                }
+            })
+            .collect();
+        PointCloud::from_points(points)
+    }
+
+    fn proposal(x: f32, y: f32) -> Box3d {
+        Box3d::axis_aligned(ObjectClass::Car, [x, y, 0.8], [4.0, 1.7, 1.6], 0.9)
+    }
+
+    #[test]
+    fn centre_snaps_to_cluster() {
+        let cloud = cluster(20.0, 3.0, 0.0, 40);
+        let refined = refine_box(&proposal(21.5, 2.2), &cloud, &RefineConfig::default());
+        assert!((refined.center[0] - 20.0).abs() < 0.3, "x={}", refined.center[0]);
+        assert!((refined.center[1] - 3.0).abs() < 0.3, "y={}", refined.center[1]);
+    }
+
+    #[test]
+    fn yaw_aligns_with_principal_axis() {
+        for yaw in [0.4f32, 1.2, -0.9] {
+            let cloud = cluster(15.0, 0.0, yaw, 60);
+            let refined = refine_box(&proposal(15.3, 0.3), &cloud, &RefineConfig::default());
+            // Heading is axis-ambiguous (±π); compare modulo π.
+            let diff = (refined.yaw - yaw).sin().abs();
+            assert!(diff < 0.15, "yaw {yaw} refined to {}", refined.yaw);
+        }
+    }
+
+    #[test]
+    fn isolated_proposal_unchanged() {
+        let cloud = cluster(20.0, 0.0, 0.0, 40);
+        let lonely = proposal(50.0, -20.0);
+        let refined = refine_box(&lonely, &cloud, &RefineConfig::default());
+        assert_eq!(refined, lonely);
+    }
+
+    #[test]
+    fn ground_points_ignored() {
+        // A ground-plane carpet must not drag the box.
+        let mut points: Vec<LidarPoint> = (0..200)
+            .map(|i| LidarPoint {
+                position: [10.0 + (i % 20) as f32 * 0.3, -3.0 + (i / 20) as f32 * 0.3, 0.02],
+                intensity: 0.1,
+            })
+            .collect();
+        points.extend(cluster(12.0, 0.0, 0.0, 30).points().iter().copied());
+        let cloud = PointCloud::from_points(points);
+        let refined = refine_box(&proposal(12.4, 0.2), &cloud, &RefineConfig::default());
+        assert!((refined.center[0] - 12.0).abs() < 0.4);
+        assert!((refined.center[1]).abs() < 0.4);
+    }
+
+    #[test]
+    fn refine_all_maps_each_box() {
+        let cloud = cluster(20.0, 0.0, 0.0, 40);
+        let out = refine_all(&[proposal(20.5, 0.0), proposal(60.0, 20.0)], &cloud, &RefineConfig::default());
+        assert_eq!(out.len(), 2);
+        assert!((out[0].center[0] - 20.0).abs() < 0.3);
+        assert_eq!(out[1].center[0], 60.0); // untouched
+    }
+}

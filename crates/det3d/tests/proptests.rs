@@ -1,0 +1,71 @@
+//! Property-based tests for the geometric core: IoU, NMS, encode/decode.
+
+use proptest::prelude::*;
+use upaq_det3d::box3d::Box3d;
+use upaq_det3d::head::{decode, encode_targets, HeadSpec};
+use upaq_det3d::iou::{bev_iou, iou_3d};
+use upaq_det3d::nms::nms;
+use upaq_det3d::pillars::BevGrid;
+use upaq_kitti::ObjectClass;
+
+fn arb_box() -> impl Strategy<Value = Box3d> {
+    (
+        5.0f32..65.0,
+        -35.0f32..35.0,
+        1.5f32..5.0,
+        1.0f32..2.5,
+        -3.0f32..3.0,
+        0.05f32..1.0,
+    )
+        .prop_map(|(x, y, l, w, yaw, score)| Box3d {
+            class: ObjectClass::Car,
+            center: [x, y, 0.8],
+            dims: [l, w, 1.6],
+            yaw,
+            score,
+        })
+}
+
+proptest! {
+    #[test]
+    fn iou_symmetric_and_bounded(a in arb_box(), b in arb_box()) {
+        let ab = bev_iou(&a, &b);
+        let ba = bev_iou(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-4);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        let i3 = iou_3d(&a, &b);
+        prop_assert!(i3 <= ab + 1e-4, "3D IoU cannot exceed BEV IoU here");
+    }
+
+    #[test]
+    fn self_iou_is_one(a in arb_box()) {
+        prop_assert!((bev_iou(&a, &a) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn nms_output_subset_and_sorted(boxes in prop::collection::vec(arb_box(), 0..20)) {
+        let kept = nms(boxes.clone(), 0.3);
+        prop_assert!(kept.len() <= boxes.len());
+        for w in kept.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        // No two same-class survivors overlap past the threshold.
+        for (i, a) in kept.iter().enumerate() {
+            for b in kept.iter().skip(i + 1) {
+                if a.class == b.class {
+                    prop_assert!(bev_iou(a, b) <= 0.3 + 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_recovers_isolated_boxes(x in 10.0f32..60.0, y in -30.0f32..30.0, yaw in -3.0f32..3.0) {
+        let spec = HeadSpec::kitti(BevGrid::kitti(32, 32));
+        let b = Box3d { class: ObjectClass::Car, center: [x, y, 0.8], dims: [4.0, 1.7, 1.5], yaw, score: 1.0 };
+        let decoded = decode(&encode_targets(&[b.clone()], &spec), &spec);
+        prop_assert!(!decoded.is_empty(), "isolated box must decode");
+        let best = decoded.iter().map(|d| bev_iou(d, &b)).fold(0.0f32, f32::max);
+        prop_assert!(best > 0.75, "roundtrip IoU {best}");
+    }
+}

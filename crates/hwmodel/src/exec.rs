@@ -1,0 +1,260 @@
+//! Execution descriptors bridging `upaq-nn` models to the hardware model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use upaq_nn::stats::ModelCosts;
+use upaq_nn::{LayerId, Model};
+
+/// How a layer's weight sparsity is structured — this determines how much of
+/// it the runtime can convert into speed (paper §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum SparsityKind {
+    /// No pruning applied.
+    #[default]
+    Dense,
+    /// Irregular zeros (magnitude pruning): hard to exploit — load imbalance
+    /// and broken coalescing mean only a small fraction converts to speed.
+    Unstructured,
+    /// Pattern-based kernels (UPAQ, R-TOSS): regular enough for specialized
+    /// kernels to skip most pruned work.
+    SemiStructured,
+    /// Whole channels/filters removed: the remaining computation is dense,
+    /// so the speedup is the full pruned fraction.
+    Structured,
+}
+
+impl SparsityKind {
+    /// Fraction of the pruned-away MACs a runtime actually skips, given the
+    /// weight precision.
+    ///
+    /// Structured-sparsity acceleration on embedded NVIDIA parts lives in
+    /// the INT8/FP16 tensor-core paths; fp32 pattern-pruned kernels fall
+    /// back to generic kernels that realize far less of the theoretical
+    /// saving — which is why the paper's R-TOSS (pruning-only, fp32) shows
+    /// almost no latency gain in Table 2 despite 4× compression.
+    pub fn exploitation(self, bits: u8) -> f64 {
+        match self {
+            SparsityKind::Dense => 0.0,
+            SparsityKind::Unstructured => 0.30,
+            SparsityKind::SemiStructured => {
+                if bits >= 32 {
+                    0.35
+                } else {
+                    0.85
+                }
+            }
+            SparsityKind::Structured => 1.0,
+        }
+    }
+}
+
+/// Per-layer bitwidth assignment (`None`/missing entries mean fp32).
+pub type BitAllocation = HashMap<LayerId, u8>;
+
+/// Everything the hardware model needs to know about executing one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerExecution {
+    /// Layer name (diagnostics only).
+    pub name: String,
+    /// MACs of the dense computation.
+    pub dense_macs: u64,
+    /// Total weight parameters.
+    pub weight_count: u64,
+    /// Fraction of weights that are zero, `[0, 1]`.
+    pub weight_sparsity: f64,
+    /// Structure of the sparsity.
+    pub sparsity_kind: SparsityKind,
+    /// Weight storage precision (32 = fp32).
+    pub weight_bits: u8,
+    /// Activation elements moved (read + write).
+    pub activation_elems: u64,
+    /// Activation storage precision (32 = fp32). The UPAQ variants in this
+    /// workspace quantize weights only (as the paper's Algorithm 6 does),
+    /// but the model supports activation quantization so its
+    /// memory-traffic effect can be studied (paper §III-B: "weights (and
+    /// optionally activations)").
+    pub activation_bits: u8,
+}
+
+impl LayerExecution {
+    /// MACs actually executed after exploiting structured sparsity.
+    pub fn executed_macs(&self) -> f64 {
+        let skipped = self.weight_sparsity * self.sparsity_kind.exploitation(self.weight_bits);
+        self.dense_macs as f64 * (1.0 - skipped).max(0.0)
+    }
+
+    /// Weight bytes streamed from memory (only surviving weights are stored
+    /// for pruned formats).
+    pub fn weight_bytes(&self) -> f64 {
+        let stored = match self.sparsity_kind {
+            SparsityKind::Dense => self.weight_count as f64,
+            _ => self.weight_count as f64 * (1.0 - self.weight_sparsity),
+        };
+        stored * f64::from(self.weight_bits) / 8.0
+    }
+
+    /// Activation bytes streamed at the layer's activation precision.
+    pub fn activation_bytes(&self) -> f64 {
+        self.activation_elems as f64 * f64::from(self.activation_bits) / 8.0
+    }
+}
+
+/// Builds the execution descriptors for a model under a bit allocation and a
+/// sparsity-kind assignment.
+///
+/// `costs` must come from [`upaq_nn::stats::model_costs`] on the *same*
+/// model so weight sparsity reflects the compressed tensors.
+pub fn model_executions(
+    model: &Model,
+    costs: &ModelCosts,
+    bits: &BitAllocation,
+    kinds: &HashMap<LayerId, SparsityKind>,
+) -> Vec<LayerExecution> {
+    model_executions_with_activations(model, costs, bits, kinds, 32)
+}
+
+/// Like [`model_executions`] but with quantized activations at
+/// `activation_bits` on every layer — the "optionally activations" half of
+/// quantization (paper §III-B). Halving activation precision halves the
+/// activation memory traffic, which is what moves memory-bound layers.
+pub fn model_executions_with_activations(
+    model: &Model,
+    costs: &ModelCosts,
+    bits: &BitAllocation,
+    kinds: &HashMap<LayerId, SparsityKind>,
+    activation_bits: u8,
+) -> Vec<LayerExecution> {
+    costs
+        .layers
+        .iter()
+        .map(|cost| {
+            let weighted = model
+                .layer(cost.id)
+                .ok()
+                .map(|l| l.kind().is_weighted())
+                .unwrap_or(false);
+            let weight_count = model
+                .layer(cost.id)
+                .ok()
+                .and_then(|l| l.weights().map(upaq_tensor::Tensor::len))
+                .unwrap_or(0) as u64;
+            let weight_nnz = model
+                .layer(cost.id)
+                .ok()
+                .and_then(|l| l.weights().map(upaq_tensor::Tensor::count_nonzero))
+                .unwrap_or(0) as u64;
+            let sparsity = if weight_count == 0 {
+                0.0
+            } else {
+                1.0 - weight_nnz as f64 / weight_count as f64
+            };
+            LayerExecution {
+                name: cost.name.clone(),
+                dense_macs: cost.dense_macs,
+                weight_count,
+                weight_sparsity: sparsity,
+                sparsity_kind: if weighted {
+                    kinds.get(&cost.id).copied().unwrap_or_default()
+                } else {
+                    SparsityKind::Dense
+                },
+                weight_bits: if weighted {
+                    bits.get(&cost.id).copied().unwrap_or(32)
+                } else {
+                    32
+                },
+                activation_elems: cost.activation_elems,
+                activation_bits,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_nn::Layer;
+
+    fn exec(sparsity: f64, kind: SparsityKind, bits: u8) -> LayerExecution {
+        LayerExecution {
+            name: "l".into(),
+            dense_macs: 1_000_000,
+            weight_count: 10_000,
+            weight_sparsity: sparsity,
+            sparsity_kind: kind,
+            weight_bits: bits,
+            activation_elems: 50_000,
+            activation_bits: 32,
+        }
+    }
+
+    #[test]
+    fn exploitation_ordering() {
+        assert!(SparsityKind::Structured.exploitation(8) > SparsityKind::SemiStructured.exploitation(8));
+        assert!(SparsityKind::SemiStructured.exploitation(8) > SparsityKind::Unstructured.exploitation(8));
+        assert_eq!(SparsityKind::Dense.exploitation(8), 0.0);
+        // fp32 pattern kernels miss the tensor-core sparse paths.
+        assert!(
+            SparsityKind::SemiStructured.exploitation(32)
+                < SparsityKind::SemiStructured.exploitation(8)
+        );
+    }
+
+    #[test]
+    fn executed_macs_honour_structure() {
+        let semi = exec(0.6, SparsityKind::SemiStructured, 8);
+        let unstructured = exec(0.6, SparsityKind::Unstructured, 8);
+        assert!(semi.executed_macs() < unstructured.executed_macs());
+        let dense = exec(0.0, SparsityKind::Dense, 32);
+        assert_eq!(dense.executed_macs(), 1_000_000.0);
+    }
+
+    #[test]
+    fn weight_bytes_shrink_with_pruning_and_bits() {
+        let full = exec(0.0, SparsityKind::Dense, 32);
+        assert_eq!(full.weight_bytes(), 40_000.0);
+        let pruned = exec(0.5, SparsityKind::SemiStructured, 8);
+        assert_eq!(pruned.weight_bytes(), 5_000.0);
+    }
+
+    #[test]
+    fn bridge_reads_model_sparsity() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 1);
+        m.add_layer(Layer::conv2d("c", 1, 2, 3, 1, 1, 0), &[input]).unwrap();
+        // Zero half the weights.
+        {
+            let l = m.layer_mut(1).unwrap();
+            let mut w = l.weights().unwrap().clone();
+            let half = w.len() / 2;
+            for v in w.as_mut_slice().iter_mut().take(half) {
+                *v = 0.0;
+            }
+            l.set_weights(w);
+        }
+        let mut shapes = HashMap::new();
+        shapes.insert("in".to_string(), upaq_tensor::Shape::nchw(1, 1, 8, 8));
+        let costs = upaq_nn::stats::model_costs(&m, &shapes).unwrap();
+        let mut bits = BitAllocation::new();
+        bits.insert(1, 8);
+        let mut kinds = HashMap::new();
+        kinds.insert(1usize, SparsityKind::SemiStructured);
+        let execs = model_executions(&m, &costs, &bits, &kinds);
+        let conv = execs.iter().find(|e| e.name == "c").unwrap();
+        assert!((conv.weight_sparsity - 0.5).abs() < 0.01);
+        assert_eq!(conv.weight_bits, 8);
+        assert_eq!(conv.sparsity_kind, SparsityKind::SemiStructured);
+        // Input node stays dense fp32.
+        let inp = execs.iter().find(|e| e.name == "in").unwrap();
+        assert_eq!(inp.weight_bits, 32);
+    }
+
+    #[test]
+    fn activation_quantization_halves_traffic() {
+        let mut fp32 = exec(0.0, SparsityKind::Dense, 32);
+        fp32.activation_elems = 1_000_000;
+        let mut int16 = fp32.clone();
+        int16.activation_bits = 16;
+        assert_eq!(int16.activation_bytes() * 2.0, fp32.activation_bytes());
+    }
+}

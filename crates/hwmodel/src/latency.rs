@@ -1,0 +1,146 @@
+//! Roofline latency model.
+
+use crate::device::DeviceProfile;
+use crate::exec::LayerExecution;
+use serde::{Deserialize, Serialize};
+
+/// Latency/energy estimate for one inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// End-to-end energy, joules.
+    pub energy_j: f64,
+    /// Per-layer latency, seconds, in the input order.
+    pub per_layer_s: Vec<f64>,
+}
+
+impl Estimate {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_s * 1e3
+    }
+
+    /// Average power draw over the inference, watts.
+    pub fn average_power_w(&self) -> f64 {
+        if self.latency_s <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.latency_s
+        }
+    }
+}
+
+/// Estimates one inference of `layers` on `device`.
+///
+/// Per layer the model takes the roofline maximum of
+///
+/// * compute time: `executed_macs / (peak × throughput_multiplier(bits))`,
+/// * memory time: `(weight_bytes + activation_bytes) / bandwidth`,
+///
+/// then adds the device's fixed per-inference overhead. Energy combines the
+/// idle draw over the whole latency with per-MAC dynamic energy (bitwidth
+/// dependent) and per-byte traffic energy — see
+/// [`crate::energy::layer_energy`].
+pub fn estimate(device: &DeviceProfile, layers: &[LayerExecution]) -> Estimate {
+    let mut per_layer_s = Vec::with_capacity(layers.len());
+    let mut total = device.overhead_s;
+    for layer in layers {
+        let t = layer_latency(device, layer);
+        per_layer_s.push(t);
+        total += t;
+    }
+    let dynamic: f64 = layers
+        .iter()
+        .map(|l| crate::energy::layer_energy(device, l))
+        .sum();
+    let energy = device.idle_power_w * total + dynamic;
+    Estimate { latency_s: total, energy_j: energy, per_layer_s }
+}
+
+/// Roofline latency of a single layer.
+pub fn layer_latency(device: &DeviceProfile, layer: &LayerExecution) -> f64 {
+    let throughput = device.peak_macs_f32 * device.throughput_multiplier(layer.weight_bits);
+    let compute = layer.executed_macs() / throughput;
+    let memory = (layer.weight_bytes() + layer.activation_bytes()) / device.mem_bandwidth;
+    compute.max(memory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SparsityKind;
+
+    fn big_layer(bits: u8, sparsity: f64, kind: SparsityKind) -> LayerExecution {
+        LayerExecution {
+            name: "conv".into(),
+            dense_macs: 2_000_000_000,
+            weight_count: 4_000_000,
+            weight_sparsity: sparsity,
+            sparsity_kind: kind,
+            weight_bits: bits,
+            activation_elems: 2_000_000,
+            activation_bits: 32,
+        }
+    }
+
+    #[test]
+    fn quantization_speeds_up_compute_bound_layers() {
+        let d = DeviceProfile::jetson_orin_nano();
+        let fp32 = estimate(&d, &[big_layer(32, 0.0, SparsityKind::Dense)]);
+        let int8 = estimate(&d, &[big_layer(8, 0.0, SparsityKind::Dense)]);
+        assert!(int8.latency_s < fp32.latency_s);
+        let speedup = fp32.latency_s / int8.latency_s;
+        assert!(speedup > 1.5 && speedup < 3.5, "speedup {speedup}");
+    }
+
+    #[test]
+    fn semi_structured_beats_unstructured() {
+        let d = DeviceProfile::jetson_orin_nano();
+        let semi = estimate(&d, &[big_layer(32, 0.7, SparsityKind::SemiStructured)]);
+        let unstructured = estimate(&d, &[big_layer(32, 0.7, SparsityKind::Unstructured)]);
+        assert!(semi.latency_s < unstructured.latency_s);
+    }
+
+    #[test]
+    fn memory_bound_layer_ignores_compute_gains() {
+        let d = DeviceProfile::rtx_4080();
+        // Tiny compute, huge activations → memory bound.
+        let mut layer = big_layer(32, 0.0, SparsityKind::Dense);
+        layer.dense_macs = 1_000;
+        layer.activation_elems = 500_000_000;
+        let fp32 = layer_latency(&d, &layer);
+        layer.weight_bits = 8;
+        let int8 = layer_latency(&d, &layer);
+        // Activation traffic dominates; quantizing weights barely moves it.
+        assert!((fp32 - int8) / fp32 < 0.01);
+    }
+
+    #[test]
+    fn energy_tracks_latency_and_bits() {
+        let d = DeviceProfile::jetson_orin_nano();
+        let fp32 = estimate(&d, &[big_layer(32, 0.0, SparsityKind::Dense)]);
+        let int8 = estimate(&d, &[big_layer(8, 0.6, SparsityKind::SemiStructured)]);
+        assert!(int8.energy_j < fp32.energy_j);
+        assert!(int8.average_power_w() > 0.0);
+    }
+
+    #[test]
+    fn overhead_floors_latency() {
+        let d = DeviceProfile::jetson_orin_nano();
+        let est = estimate(&d, &[]);
+        assert!((est.latency_s - d.overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_layer_sums_to_total_minus_overhead() {
+        let d = DeviceProfile::rtx_4080();
+        let layers = vec![
+            big_layer(32, 0.0, SparsityKind::Dense),
+            big_layer(8, 0.5, SparsityKind::SemiStructured),
+        ];
+        let est = estimate(&d, &layers);
+        let sum: f64 = est.per_layer_s.iter().sum();
+        assert!((est.latency_s - sum - d.overhead_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,60 @@
+//! Analytic embedded-platform performance model.
+//!
+//! The paper measures latency and energy on a Jetson Orin Nano and an RTX
+//! 4080, and UPAQ's efficiency score (Eq. 2) *requires* on-device latency
+//! and energy for every candidate compressed kernel. Neither device exists
+//! here, so this crate provides the documented substitution: a
+//! roofline-style analytic model.
+//!
+//! * [`device`] — [`device::DeviceProfile`]s for the two platforms with
+//!   published peak-throughput / bandwidth / power figures as starting
+//!   points;
+//! * [`exec`] — [`exec::LayerExecution`] descriptors (MACs, sparsity kind,
+//!   bitwidth, traffic) bridged from `upaq-nn` cost reports;
+//! * [`latency`] — per-layer roofline latency: compute-bound term scaled by
+//!   bitwidth throughput and *exploitable* sparsity, memory-bound term from
+//!   weight+activation traffic;
+//! * [`energy`] — energy = idle power × latency + per-MAC dynamic energy
+//!   (bitwidth-dependent) + per-byte traffic energy;
+//! * [`size`] — compressed model size accounting (per-format index
+//!   overheads), the source of the paper's compression ratios;
+//! * [`power`] — an `NVPower`-style power-trace sampler;
+//! * [`calibrate`] — one-point calibration so the uncompressed base model
+//!   matches the paper's measured latency/energy, after which every
+//!   compressed variant is *predicted*, not fitted.
+//!
+//! # Example
+//!
+//! ```
+//! use upaq_hwmodel::device::DeviceProfile;
+//! use upaq_hwmodel::exec::{LayerExecution, SparsityKind};
+//! use upaq_hwmodel::latency::estimate;
+//!
+//! let device = DeviceProfile::jetson_orin_nano();
+//! let layer = LayerExecution {
+//!     name: "conv".into(),
+//!     dense_macs: 1_000_000,
+//!     weight_count: 16_384,
+//!     weight_sparsity: 0.0,
+//!     sparsity_kind: SparsityKind::Dense,
+//!     weight_bits: 32,
+//!     activation_elems: 65_536,
+//!     activation_bits: 32,
+//! };
+//! let est = estimate(&device, &[layer]);
+//! assert!(est.latency_s > 0.0);
+//! ```
+
+pub mod calibrate;
+pub mod device;
+pub mod energy;
+pub mod exec;
+pub mod latency;
+pub mod power;
+pub mod size;
+
+pub use calibrate::calibrate_to;
+pub use device::DeviceProfile;
+pub use exec::{model_executions, BitAllocation, LayerExecution, SparsityKind};
+pub use latency::{estimate, Estimate};
+pub use size::{compressed_size_bits, compression_ratio};

@@ -1,0 +1,147 @@
+//! `NVPower`-style power-trace sampling.
+//!
+//! The paper measures energy with the NVPower tool, which samples board
+//! power at a fixed rate while the model runs. [`NvPowerSampler`] reproduces
+//! that workflow over the analytic model: it emits a deterministic power
+//! time-series (idle → inference plateau → idle) whose integral matches the
+//! model's energy estimate, so downstream tooling can exercise the same
+//! "integrate a power trace" code path the authors used.
+
+use crate::latency::Estimate;
+use serde::{Deserialize, Serialize};
+
+/// One power sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// Time since trace start, seconds.
+    pub t_s: f64,
+    /// Instantaneous board power, watts.
+    pub power_w: f64,
+}
+
+/// A sampled power trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    samples: Vec<PowerSample>,
+    dt_s: f64,
+}
+
+impl PowerTrace {
+    /// The samples, oldest first.
+    pub fn samples(&self) -> &[PowerSample] {
+        &self.samples
+    }
+
+    /// Sampling interval, seconds.
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Trapezoidal integral of the trace — joules.
+    pub fn integrate_energy(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        self.samples
+            .windows(2)
+            .map(|w| (w[0].power_w + w[1].power_w) / 2.0 * (w[1].t_s - w[0].t_s))
+            .sum()
+    }
+}
+
+/// Deterministic power-trace generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvPowerSampler {
+    /// Sampling interval, seconds (NVPower default is ~100 Hz).
+    pub dt_s: f64,
+    /// Idle margin recorded before and after the inference, seconds.
+    pub idle_margin_s: f64,
+    /// Board idle power, watts.
+    pub idle_power_w: f64,
+}
+
+impl NvPowerSampler {
+    /// A 100 Hz sampler with 50 ms idle margins.
+    pub fn new(idle_power_w: f64) -> Self {
+        NvPowerSampler { dt_s: 0.01, idle_margin_s: 0.05, idle_power_w }
+    }
+
+    /// Samples the power trace of one inference described by `estimate`.
+    ///
+    /// During the inference window the plateau power is
+    /// `energy / latency` with a deterministic ±3 % ripple, so
+    /// [`PowerTrace::integrate_energy`] recovers the estimate's energy minus
+    /// the idle floor contribution outside the window.
+    pub fn sample(&self, estimate: &Estimate) -> PowerTrace {
+        let total = estimate.latency_s + 2.0 * self.idle_margin_s;
+        let n = (total / self.dt_s).ceil() as usize + 1;
+        let plateau = if estimate.latency_s > 0.0 {
+            estimate.energy_j / estimate.latency_s
+        } else {
+            self.idle_power_w
+        };
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 * self.dt_s;
+            let in_window =
+                t >= self.idle_margin_s && t <= self.idle_margin_s + estimate.latency_s;
+            let ripple = 1.0 + 0.03 * ((i as f64) * 2.399).sin();
+            let p = if in_window { plateau * ripple } else { self.idle_power_w };
+            samples.push(PowerSample { t_s: t, power_w: p });
+        }
+        PowerTrace { samples, dt_s: self.dt_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(latency_s: f64, energy_j: f64) -> Estimate {
+        Estimate { latency_s, energy_j, per_layer_s: vec![] }
+    }
+
+    #[test]
+    fn trace_covers_margins() {
+        let sampler = NvPowerSampler::new(5.0);
+        let trace = sampler.sample(&estimate(0.1, 1.5));
+        let last = trace.samples().last().unwrap().t_s;
+        assert!(last >= 0.1 + 2.0 * sampler.idle_margin_s - sampler.dt_s);
+        assert_eq!(trace.dt_s(), 0.01);
+    }
+
+    #[test]
+    fn integral_close_to_energy_plus_idle() {
+        let sampler = NvPowerSampler::new(5.0);
+        let est = estimate(0.2, 3.0);
+        let trace = sampler.sample(&est);
+        let idle_energy = 2.0 * sampler.idle_margin_s * sampler.idle_power_w;
+        let measured = trace.integrate_energy();
+        let expected = est.energy_j + idle_energy;
+        assert!(
+            (measured - expected).abs() / expected < 0.1,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn idle_samples_at_idle_power() {
+        let sampler = NvPowerSampler::new(7.0);
+        let trace = sampler.sample(&estimate(0.1, 2.0));
+        assert_eq!(trace.samples()[0].power_w, 7.0);
+        assert_eq!(trace.samples().last().unwrap().power_w, 7.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let sampler = NvPowerSampler::new(5.0);
+        let est = estimate(0.05, 1.0);
+        assert_eq!(sampler.sample(&est), sampler.sample(&est));
+    }
+
+    #[test]
+    fn degenerate_trace_integrates_to_zero() {
+        let trace = PowerTrace { samples: vec![], dt_s: 0.01 };
+        assert_eq!(trace.integrate_energy(), 0.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared model-construction helpers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use upaq_nn::init::seed_for;
+use upaq_nn::{Layer, LayerId, Model, Result};
+use upaq_tensor::{Shape, Tensor};
+
+/// Builds signal-preserving convolution weights: the centre tap routes input
+/// channel `o % in_c` to output channel `o` at unit gain (scaled so repeated
+/// application neither explodes nor dies), with small uniform noise on every
+/// other tap.
+///
+/// Random-feature detectors need depth without signal destruction: pure He
+/// init loses the occupancy signal after a few ReLUs, while partial-identity
+/// init carries it through arbitrarily deep stacks — the backbone still
+/// mixes features (noise taps), so the closed-form head has something to
+/// regress on.
+pub fn identity_conv_weights(
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    noise: f32,
+    seed: u64,
+) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Tensor::zeros(Shape::nchw(out_c, in_c, k, k));
+    let centre = k / 2;
+    // Fan-in aware noise bound keeps post-ReLU magnitudes stable.
+    let bound = noise / ((in_c * k * k) as f32).sqrt();
+    w.map_inplace(|_| 0.0);
+    {
+        let data = w.as_mut_slice();
+        for v in data.iter_mut() {
+            *v = rng.gen_range(-bound..bound);
+        }
+    }
+    for o in 0..out_c {
+        let i = o % in_c;
+        let idx = [o, i, centre, centre];
+        // Identity gain shared across the duplicated channels.
+        let gain = 1.0 / (out_c as f32 / in_c as f32).max(1.0).sqrt();
+        w.set(&idx, gain).expect("index in range");
+    }
+    w
+}
+
+/// Appends a conv → batch-norm → ReLU block and returns the id of the ReLU.
+///
+/// Convolution weights use [`identity_conv_weights`]; the `name` prefixes
+/// the three layer names (`{name}.conv`, `{name}.bn`, `{name}.relu`).
+///
+/// # Errors
+///
+/// Propagates model-wiring errors.
+#[allow(clippy::too_many_arguments)]
+pub fn conv_bn_relu(
+    model: &mut Model,
+    name: &str,
+    input: LayerId,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    noise: f32,
+    model_seed: u64,
+) -> Result<LayerId> {
+    let weights = identity_conv_weights(in_c, out_c, k, noise, seed_for(model_seed, name));
+    let bias = Tensor::zeros(Shape::vector(out_c));
+    let conv = model.add_layer(
+        Layer::conv2d_with_weights(format!("{name}.conv"), stride, padding, weights, bias),
+        &[input],
+    )?;
+    let bn = model.add_layer(Layer::batch_norm(format!("{name}.bn"), out_c), &[conv])?;
+    model.add_layer(Layer::relu(format!("{name}.relu")), &[bn])
+}
+
+/// Appends a plain conv (no norm/activation) with identity-preserving init.
+///
+/// # Errors
+///
+/// Propagates model-wiring errors.
+#[allow(clippy::too_many_arguments)]
+pub fn conv(
+    model: &mut Model,
+    name: &str,
+    input: LayerId,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    noise: f32,
+    model_seed: u64,
+) -> Result<LayerId> {
+    let weights = identity_conv_weights(in_c, out_c, k, noise, seed_for(model_seed, name));
+    let bias = Tensor::zeros(Shape::vector(out_c));
+    model.add_layer(
+        Layer::conv2d_with_weights(name, stride, padding, weights, bias),
+        &[input],
+    )
+}
+
+/// Appends a residual block (two 3×3 conv-bn-relu with a skip connection);
+/// returns the id of the joining `Add`'s trailing ReLU.
+///
+/// # Errors
+///
+/// Propagates model-wiring errors.
+pub fn residual_block(
+    model: &mut Model,
+    name: &str,
+    input: LayerId,
+    channels: usize,
+    noise: f32,
+    model_seed: u64,
+) -> Result<LayerId> {
+    let c1 = conv_bn_relu(model, &format!("{name}.0"), input, channels, channels, 3, 1, 1, noise, model_seed)?;
+    let weights = identity_conv_weights(channels, channels, 3, noise, seed_for(model_seed, &format!("{name}.1")));
+    let bias = Tensor::zeros(Shape::vector(channels));
+    let c2 = model.add_layer(
+        Layer::conv2d_with_weights(format!("{name}.1.conv"), 1, 1, weights, bias),
+        &[c1],
+    )?;
+    let bn = model.add_layer(Layer::batch_norm(format!("{name}.1.bn"), channels), &[c2])?;
+    let add = model.add_layer(Layer::add(format!("{name}.add")), &[input, bn])?;
+    model.add_layer(Layer::relu(format!("{name}.relu")), &[add])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use upaq_nn::exec::forward;
+
+    #[test]
+    fn identity_weights_have_strong_centre_taps() {
+        let w = identity_conv_weights(4, 8, 3, 0.3, 7);
+        for o in 0..8 {
+            let centre = w.get(&[o, o % 4, 1, 1]).unwrap();
+            assert!(centre.abs() > 0.4, "centre tap {centre} too weak");
+        }
+        // Noise taps are small.
+        let off = w.get(&[0, 1, 0, 0]).unwrap();
+        assert!(off.abs() < 0.2);
+    }
+
+    #[test]
+    fn identity_init_preserves_signal_through_depth() {
+        // 6 stacked conv-bn-relu blocks must keep a positive input alive.
+        let mut m = Model::new("deep");
+        let mut prev = m.add_input("in", 4);
+        for i in 0..6 {
+            prev = conv_bn_relu(&mut m, &format!("b{i}"), prev, 4, 4, 3, 1, 1, 0.35, 3).unwrap();
+        }
+        let x = Tensor::full(Shape::nchw(1, 4, 8, 8), 1.0);
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), x);
+        let acts = forward(&m, &inputs).unwrap();
+        let out = &acts[&(m.len() - 1)];
+        let mean = out.mean();
+        assert!(mean > 0.05 && mean < 20.0, "signal mean {mean} degenerated");
+    }
+
+    #[test]
+    fn residual_block_compiles_and_runs() {
+        let mut m = Model::new("res");
+        let input = m.add_input("in", 4);
+        let out = residual_block(&mut m, "r0", input, 4, 0.35, 1).unwrap();
+        let x = Tensor::full(Shape::nchw(1, 4, 6, 6), 0.5);
+        let mut inputs = HashMap::new();
+        inputs.insert("in".to_string(), x);
+        let acts = forward(&m, &inputs).unwrap();
+        assert_eq!(acts[&out].shape().dims(), &[1, 4, 6, 6]);
+        // Residual path keeps the signal at least as strong as the input.
+        assert!(acts[&out].mean() > 0.2);
+    }
+
+    #[test]
+    fn builders_name_layers_consistently() {
+        let mut m = Model::new("named");
+        let input = m.add_input("in", 2);
+        conv_bn_relu(&mut m, "stem", input, 2, 4, 3, 1, 1, 0.35, 0).unwrap();
+        assert!(m.layer_by_name("stem.conv").is_some());
+        assert!(m.layer_by_name("stem.bn").is_some());
+        assert!(m.layer_by_name("stem.relu").is_some());
+    }
+}

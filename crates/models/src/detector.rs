@@ -1,0 +1,190 @@
+//! End-to-end detector wrappers: sensor data in, 3D boxes out.
+
+use std::collections::HashMap;
+use upaq_det3d::camera_head::{decode_camera, CameraHeadSpec};
+use upaq_det3d::head::{decode, HeadSpec};
+use upaq_det3d::nms::nms;
+use upaq_det3d::pillars::{pillarize, PillarConfig};
+use upaq_det3d::refine::{refine_all, RefineConfig};
+use upaq_det3d::Box3d;
+use upaq_kitti::camera::CameraImage;
+use upaq_kitti::lidar::PointCloud;
+use upaq_nn::exec::forward;
+use upaq_nn::{LayerId, Model, NnError, Result};
+use upaq_tensor::{Shape, Tensor};
+
+/// A LiDAR (PointPillars-style) detector: pillar encoder + BEV network +
+/// BEV head decoder.
+#[derive(Debug, Clone)]
+pub struct LidarDetector {
+    /// The network. Public so compression frameworks can replace it.
+    pub model: Model,
+    /// Pillar-encoder configuration (fixes the input geometry).
+    pub pillar_config: PillarConfig,
+    /// Head decoding parameters.
+    pub head_spec: HeadSpec,
+    /// Second-stage point-based refinement (`None` disables it).
+    pub refine: Option<RefineConfig>,
+    /// Name of the model's input node.
+    pub input_name: String,
+}
+
+impl LidarDetector {
+    /// Full pipeline: point cloud → pillars → network → decoded proposals →
+    /// point-based refinement → final NMS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn detect(&self, cloud: &PointCloud) -> Result<Vec<Box3d>> {
+        let output = self.head_output(cloud)?;
+        let proposals = decode(&output, &self.head_spec);
+        Ok(match &self.refine {
+            Some(cfg) => {
+                // Refinement can converge near-duplicates onto the same
+                // cluster; a second NMS dedupes them.
+                let refined = refine_all(&proposals, cloud, cfg);
+                nms(refined, self.head_spec.nms_iou)
+            }
+            None => proposals,
+        })
+    }
+
+    /// The raw head-output tensor for a cloud.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn head_output(&self, cloud: &PointCloud) -> Result<Tensor> {
+        let pillars = pillarize(cloud, &self.pillar_config);
+        let acts = self.forward_all(&pillars)?;
+        Ok(acts[&self.head_layer()?].clone())
+    }
+
+    /// The activation feeding the head layer — the feature map the
+    /// closed-form head fit regresses on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn head_features(&self, cloud: &PointCloud) -> Result<Tensor> {
+        let pillars = pillarize(cloud, &self.pillar_config);
+        let acts = self.forward_all(&pillars)?;
+        let head = self.head_layer()?;
+        let graph = self.model.compute_graph();
+        let feed = graph.inputs_of(head);
+        if feed.len() != 1 {
+            return Err(NnError::BadWiring("head must have exactly one input".into()));
+        }
+        Ok(acts[&feed[0]].clone())
+    }
+
+    /// Id of the head layer (the unique sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWiring`] when the model has more than one sink.
+    pub fn head_layer(&self) -> Result<LayerId> {
+        let sinks = self.model.compute_graph().sinks();
+        if sinks.len() != 1 {
+            return Err(NnError::BadWiring(format!("expected 1 sink, got {}", sinks.len())));
+        }
+        Ok(sinks[0])
+    }
+
+    /// Named input shapes for cost/latency modelling.
+    pub fn input_shapes(&self) -> HashMap<String, Shape> {
+        let grid = &self.pillar_config.grid;
+        let mut shapes = HashMap::new();
+        shapes.insert(
+            self.input_name.clone(),
+            Shape::nchw(1, upaq_det3d::pillars::PILLAR_CHANNELS, grid.cells_x, grid.cells_y),
+        );
+        shapes
+    }
+
+    fn forward_all(&self, input: &Tensor) -> Result<HashMap<LayerId, Tensor>> {
+        let mut inputs = HashMap::new();
+        inputs.insert(self.input_name.clone(), input.clone());
+        forward(&self.model, &inputs)
+    }
+}
+
+/// A camera (SMOKE-style) detector: rendered image in, lifted 3D boxes out.
+#[derive(Debug, Clone)]
+pub struct CameraDetector {
+    /// The network. Public so compression frameworks can replace it.
+    pub model: Model,
+    /// Camera-head decoding parameters (owns the calibration).
+    pub head_spec: CameraHeadSpec,
+    /// Name of the model's input node.
+    pub input_name: String,
+}
+
+impl CameraDetector {
+    /// Full pipeline: image → network → camera head → lifted 3D boxes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn detect(&self, image: &CameraImage) -> Result<Vec<Box3d>> {
+        let output = self.head_output(image)?;
+        Ok(decode_camera(&output, &self.head_spec))
+    }
+
+    /// The raw head-output tensor for an image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn head_output(&self, image: &CameraImage) -> Result<Tensor> {
+        let acts = self.forward_all(image.tensor())?;
+        Ok(acts[&self.head_layer()?].clone())
+    }
+
+    /// The activation feeding the head layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    pub fn head_features(&self, image: &CameraImage) -> Result<Tensor> {
+        let acts = self.forward_all(image.tensor())?;
+        let head = self.head_layer()?;
+        let graph = self.model.compute_graph();
+        let feed = graph.inputs_of(head);
+        if feed.len() != 1 {
+            return Err(NnError::BadWiring("head must have exactly one input".into()));
+        }
+        Ok(acts[&feed[0]].clone())
+    }
+
+    /// Id of the head layer (the unique sink).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWiring`] when the model has more than one sink.
+    pub fn head_layer(&self) -> Result<LayerId> {
+        let sinks = self.model.compute_graph().sinks();
+        if sinks.len() != 1 {
+            return Err(NnError::BadWiring(format!("expected 1 sink, got {}", sinks.len())));
+        }
+        Ok(sinks[0])
+    }
+
+    /// Named input shapes for cost/latency modelling.
+    pub fn input_shapes(&self) -> HashMap<String, Shape> {
+        let calib = &self.head_spec.calib;
+        let mut shapes = HashMap::new();
+        shapes.insert(
+            self.input_name.clone(),
+            Shape::nchw(1, upaq_kitti::camera::CAMERA_CHANNELS, calib.height, calib.width),
+        );
+        shapes
+    }
+
+    fn forward_all(&self, input: &Tensor) -> Result<HashMap<LayerId, Tensor>> {
+        let mut inputs = HashMap::new();
+        inputs.insert(self.input_name.clone(), input.clone());
+        forward(&self.model, &inputs)
+    }
+}

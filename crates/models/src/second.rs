@@ -1,0 +1,63 @@
+//! SECOND (Sparsely Embedded Convolutional Detection) — Table 1 comparison
+//! model.
+//!
+//! The paper's Table 1 contrasts model sizes and execution times; SECOND
+//! sits at 5.3 M parameters. We realize it as a pillar-style BEV network
+//! (SECOND's sparse voxel middle encoder collapses to a denser BEV stack at
+//! our grid scale) with one extra stage-3 convolution over the PointPillars
+//! layout, matching the published parameter count within 1 %.
+
+use crate::detector::LidarDetector;
+use crate::pointpillars::{build_pillar_detector, PointPillarsConfig};
+use upaq_nn::Result;
+
+/// Marker type: namespace for the SECOND builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Second;
+
+impl Second {
+    /// Paper-scale configuration (≈5.3 M parameters).
+    pub fn paper_config() -> PointPillarsConfig {
+        PointPillarsConfig {
+            // SECOND voxelizes at finer resolution than PointPillars'
+            // pillars; the denser grid is what its extra latency in Table 1
+            // comes from.
+            grid_cells: 36,
+            pfn_channels: [64, 64],
+            block_channels: [64, 128, 256],
+            block_depths: [4, 6, 7],
+            neck_channels: 128,
+            seed: 0x005E_C0ED,
+        }
+    }
+
+    /// Builds the paper-scale SECOND model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-wiring errors.
+    pub fn build() -> Result<LidarDetector> {
+        build_pillar_detector("second", &Second::paper_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_table1() {
+        let det = Second::build().unwrap();
+        let params = det.model.param_count() as f64;
+        let err = (params - 5.3e6).abs() / 5.3e6;
+        assert!(err < 0.02, "params {params} off by {:.2}%", err * 100.0);
+    }
+
+    #[test]
+    fn distinct_from_pointpillars() {
+        let second = Second::build().unwrap();
+        let pp = crate::pointpillars::PointPillars::build(&PointPillarsConfig::paper()).unwrap();
+        assert!(second.model.param_count() > pp.model.param_count());
+        assert_eq!(second.model.name(), "second");
+    }
+}

@@ -1,0 +1,165 @@
+//! One-call access to every model in the paper.
+
+use crate::focals_conv::FocalsConv;
+use crate::pointpillars::{PointPillars, PointPillarsConfig};
+use crate::second::Second;
+use crate::smoke::{Smoke, SmokeConfig};
+use crate::vsc::Vsc;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use upaq_nn::{Model, Result};
+use upaq_tensor::Shape;
+
+/// Every detector the paper references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// PointPillars (LiDAR, 4.8 M params) — compression target 1.
+    PointPillars,
+    /// SMOKE (camera, 19.51 M params, 173 layers) — compression target 2.
+    Smoke,
+    /// SECOND (5.3 M params) — Table 1 row.
+    Second,
+    /// Focals Conv (13.7 M params) — Table 1 row.
+    FocalsConv,
+    /// VSC (24.5 M params) — Table 1 row.
+    Vsc,
+}
+
+impl ModelKind {
+    /// All models, in Table 1 order.
+    pub const ALL: [ModelKind; 5] = [
+        ModelKind::PointPillars,
+        ModelKind::Smoke,
+        ModelKind::Second,
+        ModelKind::FocalsConv,
+        ModelKind::Vsc,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ModelKind::PointPillars => "PointPillar",
+            ModelKind::Smoke => "SMOKE",
+            ModelKind::Second => "SECOND",
+            ModelKind::FocalsConv => "Focals Conv",
+            ModelKind::Vsc => "VSC",
+        }
+    }
+
+    /// Parameter count (millions) published in Table 1.
+    pub fn table1_params_m(self) -> f64 {
+        match self {
+            ModelKind::PointPillars => 4.8,
+            ModelKind::Smoke => 19.51,
+            ModelKind::Second => 5.3,
+            ModelKind::FocalsConv => 13.7,
+            ModelKind::Vsc => 24.5,
+        }
+    }
+
+    /// Execution time (ms) published in Table 1.
+    pub fn table1_exec_ms(self) -> f64 {
+        match self {
+            ModelKind::PointPillars => 6.85,
+            ModelKind::Smoke => 30.65,
+            ModelKind::Second => 9.83,
+            ModelKind::FocalsConv => 26.5,
+            ModelKind::Vsc => 40.56,
+        }
+    }
+}
+
+/// Size/structure summary of one built model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummary {
+    /// Which detector this summarizes.
+    pub kind: ModelKind,
+    /// Built parameter count.
+    pub params: usize,
+    /// Layer count (including input/activation/join nodes).
+    pub layers: usize,
+    /// Dense MACs of one inference at the standard evaluation geometry.
+    pub dense_macs: u64,
+}
+
+/// Builds the bare (untrained-head) paper-scale model plus its standard
+/// input shapes — everything the cost/latency analyses need.
+///
+/// # Errors
+///
+/// Propagates model-wiring errors.
+pub fn build_paper_model(kind: ModelKind) -> Result<(Model, HashMap<String, Shape>)> {
+    match kind {
+        ModelKind::PointPillars => {
+            let det = PointPillars::build(&PointPillarsConfig::paper())?;
+            let shapes = det.input_shapes();
+            Ok((det.model, shapes))
+        }
+        ModelKind::Smoke => {
+            let det = Smoke::build(&SmokeConfig::paper())?;
+            let shapes = det.input_shapes();
+            Ok((det.model, shapes))
+        }
+        ModelKind::Second => {
+            let det = Second::build()?;
+            let shapes = det.input_shapes();
+            Ok((det.model, shapes))
+        }
+        ModelKind::FocalsConv => {
+            let det = FocalsConv::build()?;
+            let shapes = det.input_shapes();
+            Ok((det.model, shapes))
+        }
+        ModelKind::Vsc => {
+            let det = Vsc::build()?;
+            let shapes = det.input_shapes();
+            Ok((det.model, shapes))
+        }
+    }
+}
+
+/// Builds and summarizes one paper-scale model.
+///
+/// # Errors
+///
+/// Propagates model-wiring and shape-inference errors.
+pub fn summarize(kind: ModelKind) -> Result<ModelSummary> {
+    let (model, shapes) = build_paper_model(kind)?;
+    let costs = upaq_nn::stats::model_costs(&model, &shapes)?;
+    Ok(ModelSummary {
+        kind,
+        params: model.param_count(),
+        layers: model.len(),
+        dense_macs: costs.total_dense_macs(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_models_build_and_match_table1_sizes() {
+        for kind in ModelKind::ALL {
+            let summary = summarize(kind).unwrap();
+            let target = kind.table1_params_m() * 1e6;
+            let err = (summary.params as f64 - target).abs() / target;
+            assert!(err < 0.05, "{}: {} params, {:.1}% off Table 1", kind.display_name(), summary.params, err * 100.0);
+            assert!(summary.dense_macs > 0);
+        }
+    }
+
+    #[test]
+    fn bigger_models_cost_more_macs() {
+        let pp = summarize(ModelKind::PointPillars).unwrap();
+        let vsc = summarize(ModelKind::Vsc).unwrap();
+        assert!(vsc.dense_macs > pp.dense_macs);
+    }
+
+    #[test]
+    fn table1_reference_values_present() {
+        assert_eq!(ModelKind::PointPillars.table1_exec_ms(), 6.85);
+        assert_eq!(ModelKind::Vsc.table1_params_m(), 24.5);
+        assert_eq!(ModelKind::Smoke.display_name(), "SMOKE");
+    }
+}

@@ -1,0 +1,62 @@
+use std::fmt;
+use upaq_tensor::TensorError;
+
+/// Errors from model construction, graph analysis and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A referenced layer id does not exist in the model.
+    UnknownLayer(usize),
+    /// A layer name was reused within one model.
+    DuplicateName(String),
+    /// The wiring of a layer is inconsistent (wrong number of inputs,
+    /// channel mismatch, …). The message names the layer and the problem.
+    BadWiring(String),
+    /// The model's graph contains a cycle and cannot be topologically sorted.
+    CyclicGraph,
+    /// Execution failed inside a tensor kernel.
+    Tensor(TensorError),
+    /// Shape inference failed for a layer (message explains which).
+    ShapeInference(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownLayer(id) => write!(f, "unknown layer id {id}"),
+            NnError::DuplicateName(name) => write!(f, "duplicate layer name `{name}`"),
+            NnError::BadWiring(msg) => write!(f, "bad wiring: {msg}"),
+            NnError::CyclicGraph => write!(f, "model graph contains a cycle"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::ShapeInference(msg) => write!(f, "shape inference failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let err = NnError::Tensor(TensorError::UnsupportedBitwidth(1));
+        assert!(err.to_string().contains("tensor error"));
+        assert!(err.source().is_some());
+        assert!(NnError::CyclicGraph.source().is_none());
+    }
+}

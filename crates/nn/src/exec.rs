@@ -1,0 +1,262 @@
+//! Forward execution of a [`Model`] over its computation graph.
+
+use crate::{LayerId, LayerKind, Model, NnError, Result};
+use std::collections::HashMap;
+use upaq_tensor::ops::{batch_norm, conv2d, linear, max_pool2d, relu, Conv2dParams};
+use upaq_tensor::{Shape, Tensor};
+
+/// Runs the model forward from named inputs and returns every layer's
+/// activation.
+///
+/// `inputs` maps input-layer *names* to NCHW activation tensors (batch 1).
+/// The returned map contains the activation of every executed layer keyed by
+/// layer id; model sinks are the detection-head outputs downstream crates
+/// decode.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWiring`] when a named input is missing or an
+/// activation shape does not suit a layer, and propagates tensor-kernel
+/// errors.
+pub fn forward(model: &Model, inputs: &HashMap<String, Tensor>) -> Result<HashMap<LayerId, Tensor>> {
+    let graph = model.compute_graph();
+    let order = graph.topo_order()?;
+    let mut acts: HashMap<LayerId, Tensor> = HashMap::with_capacity(model.len());
+
+    for id in order {
+        let layer = model.layer(id)?;
+        let in_ids = graph.inputs_of(id);
+        let value = match layer.kind() {
+            LayerKind::Input { channels } => {
+                let t = inputs.get(layer.name()).ok_or_else(|| {
+                    NnError::BadWiring(format!("missing input tensor `{}`", layer.name()))
+                })?;
+                if t.shape().rank() != 4 || t.shape().dim(1) != *channels {
+                    return Err(NnError::BadWiring(format!(
+                        "input `{}` expects NCHW with {channels} channels, got {}",
+                        layer.name(),
+                        t.shape()
+                    )));
+                }
+                t.clone()
+            }
+            LayerKind::Conv2d { stride, padding, .. } => {
+                let x = &acts[&in_ids[0]];
+                conv2d(
+                    x,
+                    layer.weights().expect("conv has weights"),
+                    layer.bias(),
+                    Conv2dParams { stride: *stride, padding: *padding },
+                )?
+            }
+            LayerKind::Linear { .. } => {
+                let x = acts[&in_ids[0]].flatten();
+                linear(&x, layer.weights().expect("linear has weights"), layer.bias())?
+            }
+            LayerKind::BatchNorm { .. } => {
+                batch_norm(&acts[&in_ids[0]], layer.batch_norm_params().expect("bn params"))?
+            }
+            LayerKind::ReLU => relu(&acts[&in_ids[0]]),
+            LayerKind::MaxPool { kernel, stride } => {
+                max_pool2d(&acts[&in_ids[0]], *kernel, *stride)?
+            }
+            LayerKind::Upsample { factor } => upsample_nearest(&acts[&in_ids[0]], *factor)?,
+            LayerKind::Add => {
+                let a = &acts[&in_ids[0]];
+                let b = &acts[&in_ids[1]];
+                a.add(b)?
+            }
+            LayerKind::Concat => {
+                let tensors: Vec<&Tensor> = in_ids.iter().map(|i| &acts[i]).collect();
+                concat_channels(&tensors)?
+            }
+        };
+        acts.insert(id, value);
+    }
+    Ok(acts)
+}
+
+/// Convenience wrapper for single-input models: runs [`forward`] and returns
+/// the activation of the unique sink layer.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWiring`] when the model does not have exactly one
+/// sink, plus all [`forward`] error conditions.
+pub fn forward_single(model: &Model, input_name: &str, input: &Tensor) -> Result<Tensor> {
+    let mut inputs = HashMap::new();
+    inputs.insert(input_name.to_string(), input.clone());
+    let acts = forward(model, &inputs)?;
+    let sinks = model.compute_graph().sinks();
+    if sinks.len() != 1 {
+        return Err(NnError::BadWiring(format!(
+            "expected exactly one sink, found {}",
+            sinks.len()
+        )));
+    }
+    Ok(acts[&sinks[0]].clone())
+}
+
+/// Nearest-neighbour upsampling of an NCHW tensor by an integer factor.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWiring`] for zero factors or non-NCHW input.
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
+    if factor == 0 {
+        return Err(NnError::BadWiring("upsample factor must be non-zero".into()));
+    }
+    let s = input.shape();
+    if s.rank() != 4 {
+        return Err(NnError::BadWiring(format!("upsample expects NCHW, got {s}")));
+    }
+    let (c, h, w) = (s.dim(1), s.dim(2), s.dim(3));
+    let (oh, ow) = (h * factor, w * factor);
+    let idata = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(1, c, oh, ow));
+    let odata = out.as_mut_slice();
+    for ch in 0..c {
+        for y in 0..oh {
+            for x in 0..ow {
+                odata[(ch * oh + y) * ow + x] = idata[(ch * h + y / factor) * w + x / factor];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Concatenates NCHW tensors along the channel axis.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWiring`] when fewer than two tensors are given or
+/// their spatial sizes differ.
+pub fn concat_channels(tensors: &[&Tensor]) -> Result<Tensor> {
+    if tensors.len() < 2 {
+        return Err(NnError::BadWiring("concat needs at least two inputs".into()));
+    }
+    let first = tensors[0].shape();
+    let (h, w) = (first.dim(2), first.dim(3));
+    let mut total_c = 0;
+    for t in tensors {
+        let s = t.shape();
+        if s.rank() != 4 || s.dim(2) != h || s.dim(3) != w {
+            return Err(NnError::BadWiring(format!(
+                "concat spatial mismatch: {} vs {}×{}",
+                s, h, w
+            )));
+        }
+        total_c += s.dim(1);
+    }
+    let mut data = Vec::with_capacity(total_c * h * w);
+    for t in tensors {
+        data.extend_from_slice(t.as_slice());
+    }
+    Ok(Tensor::from_vec(Shape::nchw(1, total_c, h, w), data)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Layer;
+
+    fn make_inputs(name: &str, t: Tensor) -> HashMap<String, Tensor> {
+        let mut m = HashMap::new();
+        m.insert(name.to_string(), t);
+        m
+    }
+
+    #[test]
+    fn forward_through_conv_relu() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 1);
+        // Identity 1×1 conv then ReLU.
+        let w = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(1), vec![0.0]).unwrap();
+        let c = m
+            .add_layer(Layer::conv2d_with_weights("c", 1, 0, w, b), &[input])
+            .unwrap();
+        m.add_layer(Layer::relu("r"), &[c]).unwrap();
+
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![-3.0, 5.0]).unwrap();
+        let out = forward_single(&m, "in", &x).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn missing_input_is_error() {
+        let mut m = Model::new("m");
+        m.add_input("in", 1);
+        let acts = forward(&m, &HashMap::new());
+        assert!(acts.is_err());
+    }
+
+    #[test]
+    fn input_channel_mismatch_is_error() {
+        let mut m = Model::new("m");
+        m.add_input("in", 3);
+        let x = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(forward(&m, &make_inputs("in", x)).is_err());
+    }
+
+    #[test]
+    fn residual_add_executes() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 1);
+        let r1 = m.add_layer(Layer::relu("r1"), &[input]).unwrap();
+        let r2 = m.add_layer(Layer::relu("r2"), &[input]).unwrap();
+        m.add_layer(Layer::add("sum"), &[r1, r2]).unwrap();
+        let x = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![2.0]).unwrap();
+        let out = forward_single(&m, "in", &x).unwrap();
+        assert_eq!(out.as_slice(), &[4.0]);
+    }
+
+    #[test]
+    fn concat_stacks_channels() {
+        let a = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![3.0, 4.0, 5.0, 6.0]).unwrap();
+        let out = concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 3, 1, 2]);
+        assert_eq!(out.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        let b = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(concat_channels(&[&a, &b]).is_err());
+        assert!(concat_channels(&[&a]).is_err());
+    }
+
+    #[test]
+    fn upsample_doubles_pixels() {
+        let t = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![1.0, 2.0]).unwrap();
+        let out = upsample_nearest(&t, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 4]);
+        assert_eq!(out.as_slice(), &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0]);
+        assert!(upsample_nearest(&t, 0).is_err());
+    }
+
+    #[test]
+    fn linear_flattens_input() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 2);
+        let mut fc = Layer::linear("fc", 2, 1, 0);
+        fc.set_weights(Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]).unwrap());
+        m.add_layer(fc, &[input]).unwrap();
+        let x = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![3.0, 4.0]).unwrap();
+        let out = forward_single(&m, "in", &x).unwrap();
+        assert_eq!(out.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn all_layer_activations_returned() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 1);
+        let r = m.add_layer(Layer::relu("r"), &[input]).unwrap();
+        m.add_layer(Layer::max_pool("p", 2, 2), &[r]).unwrap();
+        let x = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        let acts = forward(&m, &make_inputs("in", x)).unwrap();
+        assert_eq!(acts.len(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the model IR and Algorithm-1 grouping.
+
+use proptest::prelude::*;
+use upaq_nn::group::preprocess;
+use upaq_nn::{Layer, LayerId, Model};
+
+/// Builds a random chain of conv/relu layers with kernel sizes drawn from
+/// the given list.
+fn chain_model(kernels: &[usize]) -> Model {
+    let mut m = Model::new("chain");
+    let mut prev = m.add_input("in", 4);
+    for (i, &k) in kernels.iter().enumerate() {
+        prev = m
+            .add_layer(
+                Layer::conv2d(format!("c{i}"), 4, 4, k, 1, k / 2, i as u64),
+                &[prev],
+            )
+            .unwrap();
+        if i % 2 == 0 {
+            prev = m.add_layer(Layer::relu(format!("r{i}")), &[prev]).unwrap();
+        }
+    }
+    m
+}
+
+proptest! {
+    #[test]
+    fn groups_partition_weighted_layers(kernels in prop::collection::vec(prop_oneof![Just(1usize), Just(3), Just(5)], 1..10)) {
+        let m = chain_model(&kernels);
+        let groups = preprocess(&m);
+        let mut covered: Vec<LayerId> = groups.iter().flat_map(|(_, ms)| ms.to_vec()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, m.weighted_layers());
+    }
+
+    #[test]
+    fn every_group_shares_kernel_size(kernels in prop::collection::vec(prop_oneof![Just(1usize), Just(3), Just(5)], 1..10)) {
+        let m = chain_model(&kernels);
+        let groups = preprocess(&m);
+        for (_, members) in groups.iter() {
+            let k0 = m.layer(members[0]).unwrap().kernel_size();
+            for &id in members {
+                prop_assert_eq!(m.layer(id).unwrap().kernel_size(), k0);
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_earliest_member(kernels in prop::collection::vec(prop_oneof![Just(1usize), Just(3)], 1..8)) {
+        let m = chain_model(&kernels);
+        let groups = preprocess(&m);
+        for (root, members) in groups.iter() {
+            prop_assert_eq!(*members.iter().min().unwrap(), root);
+        }
+    }
+
+    #[test]
+    fn param_count_matches_layer_sum(kernels in prop::collection::vec(prop_oneof![Just(1usize), Just(3)], 1..6)) {
+        let m = chain_model(&kernels);
+        let total: usize = m.iter().map(|(_, l)| l.param_count()).sum();
+        prop_assert_eq!(m.param_count(), total);
+    }
+
+    #[test]
+    fn topo_order_is_consistent(kernels in prop::collection::vec(Just(3usize), 1..8)) {
+        let m = chain_model(&kernels);
+        let graph = m.compute_graph();
+        let order = graph.topo_order().unwrap();
+        prop_assert_eq!(order.len(), m.len());
+        // Every edge respects the order.
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        for id in 0..m.len() {
+            for &succ in graph.outputs_of(id) {
+                prop_assert!(pos[&id] < pos[&succ]);
+            }
+        }
+    }
+}

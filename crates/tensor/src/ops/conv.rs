@@ -1,0 +1,272 @@
+//! 2-D convolution with sparsity-aware inner loops.
+
+use crate::{Result, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conv2dParams {
+    /// Spatial stride (same in both axes).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Self {
+        Conv2dParams { stride: 1, padding: 0 }
+    }
+}
+
+impl Conv2dParams {
+    /// Stride-1 "same" convolution for odd kernel size `k`.
+    pub fn same(k: usize) -> Self {
+        Conv2dParams { stride: 1, padding: k / 2 }
+    }
+
+    /// Output spatial size for an input of size `i` and kernel size `k`.
+    ///
+    /// Returns 0 when the kernel does not fit.
+    pub fn out_size(&self, i: usize, k: usize) -> usize {
+        let padded = i + 2 * self.padding;
+        if padded < k {
+            0
+        } else {
+            (padded - k) / self.stride + 1
+        }
+    }
+}
+
+/// Direct 2-D convolution: input `[1, in_c, h, w]`, weights
+/// `[out_c, in_c, kh, kw]`, optional per-output-channel bias.
+///
+/// Zero weights are skipped in the innermost accumulation, so pruned kernels
+/// genuinely do less floating-point work — the same effect the paper relies
+/// on from hardware weight-compression support (§III-A).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 operands,
+/// [`TensorError::ShapeMismatch`] for channel disagreements, and
+/// [`TensorError::Invalid`] when the batch dimension is not 1 or the bias
+/// length is wrong.
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<Tensor> {
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    if ishape.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: ishape.rank() });
+    }
+    if wshape.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: wshape.rank() });
+    }
+    if ishape.dim(0) != 1 {
+        return Err(TensorError::Invalid("conv2d supports batch size 1 only".into()));
+    }
+    let (in_c, h, w) = (ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    let (out_c, w_in_c, kh, kw) = (wshape.dim(0), wshape.dim(1), wshape.dim(2), wshape.dim(3));
+    if in_c != w_in_c {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape.dims().to_vec(),
+            right: wshape.dims().to_vec(),
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_c {
+            return Err(TensorError::Invalid(format!(
+                "bias length {} does not match {out_c} output channels",
+                b.len()
+            )));
+        }
+    }
+    let oh = params.out_size(h, kh);
+    let ow = params.out_size(w, kw);
+    let mut out = Tensor::zeros(Shape::nchw(1, out_c, oh, ow));
+
+    let idata = input.as_slice();
+    let wdata = weights.as_slice();
+    let odata = out.as_mut_slice();
+
+    // Pre-extract the non-zero weight taps per (out_c, in_c) kernel so the
+    // hot loop only visits surviving weights.
+    for oc in 0..out_c {
+        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+        for ic in 0..in_c {
+            let kbase = ((oc * in_c) + ic) * kh * kw;
+            let mut taps: Vec<(usize, usize, f32)> = Vec::with_capacity(kh * kw);
+            for r in 0..kh {
+                for c in 0..kw {
+                    let v = wdata[kbase + r * kw + c];
+                    if v != 0.0 {
+                        taps.push((r, c, v));
+                    }
+                }
+            }
+            if taps.is_empty() {
+                continue;
+            }
+            let ibase = ic * h * w;
+            for oy in 0..oh {
+                let iy0 = oy * params.stride;
+                for ox in 0..ow {
+                    let ix0 = ox * params.stride;
+                    let mut acc = 0.0f32;
+                    for &(r, c, wv) in &taps {
+                        let iy = iy0 + r;
+                        let ix = ix0 + c;
+                        // Padding: translate to unpadded coordinates.
+                        if iy < params.padding || ix < params.padding {
+                            continue;
+                        }
+                        let iy = iy - params.padding;
+                        let ix = ix - params.padding;
+                        if iy >= h || ix >= w {
+                            continue;
+                        }
+                        acc += wv * idata[ibase + iy * w + ix];
+                    }
+                    odata[(oc * oh + oy) * ow + ox] += acc;
+                }
+            }
+        }
+        if bias_v != 0.0 {
+            for v in &mut odata[oc * oh * ow..(oc + 1) * oh * ow] {
+                *v += bias_v;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn input_1ch(h: usize, w: usize, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::nchw(1, 1, h, w), data).unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let input = input_1ch(3, 3, (1..=9).map(|i| i as f32).collect());
+        let mut weights = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        weights.set(&[0, 0, 1, 1], 1.0).unwrap();
+        let out = conv2d(&input, &weights, None, Conv2dParams::same(3)).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn box_filter_sums_neighbourhood() {
+        let input = input_1ch(3, 3, vec![1.0; 9]);
+        let weights = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams::default()).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice()[0], 9.0);
+    }
+
+    #[test]
+    fn stride_reduces_output() {
+        let input = input_1ch(5, 5, vec![1.0; 25]);
+        let weights = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams { stride: 2, padding: 0 }).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn padding_grows_output() {
+        let input = input_1ch(3, 3, vec![1.0; 9]);
+        let weights = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
+        let out = conv2d(&input, &weights, None, Conv2dParams { stride: 1, padding: 1 }).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        // Corner sees only a 2×2 patch of ones.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 4.0);
+        // Centre sees the full 3×3 patch.
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn bias_added_per_channel() {
+        let input = input_1ch(2, 2, vec![0.0; 4]);
+        let weights = Tensor::zeros(Shape::nchw(2, 1, 1, 1));
+        let bias = Tensor::from_vec(Shape::vector(2), vec![1.5, -2.5]).unwrap();
+        let out = conv2d(&input, &weights, Some(&bias), Conv2dParams::default()).unwrap();
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 1.5);
+        assert_eq!(out.get(&[0, 1, 0, 0]).unwrap(), -2.5);
+    }
+
+    #[test]
+    fn multi_channel_accumulates() {
+        let input = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![2.0, 3.0]).unwrap();
+        let weights = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![10.0, 100.0]).unwrap();
+        let out = conv2d(&input, &weights, None, Conv2dParams::default()).unwrap();
+        assert_eq!(out.as_slice(), &[320.0]);
+    }
+
+    #[test]
+    fn pruned_weights_match_dense_with_zeros() {
+        // A conv with explicitly-zeroed taps must equal the dense computation.
+        let input = input_1ch(4, 4, (0..16).map(|i| i as f32 * 0.3).collect());
+        let dense = Tensor::from_fn(Shape::nchw(1, 1, 3, 3), |i| {
+            if i % 2 == 0 { (i as f32) * 0.1 } else { 0.0 }
+        });
+        let out = conv2d(&input, &dense, None, Conv2dParams::same(3)).unwrap();
+        // Recompute naively.
+        let mut naive = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        for oy in 0..4i64 {
+            for ox in 0..4i64 {
+                let mut acc = 0.0;
+                for r in 0..3i64 {
+                    for c in 0..3i64 {
+                        let iy = oy + r - 1;
+                        let ix = ox + c - 1;
+                        if (0..4).contains(&iy) && (0..4).contains(&ix) {
+                            let wv = dense.get(&[0, 0, r as usize, c as usize]).unwrap();
+                            let iv = input.get(&[0, 0, iy as usize, ix as usize]).unwrap();
+                            acc += wv * iv;
+                        }
+                    }
+                }
+                naive.set(&[0, 0, oy as usize, ox as usize], acc).unwrap();
+            }
+        }
+        assert!(out.max_abs_diff(&naive).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let input = Tensor::zeros(Shape::nchw(2, 1, 3, 3));
+        let weights = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(conv2d(&input, &weights, None, Conv2dParams::default()).is_err());
+
+        let input = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
+        assert!(conv2d(&input, &weights, None, Conv2dParams::default()).is_err());
+
+        let input = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        let bad_bias = Tensor::zeros(Shape::vector(5));
+        assert!(conv2d(&input, &weights, Some(&bad_bias), Conv2dParams::default()).is_err());
+    }
+
+    #[test]
+    fn out_size_handles_non_fitting_kernel() {
+        let p = Conv2dParams::default();
+        assert_eq!(p.out_size(2, 3), 0);
+        assert_eq!(p.out_size(3, 3), 1);
+        assert_eq!(Conv2dParams::same(3).out_size(7, 3), 7);
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        // 1×1 convolution = per-pixel linear map over channels (the PFN case).
+        let input = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let weights = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![0.5, 0.25]).unwrap();
+        let out = conv2d(&input, &weights, None, Conv2dParams::default()).unwrap();
+        assert!(approx_eq(out.get(&[0, 0, 0, 0]).unwrap(), 0.5 * 1.0 + 0.25 * 3.0, 1e-6));
+        assert!(approx_eq(out.get(&[0, 0, 0, 1]).unwrap(), 0.5 * 2.0 + 0.25 * 4.0, 1e-6));
+    }
+}

@@ -1,0 +1,92 @@
+//! Fully-connected layer.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Applies `y = W·x + b` where `x` is rank-1 of length `in_f`, `W` is
+/// `[out_f, in_f]`, and `b` (optional) is rank-1 of length `out_f`.
+///
+/// Zero weights are skipped, so pruned rows cost proportionally less.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] or [`TensorError::ShapeMismatch`]
+/// when operand shapes disagree.
+pub fn linear(input: &Tensor, weights: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    if input.shape().rank() != 1 {
+        return Err(TensorError::RankMismatch { expected: 1, actual: input.shape().rank() });
+    }
+    if weights.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch { expected: 2, actual: weights.shape().rank() });
+    }
+    let in_f = input.len();
+    let (out_f, w_in) = (weights.shape().dim(0), weights.shape().dim(1));
+    if w_in != in_f {
+        return Err(TensorError::ShapeMismatch {
+            left: weights.shape().dims().to_vec(),
+            right: vec![out_f, in_f],
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != out_f {
+            return Err(TensorError::ShapeMismatch {
+                left: b.shape().dims().to_vec(),
+                right: vec![out_f],
+            });
+        }
+    }
+    let x = input.as_slice();
+    let w = weights.as_slice();
+    let mut out = vec![0.0f32; out_f];
+    for (o, out_v) in out.iter_mut().enumerate() {
+        let row = &w[o * in_f..(o + 1) * in_f];
+        let mut acc = 0.0;
+        for (wv, xv) in row.iter().zip(x) {
+            if *wv != 0.0 {
+                acc += wv * xv;
+            }
+        }
+        *out_v = acc + bias.map_or(0.0, |b| b.as_slice()[o]);
+    }
+    Tensor::from_vec(crate::Shape::vector(out_f), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn computes_affine_map() {
+        let x = Tensor::from_vec(Shape::vector(2), vec![1.0, 2.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(3), vec![10.0, 20.0, 30.0]).unwrap();
+        let y = linear(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.as_slice(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn works_without_bias() {
+        let x = Tensor::from_vec(Shape::vector(2), vec![3.0, 4.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(1, 2), vec![1.0, 1.0]).unwrap();
+        assert_eq!(linear(&x, &w, None).unwrap().as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn rejects_mismatched_shapes() {
+        let x = Tensor::zeros(Shape::vector(3));
+        let w = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(linear(&x, &w, None).is_err());
+        let m = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(linear(&m, &w, None).is_err());
+        let x2 = Tensor::zeros(Shape::vector(2));
+        let bad_b = Tensor::zeros(Shape::vector(3));
+        assert!(linear(&x2, &w, Some(&bad_b)).is_err());
+    }
+
+    #[test]
+    fn zero_rows_yield_zero_outputs() {
+        let x = Tensor::from_vec(Shape::vector(2), vec![5.0, 6.0]).unwrap();
+        let w = Tensor::zeros(Shape::matrix(2, 2));
+        assert_eq!(linear(&x, &w, None).unwrap().as_slice(), &[0.0, 0.0]);
+    }
+}

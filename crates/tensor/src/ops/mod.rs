@@ -1,0 +1,18 @@
+//! Neural-network compute kernels over [`crate::Tensor`].
+//!
+//! Each operation takes NCHW activations (batch is always 1 in this
+//! workspace — single-frame AV inference) and reports enough cost metadata
+//! for the hardware model: multiply-accumulate counts that honour weight
+//! sparsity, mirroring how a structured-sparsity runtime skips zero weights.
+
+mod activation;
+mod conv;
+mod linear;
+mod norm;
+mod pool;
+
+pub use activation::{leaky_relu, relu, sigmoid};
+pub use conv::{conv2d, Conv2dParams};
+pub use linear::linear;
+pub use norm::{batch_norm, BatchNormParams};
+pub use pool::{avg_pool2d, max_pool2d};

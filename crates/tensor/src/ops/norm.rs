@@ -1,0 +1,149 @@
+//! Inference-time batch normalization.
+
+use crate::{Result, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Frozen batch-norm statistics and affine parameters for one layer.
+///
+/// At inference time batch norm is the per-channel affine map
+/// `y = γ · (x - μ) / √(σ² + ε) + β`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNormParams {
+    /// Per-channel scale γ.
+    pub gamma: Vec<f32>,
+    /// Per-channel shift β.
+    pub beta: Vec<f32>,
+    /// Per-channel running mean μ.
+    pub mean: Vec<f32>,
+    /// Per-channel running variance σ².
+    pub var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNormParams {
+    /// Identity batch norm over `channels` channels (γ=1, β=0, μ=0, σ²=1).
+    pub fn identity(channels: usize) -> Self {
+        BatchNormParams {
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            mean: vec![0.0; channels],
+            var: vec![1.0; channels],
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of channels these parameters normalize.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// The folded per-channel `(scale, shift)` pair such that
+    /// `y = scale·x + shift` — what TensorRT-style engines fold into the
+    /// preceding convolution.
+    pub fn folded(&self) -> Vec<(f32, f32)> {
+        (0..self.channels())
+            .map(|c| {
+                let inv_std = 1.0 / (self.var[c] + self.eps).sqrt();
+                let scale = self.gamma[c] * inv_std;
+                let shift = self.beta[c] - self.mean[c] * scale;
+                (scale, shift)
+            })
+            .collect()
+    }
+}
+
+/// Applies frozen batch norm to an NCHW activation tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-rank-4 inputs and
+/// [`TensorError::ShapeMismatch`] when the channel count differs from the
+/// parameter vectors.
+pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor> {
+    let shape = input.shape();
+    if shape.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+    }
+    let (c, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
+    if c != params.channels() {
+        return Err(TensorError::ShapeMismatch {
+            left: shape.dims().to_vec(),
+            right: vec![shape.dim(0), params.channels(), h, w],
+        });
+    }
+    let folded = params.folded();
+    let mut out = input.clone();
+    let data = out.as_mut_slice();
+    for (ch, &(scale, shift)) in folded.iter().enumerate() {
+        for v in &mut data[ch * h * w..(ch + 1) * h * w] {
+            *v = scale * *v + shift;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, Shape};
+
+    #[test]
+    fn identity_params_are_noop() {
+        let t = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = batch_norm(&t, &BatchNormParams::identity(2)).unwrap();
+        assert!(out.max_abs_diff(&t).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn normalizes_to_unit_stats() {
+        let params = BatchNormParams {
+            gamma: vec![1.0],
+            beta: vec![0.0],
+            mean: vec![10.0],
+            var: vec![4.0],
+            eps: 0.0,
+        };
+        let t = Tensor::from_vec(Shape::nchw(1, 1, 1, 2), vec![10.0, 14.0]).unwrap();
+        let out = batch_norm(&t, &params).unwrap();
+        assert!(approx_eq(out.as_slice()[0], 0.0, 1e-5));
+        assert!(approx_eq(out.as_slice()[1], 2.0, 1e-5));
+    }
+
+    #[test]
+    fn affine_applied_after_normalization() {
+        let params = BatchNormParams {
+            gamma: vec![3.0],
+            beta: vec![1.0],
+            mean: vec![0.0],
+            var: vec![1.0],
+            eps: 0.0,
+        };
+        let t = Tensor::from_vec(Shape::nchw(1, 1, 1, 1), vec![2.0]).unwrap();
+        let out = batch_norm(&t, &params).unwrap();
+        assert!(approx_eq(out.as_slice()[0], 7.0, 1e-5));
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let t = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        assert!(batch_norm(&t, &BatchNormParams::identity(2)).is_err());
+        let bad = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(batch_norm(&bad, &BatchNormParams::identity(2)).is_err());
+    }
+
+    #[test]
+    fn folded_matches_direct_computation() {
+        let params = BatchNormParams {
+            gamma: vec![2.0],
+            beta: vec![-1.0],
+            mean: vec![5.0],
+            var: vec![9.0],
+            eps: 0.0,
+        };
+        let (scale, shift) = params.folded()[0];
+        let x = 8.0f32;
+        let direct = 2.0 * (x - 5.0) / 3.0 - 1.0;
+        assert!(approx_eq(scale * x + shift, direct, 1e-5));
+    }
+}

@@ -1,0 +1,123 @@
+//! Spatial pooling over NCHW activations.
+
+use crate::{Result, Shape, Tensor, TensorError};
+
+fn pool2d(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    init: f32,
+    fold: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor> {
+    let shape = input.shape();
+    if shape.rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+    }
+    if shape.dim(0) != 1 {
+        return Err(TensorError::Invalid("pooling supports batch size 1 only".into()));
+    }
+    if k == 0 || stride == 0 {
+        return Err(TensorError::Invalid("pool kernel and stride must be non-zero".into()));
+    }
+    let (c, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
+    if h < k || w < k {
+        return Err(TensorError::Invalid(format!(
+            "pool window {k} does not fit input {h}×{w}"
+        )));
+    }
+    let oh = (h - k) / stride + 1;
+    let ow = (w - k) / stride + 1;
+    let idata = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(1, c, oh, ow));
+    let odata = out.as_mut_slice();
+    for ch in 0..c {
+        let ibase = ch * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = init;
+                for r in 0..k {
+                    for col in 0..k {
+                        let iy = oy * stride + r;
+                        let ix = ox * stride + col;
+                        acc = fold(acc, idata[ibase + iy * w + ix]);
+                    }
+                }
+                odata[(ch * oh + oy) * ow + ox] = finish(acc, k * k);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Max-pooling with a `k × k` window and the given stride.
+///
+/// # Errors
+///
+/// Returns an error for non-NCHW inputs, zero kernel/stride, or windows
+/// larger than the input.
+pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, k, stride, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+}
+
+/// Average-pooling with a `k × k` window and the given stride.
+///
+/// # Errors
+///
+/// Same conditions as [`max_pool2d`].
+pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
+    pool2d(input, k, stride, 0.0, |a, b| a + b, |acc, n| acc / n as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input4() -> Tensor {
+        Tensor::from_vec(
+            Shape::nchw(1, 1, 4, 4),
+            (0..16).map(|i| i as f32).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let out = max_pool2d(&input4(), 2, 2).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages_window() {
+        let out = avg_pool2d(&input4(), 2, 2).unwrap();
+        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let out = max_pool2d(&input4(), 2, 1).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(max_pool2d(&input4(), 0, 1).is_err());
+        assert!(max_pool2d(&input4(), 2, 0).is_err());
+        assert!(max_pool2d(&input4(), 5, 1).is_err());
+        let bad = Tensor::zeros(Shape::matrix(4, 4));
+        assert!(max_pool2d(&bad, 2, 2).is_err());
+    }
+
+    #[test]
+    fn multi_channel_pools_independently() {
+        let t = Tensor::from_vec(
+            Shape::nchw(1, 2, 2, 2),
+            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
+        )
+        .unwrap();
+        let out = max_pool2d(&t, 2, 2).unwrap();
+        assert_eq!(out.as_slice(), &[4.0, 40.0]);
+    }
+}

@@ -1,0 +1,262 @@
+//! Symmetric integer quantization.
+//!
+//! Implements the numeric core of the paper's `mp_quantizer` (Algorithm 6):
+//! per-tensor symmetric quantization centred on zero, plus the
+//! signal-to-quantization-noise ratio (SQNR) used to measure quantization
+//! error. The UPAQ crate drives this through its mixed-precision search; the
+//! baseline frameworks reuse the same primitives with their own policies.
+
+use crate::{Result, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Inclusive range of bitwidths this crate supports.
+///
+/// The paper sweeps quantization bits from 4 to 16; we additionally allow 2
+/// and 3 bits so ablations can explore more aggressive settings.
+pub const MIN_BITS: u8 = 2;
+/// See [`MIN_BITS`].
+pub const MAX_BITS: u8 = 16;
+
+/// A tensor stored as symmetric fixed-point integers plus a scale.
+///
+/// The real value of element `i` is `values[i] as f32 * scale`. Symmetric
+/// quantization maps `[-α, α]` onto `[-(2^(b-1)-1), 2^(b-1)-1]`, so zero is
+/// always exactly representable — important for pruned kernels, where most
+/// elements are exactly zero.
+///
+/// ```
+/// use upaq_tensor::{Shape, Tensor};
+/// use upaq_tensor::quant::QuantizedTensor;
+///
+/// # fn main() -> Result<(), upaq_tensor::TensorError> {
+/// let t = Tensor::from_vec(Shape::vector(3), vec![-1.0, 0.0, 1.0])?;
+/// let q = QuantizedTensor::quantize(&t, 8)?;
+/// let back = q.dequantize();
+/// assert!(t.max_abs_diff(&back)? < 1e-2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    shape: Shape,
+    values: Vec<i32>,
+    scale: f32,
+    bits: u8,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a tensor to `bits` bits with a symmetric per-tensor scale.
+    ///
+    /// This is lines 1–7 of the paper's Algorithm 6:
+    /// `α_x = max(|min x|, |max x|)`, `scale = α_x / (2^(b-1) - 1)`,
+    /// `x_q = clip(round(x / scale))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnsupportedBitwidth`] for bitwidths outside
+    /// [`MIN_BITS`]`..=`[`MAX_BITS`].
+    pub fn quantize(tensor: &Tensor, bits: u8) -> Result<Self> {
+        if !(MIN_BITS..=MAX_BITS).contains(&bits) {
+            return Err(TensorError::UnsupportedBitwidth(bits));
+        }
+        let max_value = ((1i32 << (bits - 1)) - 1) as f32;
+        let alpha = tensor.abs_max();
+        // An all-zero tensor quantizes to all-zero with unit scale.
+        let scale = if alpha == 0.0 { 1.0 } else { alpha / max_value };
+        let min_q = -(max_value as i32);
+        let max_q = max_value as i32;
+        let values = tensor
+            .as_slice()
+            .iter()
+            .map(|&x| ((x / scale).round() as i32).clamp(min_q, max_q))
+            .collect();
+        Ok(QuantizedTensor { shape: tensor.shape().clone(), values, scale, bits })
+    }
+
+    /// Reconstructs the floating-point tensor.
+    pub fn dequantize(&self) -> Tensor {
+        Tensor::from_fn(self.shape.clone(), |i| self.values[i] as f32 * self.scale)
+    }
+
+    /// The quantization bitwidth.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The symmetric scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Read-only view of the integer codes.
+    pub fn codes(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Storage footprint in bits, ignoring the (constant) scale.
+    pub fn storage_bits(&self) -> usize {
+        self.values.len() * self.bits as usize
+    }
+
+    /// Storage footprint counting only non-zero codes — what a
+    /// sparsity-exploiting runtime (TensorRT-style) actually stores.
+    pub fn nonzero_storage_bits(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count() * self.bits as usize
+    }
+}
+
+/// Signal-to-quantization-noise ratio between an original tensor and its
+/// quantized reconstruction, as a plain power ratio (not dB):
+/// `sqnr = var(x) / var(x - x̂)` (paper Algorithm 6, line 8).
+///
+/// Returns `f32::INFINITY` when the reconstruction is exact (zero noise
+/// variance), matching the intuition that lossless quantization has
+/// unbounded SQNR.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn sqnr(original: &Tensor, reconstructed: &Tensor) -> Result<f32> {
+    let noise = original.sub(reconstructed)?;
+    let noise_var = noise.variance();
+    let signal_var = original.variance();
+    if noise_var == 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok(signal_var / noise_var)
+}
+
+/// Converts a plain SQNR power ratio to decibels.
+///
+/// ```
+/// let db = upaq_tensor::quant::sqnr_db(100.0);
+/// assert!((db - 20.0).abs() < 1e-5);
+/// ```
+pub fn sqnr_db(ratio: f32) -> f32 {
+    if ratio <= 0.0 {
+        f32::NEG_INFINITY
+    } else {
+        10.0 * ratio.log10()
+    }
+}
+
+/// Quantizes then immediately dequantizes (`fake quantization`), returning
+/// the reconstructed tensor and its SQNR against the input.
+///
+/// This is the full Algorithm 6 in one call — the form every compression
+/// algorithm in the workspace actually uses.
+///
+/// # Errors
+///
+/// Propagates [`TensorError::UnsupportedBitwidth`] from quantization.
+pub fn fake_quantize(tensor: &Tensor, bits: u8) -> Result<(Tensor, f32)> {
+    let q = QuantizedTensor::quantize(tensor, bits)?;
+    let recon = q.dequantize();
+    let ratio = sqnr(tensor, &recon)?;
+    Ok((recon, ratio))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_tensor(seed: u64, n: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::uniform(Shape::vector(n), -1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn rejects_bad_bitwidths() {
+        let t = sample_tensor(0, 16);
+        assert!(QuantizedTensor::quantize(&t, 1).is_err());
+        assert!(QuantizedTensor::quantize(&t, 17).is_err());
+        assert!(QuantizedTensor::quantize(&t, 8).is_ok());
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_exactly() {
+        let t = Tensor::zeros(Shape::vector(8));
+        let q = QuantizedTensor::quantize(&t, 4).unwrap();
+        assert_eq!(q.dequantize(), t);
+        assert_eq!(q.nonzero_storage_bits(), 0);
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_half_scale() {
+        let t = sample_tensor(1, 256);
+        for bits in [4u8, 8, 16] {
+            let q = QuantizedTensor::quantize(&t, bits).unwrap();
+            let recon = q.dequantize();
+            let err = t.max_abs_diff(&recon).unwrap();
+            assert!(
+                err <= q.scale() * 0.5 + 1e-6,
+                "bits={bits}: err {err} > half scale {}",
+                q.scale() * 0.5
+            );
+        }
+    }
+
+    #[test]
+    fn more_bits_means_higher_sqnr() {
+        let t = sample_tensor(2, 512);
+        let (_, s4) = fake_quantize(&t, 4).unwrap();
+        let (_, s8) = fake_quantize(&t, 8).unwrap();
+        let (_, s16) = fake_quantize(&t, 16).unwrap();
+        assert!(s4 < s8, "4-bit SQNR {s4} should be below 8-bit {s8}");
+        assert!(s8 < s16, "8-bit SQNR {s8} should be below 16-bit {s16}");
+    }
+
+    #[test]
+    fn sqnr_rule_of_thumb_6db_per_bit() {
+        // Uniform data: SQNR grows ≈6.02 dB per extra bit. Allow slack.
+        let t = sample_tensor(3, 8192);
+        let (_, s6) = fake_quantize(&t, 6).unwrap();
+        let (_, s10) = fake_quantize(&t, 10).unwrap();
+        let gain_db = sqnr_db(s10) - sqnr_db(s6);
+        assert!((gain_db - 24.0).abs() < 4.0, "gain {gain_db} dB far from 24 dB");
+    }
+
+    #[test]
+    fn zero_stays_zero() {
+        // Symmetric quantization must keep pruned (zero) weights exactly zero.
+        let t = Tensor::from_vec(Shape::vector(4), vec![0.0, 0.9, 0.0, -0.7]).unwrap();
+        let q = QuantizedTensor::quantize(&t, 4).unwrap();
+        let recon = q.dequantize();
+        assert_eq!(recon.as_slice()[0], 0.0);
+        assert_eq!(recon.as_slice()[2], 0.0);
+    }
+
+    #[test]
+    fn exact_reconstruction_gives_infinite_sqnr() {
+        let t = Tensor::from_vec(Shape::vector(2), vec![1.0, -1.0]).unwrap();
+        assert_eq!(sqnr(&t, &t).unwrap(), f32::INFINITY);
+    }
+
+    #[test]
+    fn storage_bits_account_for_bitwidth() {
+        let t = sample_tensor(4, 100);
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        assert_eq!(q.storage_bits(), 800);
+        assert!(q.nonzero_storage_bits() <= q.storage_bits());
+    }
+
+    #[test]
+    fn codes_respect_range() {
+        let t = sample_tensor(5, 1000);
+        let q = QuantizedTensor::quantize(&t, 4).unwrap();
+        assert!(q.codes().iter().all(|&c| (-7..=7).contains(&c)));
+    }
+
+    #[test]
+    fn sqnr_db_conversion() {
+        assert!(sqnr_db(0.0).is_infinite());
+        assert!((sqnr_db(1000.0) - 30.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,311 @@
+//! Kernel masks and sparse kernel views for semi-structured pruning.
+//!
+//! Pattern-based pruning (paper §III-A, Fig. 2(d)) keeps a fixed set of
+//! positions inside each k×k kernel and zeroes the rest. [`KernelMask`]
+//! represents that position set; applying it to a weight tensor produces the
+//! pruned kernel, and [`SparseKernel`] stores only the surviving weights in a
+//! coordinate format the execution engine can stream.
+
+use crate::{Result, Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A boolean keep/drop mask over a `d × d` kernel.
+///
+/// `true` entries are *kept* (non-zero positions of the pattern).
+///
+/// ```
+/// use upaq_tensor::sparse::KernelMask;
+///
+/// let mask = KernelMask::from_positions(3, &[(0, 0), (1, 1), (2, 2)]);
+/// assert_eq!(mask.kept(), 3);
+/// assert!(mask.is_kept(1, 1));
+/// assert!(!mask.is_kept(0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KernelMask {
+    dim: usize,
+    keep: Vec<bool>,
+}
+
+impl KernelMask {
+    /// An all-kept (dense) mask.
+    pub fn dense(dim: usize) -> Self {
+        KernelMask { dim, keep: vec![true; dim * dim] }
+    }
+
+    /// An all-dropped mask (the connectivity-pruning "remove this kernel
+    /// entirely" case).
+    pub fn empty(dim: usize) -> Self {
+        KernelMask { dim, keep: vec![false; dim * dim] }
+    }
+
+    /// Builds a mask keeping exactly the listed `(row, col)` positions.
+    ///
+    /// Out-of-range positions are ignored, mirroring how the paper's pattern
+    /// generator clamps pattern length with `min(n, d)`.
+    pub fn from_positions(dim: usize, positions: &[(usize, usize)]) -> Self {
+        let mut keep = vec![false; dim * dim];
+        for &(r, c) in positions {
+            if r < dim && c < dim {
+                keep[r * dim + c] = true;
+            }
+        }
+        KernelMask { dim, keep }
+    }
+
+    /// Kernel side length `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of kept positions.
+    pub fn kept(&self) -> usize {
+        self.keep.iter().filter(|&&k| k).count()
+    }
+
+    /// Fraction of dropped positions, in `[0, 1]`.
+    pub fn sparsity(&self) -> f32 {
+        if self.keep.is_empty() {
+            0.0
+        } else {
+            1.0 - self.kept() as f32 / self.keep.len() as f32
+        }
+    }
+
+    /// Whether position `(row, col)` is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` or `col` is `>= dim`.
+    pub fn is_kept(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.dim && col < self.dim, "mask position out of range");
+        self.keep[row * self.dim + col]
+    }
+
+    /// The kept `(row, col)` positions in row-major order.
+    pub fn positions(&self) -> Vec<(usize, usize)> {
+        (0..self.dim)
+            .flat_map(|r| (0..self.dim).map(move |c| (r, c)))
+            .filter(|&(r, c)| self.keep[r * self.dim + c])
+            .collect()
+    }
+
+    /// Applies the mask to a `d × d` kernel tensor, zeroing dropped
+    /// positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the tensor is not a
+    /// `d × d` matrix matching the mask.
+    pub fn apply(&self, kernel: &Tensor) -> Result<Tensor> {
+        if kernel.shape().dims() != [self.dim, self.dim] {
+            return Err(TensorError::ShapeMismatch {
+                left: kernel.shape().dims().to_vec(),
+                right: vec![self.dim, self.dim],
+            });
+        }
+        let mut out = kernel.clone();
+        for r in 0..self.dim {
+            for c in 0..self.dim {
+                if !self.keep[r * self.dim + c] {
+                    out.set(&[r, c], 0.0).expect("index in range");
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the mask to every `d × d` kernel of a 4-D `[out_c, in_c, d, d]`
+    /// weight tensor — the "apply the same compression pattern to all kernels
+    /// in the leaf node" step of the paper's Algorithm 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 weights and
+    /// [`TensorError::ShapeMismatch`] when the spatial dims differ from the
+    /// mask.
+    pub fn apply_to_weights(&self, weights: &Tensor) -> Result<Tensor> {
+        let shape = weights.shape();
+        if shape.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+        }
+        if shape.dim(2) != self.dim || shape.dim(3) != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                left: shape.dims().to_vec(),
+                right: vec![shape.dim(0), shape.dim(1), self.dim, self.dim],
+            });
+        }
+        let (oc, ic, kh, kw) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+        let mut out = weights.clone();
+        let data = out.as_mut_slice();
+        for o in 0..oc {
+            for i in 0..ic {
+                let base = ((o * ic) + i) * kh * kw;
+                for r in 0..kh {
+                    for c in 0..kw {
+                        if !self.keep[r * self.dim + c] {
+                            data[base + r * kw + c] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A kernel stored in coordinate (COO) form: only the non-zero weights and
+/// their positions.
+///
+/// This is what a sparsity-exploiting runtime keeps in memory; the size
+/// accounting in the hardware model uses its [`SparseKernel::nnz`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseKernel {
+    dim: usize,
+    entries: Vec<(u8, u8, f32)>,
+}
+
+impl SparseKernel {
+    /// Builds a sparse view of a `d × d` kernel, dropping exact zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] when the kernel is not rank 2 or
+    /// [`TensorError::Invalid`] when it is not square or wider than 255.
+    pub fn from_dense(kernel: &Tensor) -> Result<Self> {
+        if kernel.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch { expected: 2, actual: kernel.shape().rank() });
+        }
+        let dim = kernel.shape().dim(0);
+        if kernel.shape().dim(1) != dim {
+            return Err(TensorError::Invalid("sparse kernels must be square".into()));
+        }
+        if dim > u8::MAX as usize {
+            return Err(TensorError::Invalid("kernel dimension exceeds 255".into()));
+        }
+        let mut entries = Vec::new();
+        for r in 0..dim {
+            for c in 0..dim {
+                let v = kernel.get(&[r, c]).expect("index in range");
+                if v != 0.0 {
+                    entries.push((r as u8, c as u8, v));
+                }
+            }
+        }
+        Ok(SparseKernel { dim, entries })
+    }
+
+    /// Kernel side length.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) weights.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterator over `(row, col, weight)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+    }
+
+    /// Reconstructs the dense kernel.
+    pub fn to_dense(&self) -> Tensor {
+        let mut t = Tensor::zeros(Shape::matrix(self.dim, self.dim));
+        for &(r, c, v) in &self.entries {
+            t.set(&[r as usize, c as usize], v).expect("index in range");
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel3() -> Tensor {
+        Tensor::from_vec(
+            Shape::matrix(3, 3),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_and_empty_masks() {
+        assert_eq!(KernelMask::dense(3).kept(), 9);
+        assert_eq!(KernelMask::empty(3).kept(), 0);
+        assert_eq!(KernelMask::dense(3).sparsity(), 0.0);
+        assert_eq!(KernelMask::empty(3).sparsity(), 1.0);
+    }
+
+    #[test]
+    fn from_positions_ignores_out_of_range() {
+        let m = KernelMask::from_positions(3, &[(0, 0), (5, 5), (2, 2)]);
+        assert_eq!(m.kept(), 2);
+    }
+
+    #[test]
+    fn apply_zeroes_dropped() {
+        let m = KernelMask::from_positions(3, &[(0, 0), (1, 1), (2, 2)]);
+        let pruned = m.apply(&kernel3()).unwrap();
+        assert_eq!(pruned.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(pruned.get(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(pruned.get(&[2, 2]).unwrap(), 9.0);
+        assert_eq!(pruned.count_nonzero(), 3);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_shape() {
+        let m = KernelMask::dense(3);
+        let k = Tensor::zeros(Shape::matrix(2, 2));
+        assert!(m.apply(&k).is_err());
+    }
+
+    #[test]
+    fn apply_to_weights_masks_every_kernel() {
+        let w = Tensor::full(Shape::nchw(2, 3, 3, 3), 1.0);
+        let m = KernelMask::from_positions(3, &[(1, 1)]);
+        let pruned = m.apply_to_weights(&w).unwrap();
+        assert_eq!(pruned.count_nonzero(), 2 * 3); // one survivor per kernel
+    }
+
+    #[test]
+    fn apply_to_weights_rejects_bad_rank() {
+        let m = KernelMask::dense(3);
+        assert!(m.apply_to_weights(&Tensor::zeros(Shape::matrix(3, 3))).is_err());
+        assert!(m.apply_to_weights(&Tensor::zeros(Shape::nchw(1, 1, 2, 2))).is_err());
+    }
+
+    #[test]
+    fn positions_row_major() {
+        let m = KernelMask::from_positions(2, &[(1, 0), (0, 1)]);
+        assert_eq!(m.positions(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let m = KernelMask::from_positions(3, &[(0, 2), (1, 1), (2, 0)]);
+        let pruned = m.apply(&kernel3()).unwrap();
+        let sk = SparseKernel::from_dense(&pruned).unwrap();
+        assert_eq!(sk.nnz(), 3);
+        assert_eq!(sk.to_dense(), pruned);
+    }
+
+    #[test]
+    fn sparse_rejects_non_square() {
+        let k = Tensor::zeros(Shape::matrix(2, 3));
+        assert!(SparseKernel::from_dense(&k).is_err());
+        assert!(SparseKernel::from_dense(&Tensor::zeros(Shape::vector(4))).is_err());
+    }
+
+    #[test]
+    fn sparse_iter_matches_entries() {
+        let m = KernelMask::from_positions(3, &[(0, 0)]);
+        let pruned = m.apply(&kernel3()).unwrap();
+        let sk = SparseKernel::from_dense(&pruned).unwrap();
+        let entries: Vec<_> = sk.iter().collect();
+        assert_eq!(entries, vec![(0, 0, 1.0)]);
+    }
+}

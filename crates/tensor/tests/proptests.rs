@@ -1,0 +1,106 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use upaq_tensor::quant::{fake_quantize, QuantizedTensor};
+use upaq_tensor::sparse::{KernelMask, SparseKernel};
+use upaq_tensor::{Shape, Tensor};
+
+fn small_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in prop::collection::vec(1usize..6, 1..4)) {
+        let shape = Shape::new(dims);
+        for off in 0..shape.volume() {
+            let idx = shape.unravel(off).unwrap();
+            prop_assert_eq!(shape.offset(&idx).unwrap(), off);
+        }
+    }
+
+    #[test]
+    fn add_is_commutative(data in small_vec()) {
+        let n = data.len();
+        let a = Tensor::from_vec(Shape::vector(n), data.clone()).unwrap();
+        let b = Tensor::from_vec(Shape::vector(n), data.iter().rev().copied().collect()).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn quantize_dequantize_error_bounded(data in small_vec(), bits in 4u8..=16) {
+        let t = Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
+        let q = QuantizedTensor::quantize(&t, bits).unwrap();
+        let err = t.max_abs_diff(&q.dequantize()).unwrap();
+        prop_assert!(err <= q.scale() * 0.5 + 1e-4);
+    }
+
+    #[test]
+    fn quantization_preserves_sign(data in small_vec()) {
+        let t = Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
+        let q = QuantizedTensor::quantize(&t, 8).unwrap();
+        let recon = q.dequantize();
+        for (orig, rec) in t.as_slice().iter().zip(recon.as_slice()) {
+            // Sign may only flip through rounding to zero.
+            if *rec != 0.0 {
+                prop_assert!(orig.signum() == rec.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn sqnr_monotone_in_bits(data in prop::collection::vec(-5.0f32..5.0, 32..256)) {
+        let t = Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
+        // Skip degenerate all-equal inputs where variance is ~0.
+        prop_assume!(t.variance() > 1e-3);
+        let (_, s4) = fake_quantize(&t, 4).unwrap();
+        let (_, s12) = fake_quantize(&t, 12).unwrap();
+        prop_assert!(s12 >= s4);
+    }
+
+    #[test]
+    fn mask_apply_never_increases_nonzeros(
+        data in prop::collection::vec(-1.0f32..1.0, 9..=9),
+        keep in prop::collection::vec(any::<bool>(), 9..=9),
+    ) {
+        let kernel = Tensor::from_vec(Shape::matrix(3, 3), data).unwrap();
+        let positions: Vec<(usize, usize)> = keep
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| (i / 3, i % 3))
+            .collect();
+        let mask = KernelMask::from_positions(3, &positions);
+        let pruned = mask.apply(&kernel).unwrap();
+        prop_assert!(pruned.count_nonzero() <= kernel.count_nonzero());
+        prop_assert!(pruned.count_nonzero() <= mask.kept());
+    }
+
+    #[test]
+    fn sparse_kernel_roundtrip(data in prop::collection::vec(-1.0f32..1.0, 16..=16)) {
+        let kernel = Tensor::from_vec(Shape::matrix(4, 4), data).unwrap();
+        let sparse = SparseKernel::from_dense(&kernel).unwrap();
+        prop_assert_eq!(sparse.to_dense(), kernel);
+    }
+
+    #[test]
+    fn sparsity_in_unit_interval(data in small_vec()) {
+        let t = Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
+        let s = t.sparsity();
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-2.0f32..2.0, 4..=4),
+        b in prop::collection::vec(-2.0f32..2.0, 4..=4),
+        c in prop::collection::vec(-2.0f32..2.0, 4..=4),
+    ) {
+        let ma = Tensor::from_vec(Shape::matrix(2, 2), a).unwrap();
+        let mb = Tensor::from_vec(Shape::matrix(2, 2), b).unwrap();
+        let mc = Tensor::from_vec(Shape::matrix(2, 2), c).unwrap();
+        let lhs = ma.matmul(&mb.add(&mc).unwrap()).unwrap();
+        let rhs = ma.matmul(&mb).unwrap().add(&ma.matmul(&mc).unwrap()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+}

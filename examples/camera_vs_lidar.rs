@@ -1,0 +1,54 @@
+//! Camera vs LiDAR 3D detection — the paper's Fig. 1 motivation.
+//!
+//! The paper opens by contrasting SMOKE (monocular camera) with
+//! PointPillars (LiDAR): the camera detector misses objects the LiDAR
+//! detector finds, because monocular depth is ambiguous. This example
+//! reproduces that comparison on one synthetic scene: both detectors are
+//! built at test scale, head-fit on the same training scenes, and run on
+//! the same held-out scene.
+//!
+//! Run with `cargo run --release --example camera_vs_lidar`.
+
+use upaq_det3d::eval::evaluate_detections;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::{fit_camera_head, fit_lidar_head};
+use upaq_models::smoke::{Smoke, SmokeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke_cfg = SmokeConfig::tiny();
+    let mut data_cfg = DatasetConfig::evaluation(16);
+    data_cfg.camera = smoke_cfg.calib.clone();
+    let data = Dataset::generate(&data_cfg, 11);
+    let train: Vec<usize> = (0..10).collect();
+    let test = 12usize;
+
+    let mut lidar = PointPillars::build(&PointPillarsConfig::tiny())?;
+    fit_lidar_head(&mut lidar, &data, &train, 1e-3)?;
+    let mut camera = Smoke::build(&smoke_cfg)?;
+    fit_camera_head(&mut camera, &data, &train, 1e-3)?;
+
+    let scene = data.scene(test);
+    println!("scene {test}: {} ground-truth objects", scene.objects.len());
+
+    let lidar_boxes = lidar.detect(&data.lidar(test))?;
+    let camera_boxes = camera.detect(&data.camera(test))?;
+    let lidar_eval = evaluate_detections(&[lidar_boxes.clone()], &[scene]);
+    let camera_eval = evaluate_detections(&[camera_boxes.clone()], &[scene]);
+
+    println!(
+        "PointPillars (LiDAR):  {} detections, mAP {:.1}",
+        lidar_boxes.len(),
+        lidar_eval.map
+    );
+    println!(
+        "SMOKE (camera):        {} detections, mAP {:.1}",
+        camera_boxes.len(),
+        camera_eval.map
+    );
+    println!(
+        "\nAs in the paper's Fig. 1, the monocular detector localizes worse — depth"
+    );
+    println!("must be inferred photometrically, while LiDAR measures it directly.");
+    Ok(())
+}

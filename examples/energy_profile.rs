@@ -1,0 +1,49 @@
+//! Power-trace profiling with the NVPower-style sampler.
+//!
+//! The paper measures energy with the NVPower tool: sample board power
+//! while the model runs, integrate the trace. This example reproduces that
+//! workflow on the analytic device model — estimate a detector's inference,
+//! sample its power trace, and check the integral against the model's
+//! energy number.
+//!
+//! Run with `cargo run --release --example energy_profile`.
+
+use std::collections::HashMap;
+use upaq_hwmodel::exec::{model_executions, BitAllocation};
+use upaq_hwmodel::latency::estimate;
+use upaq_hwmodel::power::NvPowerSampler;
+use upaq_hwmodel::DeviceProfile;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let detector = PointPillars::build(&PointPillarsConfig::paper())?;
+    let shapes = detector.input_shapes();
+    let costs = upaq_nn::stats::model_costs(&detector.model, &shapes)?;
+    let execs = model_executions(&detector.model, &costs, &BitAllocation::new(), &HashMap::new());
+
+    for device in [DeviceProfile::jetson_orin_nano(), DeviceProfile::rtx_4080()] {
+        let est = estimate(&device, &execs);
+        let sampler = NvPowerSampler::new(device.idle_power_w);
+        let trace = sampler.sample(&est);
+        let idle_energy = 2.0 * sampler.idle_margin_s * sampler.idle_power_w;
+        let integrated = trace.integrate_energy() - idle_energy;
+        println!(
+            "{}: {:.2} ms, model energy {:.3} J, trace integral {:.3} J ({} samples @ {:.0} Hz)",
+            device.name,
+            est.latency_ms(),
+            est.energy_j,
+            integrated,
+            trace.samples().len(),
+            1.0 / trace.dt_s(),
+        );
+        // Mini ASCII power plot.
+        let max_p = trace.samples().iter().map(|s| s.power_w).fold(0.0, f64::max);
+        let mut plot = String::new();
+        for sample in trace.samples().iter().step_by(trace.samples().len() / 60 + 1) {
+            let level = (sample.power_w / max_p * 8.0) as usize;
+            plot.push(char::from_u32(0x2581 + level.min(7) as u32).unwrap_or('█'));
+        }
+        println!("  power: {plot}\n");
+    }
+    Ok(())
+}

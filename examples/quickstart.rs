@@ -1,0 +1,84 @@
+//! Quickstart: compress a 3D object detector with UPAQ in five steps.
+//!
+//! Builds a small PointPillars detector over a synthetic KITTI-like
+//! dataset, pretrains its head, compresses the backbone with UPAQ (LCK),
+//! re-calibrates, and compares accuracy/size before and after.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use upaq::compress::{CompressionContext, Compressor, Upaq};
+use upaq::config::UpaqConfig;
+use upaq_bench_free::eval_map;
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::fit_lidar_head;
+
+// Helpers shared by the examples (kept in the example file so each example
+// is self-contained and copy-pasteable).
+mod upaq_bench_free {
+    use upaq_det3d::eval::evaluate_detections;
+    use upaq_det3d::Box3d;
+    use upaq_kitti::dataset::Dataset;
+    use upaq_models::LidarDetector;
+
+    pub fn eval_map(
+        det: &LidarDetector,
+        data: &Dataset,
+        scenes: &[usize],
+    ) -> Result<f32, Box<dyn std::error::Error>> {
+        let mut dets: Vec<Vec<Box3d>> = Vec::new();
+        let mut refs = Vec::new();
+        for &i in scenes {
+            dets.push(det.detect(&data.lidar(i))?);
+            refs.push(data.scene(i));
+        }
+        Ok(evaluate_detections(&dets, &refs).map)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A synthetic KITTI-like dataset (the paper uses KITTI, split
+    //    80/10/10 — Dataset::split applies the same ratios).
+    let data = Dataset::generate(&DatasetConfig::evaluation(20), 42);
+    let split = data.split();
+    let train: Vec<usize> = split.train.iter().copied().take(8).collect();
+    let eval: Vec<usize> = split.test.clone();
+
+    // 2. Build and "pretrain" a PointPillars detector (closed-form head fit).
+    let mut detector = PointPillars::build(&PointPillarsConfig::tiny())?;
+    fit_lidar_head(&mut detector, &data, &train, 1e-3)?;
+    let base_map = eval_map(&detector, &data, &eval)?;
+    let base_params = detector.model.param_count();
+    println!("base:       {base_params} params, mAP {base_map:.1}");
+
+    // 3. Compress with UPAQ (LCK = accuracy-biased preset; HCK compresses
+    //    harder). The detection head is skipped and re-fit afterwards.
+    let head = detector.head_layer()?;
+    let ctx = CompressionContext::new(
+        DeviceProfile::jetson_orin_nano(),
+        detector.input_shapes(),
+        42,
+    )
+    .with_skip_layers(vec![head]);
+    let outcome = Upaq::new(UpaqConfig::lck()).compress(&detector.model, &ctx)?;
+
+    // 4. Deploy the compressed backbone and re-calibrate the head.
+    let mut compressed = detector.clone();
+    compressed.model = outcome.model;
+    fit_lidar_head(&mut compressed, &data, &train, 1e-3)?;
+
+    // 5. Compare.
+    let comp_map = eval_map(&compressed, &data, &eval)?;
+    println!(
+        "compressed: {:.2}× smaller, {:.0}% sparse, mean {:.1} bits, mAP {comp_map:.1}",
+        outcome.report.compression_ratio,
+        outcome.report.sparsity * 100.0,
+        outcome.report.mean_bits,
+    );
+    println!(
+        "predicted Jetson Orin Nano latency: {:.2} ms, energy {:.3} J",
+        outcome.report.latency_ms, outcome.report.energy_j
+    );
+    Ok(())
+}

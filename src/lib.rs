@@ -1,0 +1,23 @@
+//! Umbrella crate for the UPAQ reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests in this repository's root can address the whole system
+//! through a single dependency:
+//!
+//! * [`tensor`] — numeric substrate (dense / quantized / sparse tensors);
+//! * [`nn`] — layer IR, computation graph, Algorithm 1 grouping;
+//! * [`kitti`] — synthetic KITTI-like scenes, LiDAR and camera simulation;
+//! * [`det3d`] — 3D boxes, IoU, NMS, mAP, pillar encoding, detection heads;
+//! * [`models`] — PointPillars / SMOKE / SECOND / Focals-Conv / VSC builders;
+//! * [`hwmodel`] — Jetson Orin Nano and RTX 4080 latency/energy models;
+//! * [`upaq`] — the paper's compression framework (Algorithms 2–6);
+//! * [`baselines`] — Ps&Qs, Clip-Q, R-TOSS and LiDAR-PTQ comparators.
+
+pub use upaq;
+pub use upaq_baselines as baselines;
+pub use upaq_det3d as det3d;
+pub use upaq_hwmodel as hwmodel;
+pub use upaq_kitti as kitti;
+pub use upaq_models as models;
+pub use upaq_nn as nn;
+pub use upaq_tensor as tensor;
