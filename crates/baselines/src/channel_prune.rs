@@ -25,7 +25,9 @@ pub struct ChannelPrune {
 
 impl Default for ChannelPrune {
     fn default() -> Self {
-        ChannelPrune { prune_fraction: 0.4 }
+        ChannelPrune {
+            prune_fraction: 0.4,
+        }
     }
 }
 
@@ -80,12 +82,18 @@ impl Compressor for ChannelPrune {
                     *v = 0.0;
                 }
             }
-            mc.layer_mut(id)?.set_weights(Tensor::from_vec(w.shape().clone(), out)?);
+            mc.layer_mut(id)?
+                .set_weights(Tensor::from_vec(w.shape().clone(), out)?);
             bits.insert(id, 32);
             kinds.insert(id, SparsityKind::Structured);
         }
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
@@ -99,10 +107,14 @@ mod tests {
     fn setup() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        m.add_layer(Layer::conv2d("c1", 4, 10, 3, 1, 1, 1), &[input]).unwrap();
+        m.add_layer(Layer::conv2d("c1", 4, 10, 3, 1, 1, 1), &[input])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1),
+        )
     }
 
     #[test]
@@ -158,7 +170,8 @@ mod tests {
         // Structured sparsity converts fully to speed even at fp32 — the
         // property that distinguishes it in the taxonomy.
         let (m, ctx) = setup();
-        let base = build_report("base", &m, &m, &BitAllocation::new(), &HashMap::new(), &ctx).unwrap();
+        let base =
+            build_report("base", &m, &m, &BitAllocation::new(), &HashMap::new(), &ctx).unwrap();
         let outcome = ChannelPrune::default().compress(&m, &ctx).unwrap();
         assert!(outcome.report.latency_ms < base.latency_ms);
     }
@@ -166,6 +179,10 @@ mod tests {
     #[test]
     fn rejects_bad_fraction() {
         let (m, ctx) = setup();
-        assert!(ChannelPrune { prune_fraction: 1.0 }.compress(&m, &ctx).is_err());
+        assert!(ChannelPrune {
+            prune_fraction: 1.0
+        }
+        .compress(&m, &ctx)
+        .is_err());
     }
 }

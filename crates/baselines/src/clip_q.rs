@@ -34,7 +34,11 @@ pub struct ClipQ {
 
 impl Default for ClipQ {
     fn default() -> Self {
-        ClipQ { clip_quantile: 0.45, bits: 16, partitions: 4 }
+        ClipQ {
+            clip_quantile: 0.45,
+            bits: 16,
+            partitions: 4,
+        }
     }
 }
 
@@ -82,7 +86,12 @@ impl Compressor for ClipQ {
             kinds.insert(id, SparsityKind::Unstructured);
         }
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
@@ -95,10 +104,14 @@ mod tests {
     fn setup() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
+        m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1),
+        )
     }
 
     #[test]
@@ -126,15 +139,26 @@ mod tests {
         let mut m = Model::new("m");
         let input = m.add_input("in", 1);
         let data: Vec<f32> = (0..18)
-            .map(|i| if i < 9 { 0.001 * (i + 1) as f32 } else { 1.0 + i as f32 })
+            .map(|i| {
+                if i < 9 {
+                    0.001 * (i + 1) as f32
+                } else {
+                    1.0 + i as f32
+                }
+            })
             .collect();
         let w = Tensor::from_vec(Shape::nchw(2, 1, 3, 3), data).unwrap();
         let b = Tensor::zeros(Shape::vector(2));
-        m.add_layer(Layer::conv2d_with_weights("c", 1, 1, w, b), &[input]).unwrap();
+        m.add_layer(Layer::conv2d_with_weights("c", 1, 1, w, b), &[input])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 1, 4, 4));
         let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 0);
-        let cq = ClipQ { partitions: 2, clip_quantile: 0.5, bits: 16 };
+        let cq = ClipQ {
+            partitions: 2,
+            clip_quantile: 0.5,
+            bits: 16,
+        };
         let outcome = cq.compress(&m, &ctx).unwrap();
         let w = outcome.model.layer(1).unwrap().weights().unwrap();
         // Both halves keep survivors.
@@ -147,7 +171,17 @@ mod tests {
     #[test]
     fn rejects_bad_config() {
         let (m, ctx) = setup();
-        assert!(ClipQ { clip_quantile: 1.0, ..Default::default() }.compress(&m, &ctx).is_err());
-        assert!(ClipQ { partitions: 0, ..Default::default() }.compress(&m, &ctx).is_err());
+        assert!(ClipQ {
+            clip_quantile: 1.0,
+            ..Default::default()
+        }
+        .compress(&m, &ctx)
+        .is_err());
+        assert!(ClipQ {
+            partitions: 0,
+            ..Default::default()
+        }
+        .compress(&m, &ctx)
+        .is_err());
     }
 }

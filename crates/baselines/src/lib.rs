@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn four_baselines_in_table_order() {
-        let names: Vec<String> = all_baselines().iter().map(|b| b.name().to_string()).collect();
+        let names: Vec<String> = all_baselines()
+            .iter()
+            .map(|b| b.name().to_string())
+            .collect();
         assert_eq!(names, vec!["Ps&Qs", "CLIP-Q", "R-TOSS", "LIDAR-PTQ"]);
     }
 }

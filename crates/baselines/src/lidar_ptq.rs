@@ -30,7 +30,10 @@ pub struct LidarPtq {
 
 impl Default for LidarPtq {
     fn default() -> Self {
-        LidarPtq { bits: 8, boundary_bits: 16 }
+        LidarPtq {
+            bits: 8,
+            boundary_bits: 16,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ pub fn adaptive_round_quantize(weights: &Tensor, bits: u8) -> Result<Tensor> {
         // AdaRound's objective collapsed to a greedy sequential rule.
         let err_floor = (floor - exact) + running_err;
         let err_ceil = (ceil - exact) + running_err;
-        let q = if err_floor.abs() <= err_ceil.abs() { floor } else { ceil };
+        let q = if err_floor.abs() <= err_ceil.abs() {
+            floor
+        } else {
+            ceil
+        };
         let q = q.clamp(-max_value, max_value);
         running_err += q - exact;
         *v = q * scale;
@@ -87,7 +94,11 @@ impl Compressor for LidarPtq {
             if ctx.is_skipped(id) {
                 continue;
             }
-            let layer_bits = if id == first || id == last { self.boundary_bits } else { self.bits };
+            let layer_bits = if id == first || id == last {
+                self.boundary_bits
+            } else {
+                self.bits
+            };
             let w = mc.layer(id)?.weights().expect("weighted").clone();
             let quantized = adaptive_round_quantize(&w, layer_bits)?;
             mc.layer_mut(id)?.set_weights(quantized);
@@ -95,29 +106,42 @@ impl Compressor for LidarPtq {
             kinds.insert(id, SparsityKind::Dense);
         }
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use upaq_hwmodel::DeviceProfile;
     use upaq_nn::Layer;
     use upaq_tensor::quant::fake_quantize;
     use upaq_tensor::Shape;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        let c2 = m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1]).unwrap();
-        m.add_layer(Layer::conv2d("c3", 8, 4, 3, 1, 1, 3), &[c2]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        let c2 = m
+            .add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c3", 8, 4, 3, 1, 1, 3), &[c2])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1),
+        )
     }
 
     #[test]

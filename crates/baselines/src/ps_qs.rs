@@ -33,7 +33,11 @@ pub struct PsQs {
 
 impl Default for PsQs {
     fn default() -> Self {
-        PsQs { sparsity: 0.45, bits: 16, rounds: 3 }
+        PsQs {
+            sparsity: 0.45,
+            bits: 16,
+            rounds: 3,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ impl Compressor for PsQs {
 
     fn compress(&self, model: &Model, ctx: &CompressionContext) -> Result<CompressionOutcome> {
         if !(0.0..1.0).contains(&self.sparsity) {
-            return Err(UpaqError::BadConfig(format!("sparsity {} out of [0,1)", self.sparsity)));
+            return Err(UpaqError::BadConfig(format!(
+                "sparsity {} out of [0,1)",
+                self.sparsity
+            )));
         }
         let mut mc = model.deep_copy();
         let weighted = mc.weighted_layers();
@@ -73,7 +80,12 @@ impl Compressor for PsQs {
             kinds.insert(id, SparsityKind::Unstructured);
         }
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
@@ -87,11 +99,17 @@ mod tests {
     fn setup() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1),
+        )
     }
 
     #[test]
@@ -124,7 +142,10 @@ mod tests {
     #[test]
     fn rejects_bad_sparsity() {
         let (m, ctx) = setup();
-        let bad = PsQs { sparsity: 1.5, ..Default::default() };
+        let bad = PsQs {
+            sparsity: 1.5,
+            ..Default::default()
+        };
         assert!(bad.compress(&m, &ctx).is_err());
     }
 

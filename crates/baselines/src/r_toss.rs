@@ -41,7 +41,9 @@ pub struct RToss {
 
 impl Default for RToss {
     fn default() -> Self {
-        RToss { connectivity_quantile: 0.30 }
+        RToss {
+            connectivity_quantile: 0.30,
+        }
     }
 }
 
@@ -57,7 +59,7 @@ impl RToss {
             for mask in entry_patterns() {
                 let masked = mask.apply(kernel).expect("3×3 kernel");
                 let l2 = masked.l2_norm();
-                if best.as_ref().map_or(true, |(b, _)| l2 > *b) {
+                if best.as_ref().is_none_or(|(b, _)| l2 > *b) {
                     best = Some((l2, masked));
                 }
             }
@@ -130,7 +132,7 @@ impl Compressor for RToss {
                 let mut out = Vec::with_capacity(data.len());
                 for (kernel, norm) in kernels.iter().zip(&norms) {
                     if *norm < cut {
-                        out.extend(std::iter::repeat(0.0).take(kh * kw));
+                        out.extend(std::iter::repeat_n(0.0, kh * kw));
                     } else {
                         out.extend_from_slice(kernel.as_slice());
                     }
@@ -147,7 +149,12 @@ impl Compressor for RToss {
             kinds.insert(id, SparsityKind::SemiStructured);
         }
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
@@ -161,11 +168,17 @@ mod tests {
     fn setup() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 1),
+        )
     }
 
     #[test]
@@ -176,7 +189,10 @@ mod tests {
         // Every kernel has ≤3 non-zeros (pattern) or exactly 0 (connectivity).
         let data = w.as_slice();
         for k in 0..w.len() / 9 {
-            let nnz = data[k * 9..(k + 1) * 9].iter().filter(|&&v| v != 0.0).count();
+            let nnz = data[k * 9..(k + 1) * 9]
+                .iter()
+                .filter(|&&v| v != 0.0)
+                .count();
             assert!(nnz == 0 || nnz <= 3, "kernel {k} has {nnz} nonzeros");
         }
     }
@@ -227,11 +243,21 @@ mod tests {
     fn one_by_one_layers_left_dense() {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        m.add_layer(Layer::conv2d("pfn", 4, 8, 1, 1, 0, 1), &[input]).unwrap();
+        m.add_layer(Layer::conv2d("pfn", 4, 8, 1, 1, 0, 1), &[input])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 8, 8));
         let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 0);
         let outcome = RToss::default().compress(&m, &ctx).unwrap();
-        assert_eq!(outcome.model.layer(1).unwrap().weights().unwrap().count_zeros(), 0);
+        assert_eq!(
+            outcome
+                .model
+                .layer(1)
+                .unwrap()
+                .weights()
+                .unwrap()
+                .count_zeros(),
+            0
+        );
     }
 }

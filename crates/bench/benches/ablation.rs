@@ -38,7 +38,7 @@ fn bench_group_sharing(c: &mut Criterion) {
                 .layer(members[0])
                 .ok()?
                 .kernel_size()
-                .map_or(false, |k| k > 1);
+                .is_some_and(|k| k > 1);
             is_kxk.then_some(members)
         })
         .collect();
@@ -53,8 +53,10 @@ fn bench_group_sharing(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             for members in &kxk_roots {
                 black_box(
-                    compress_kxk_group(&mut model, members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-                        .unwrap(),
+                    compress_kxk_group(
+                        &mut model, members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng,
+                    )
+                    .unwrap(),
                 );
             }
         });
@@ -116,7 +118,10 @@ fn bench_candidate_budget(c: &mut Criterion) {
     let mut group = c.benchmark_group("pattern_budget");
     group.sample_size(10);
     for budget in [1usize, 4, 8] {
-        let cfg = UpaqConfig { patterns_per_group: budget, ..UpaqConfig::lck() };
+        let cfg = UpaqConfig {
+            patterns_per_group: budget,
+            ..UpaqConfig::lck()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(budget), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut model = det.model.deep_copy();
@@ -124,8 +129,10 @@ fn bench_candidate_budget(c: &mut Criterion) {
                 let mut kinds = HashMap::new();
                 let mut rng = StdRng::seed_from_u64(2);
                 black_box(
-                    compress_kxk_group(&mut model, &members, cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-                        .unwrap(),
+                    compress_kxk_group(
+                        &mut model, &members, cfg, &ctx, &mut bits, &mut kinds, &mut rng,
+                    )
+                    .unwrap(),
                 )
             });
         });

@@ -15,12 +15,8 @@ fn bench_dense_vs_compressed_inference(c: &mut Criterion) {
     let data = Dataset::generate(&DatasetConfig::small(), 3);
     let cloud = data.lidar(0);
     let dense = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        dense.input_shapes(),
-        9,
-    )
-    .with_skip_layers(vec![dense.head_layer().unwrap()]);
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), dense.input_shapes(), 9)
+        .with_skip_layers(vec![dense.head_layer().unwrap()]);
     let mut hck = dense.clone();
     hck.model = Upaq::new(UpaqConfig::hck())
         .compress(&dense.model, &ctx)
@@ -34,9 +30,15 @@ fn bench_dense_vs_compressed_inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig4_real_forward");
     group.sample_size(10);
-    group.bench_function("dense", |b| b.iter(|| black_box(dense.detect(&cloud).unwrap())));
-    group.bench_function("upaq_lck", |b| b.iter(|| black_box(lck.detect(&cloud).unwrap())));
-    group.bench_function("upaq_hck", |b| b.iter(|| black_box(hck.detect(&cloud).unwrap())));
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(dense.detect(&cloud).unwrap()))
+    });
+    group.bench_function("upaq_lck", |b| {
+        b.iter(|| black_box(lck.detect(&cloud).unwrap()))
+    });
+    group.bench_function("upaq_hck", |b| {
+        b.iter(|| black_box(hck.detect(&cloud).unwrap()))
+    });
     group.finish();
 }
 

@@ -13,12 +13,8 @@ use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 
 fn bench_frameworks(c: &mut Criterion) {
     let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        det.input_shapes(),
-        1,
-    )
-    .with_skip_layers(vec![det.head_layer().unwrap()]);
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), det.input_shapes(), 1)
+        .with_skip_layers(vec![det.head_layer().unwrap()]);
 
     let frameworks: Vec<Box<dyn Compressor>> = vec![
         Box::new(PsQs::default()),

@@ -27,8 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = PointPillars::build(&PointPillarsConfig::paper())?;
     let shapes = base.input_shapes();
     let head = base.head_layer()?;
-    let devices =
-        calibrated_devices(&base.model, &shapes, &upaq_bench::paper::POINTPILLARS_TABLE2[0])?;
+    let devices = calibrated_devices(
+        &base.model,
+        &shapes,
+        &upaq_bench::paper::POINTPILLARS_TABLE2[0],
+    )?;
     let ctx = CompressionContext::new(devices.jetson, shapes, 2025).with_skip_layers(vec![head]);
 
     let variants: Vec<(&str, UpaqConfig)> = vec![
@@ -43,27 +46,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "rows only",
-            UpaqConfig { pattern_kinds: vec![PatternKind::Row], ..UpaqConfig::lck() },
+            UpaqConfig {
+                pattern_kinds: vec![PatternKind::Row],
+                ..UpaqConfig::lck()
+            },
         ),
         (
             "SQNR-only score",
-            UpaqConfig { alpha: 1.0, beta: 0.0, gamma: 0.0, ..UpaqConfig::lck() },
+            UpaqConfig {
+                alpha: 1.0,
+                beta: 0.0,
+                gamma: 0.0,
+                ..UpaqConfig::lck()
+            },
         ),
         (
             "latency-only score",
-            UpaqConfig { alpha: 0.0, beta: 1.0, gamma: 0.0, ..UpaqConfig::lck() },
+            UpaqConfig {
+                alpha: 0.0,
+                beta: 1.0,
+                gamma: 0.0,
+                ..UpaqConfig::lck()
+            },
         ),
         (
             "no 1x1 transform",
-            UpaqConfig { compress_pointwise: false, ..UpaqConfig::lck() },
+            UpaqConfig {
+                compress_pointwise: false,
+                ..UpaqConfig::lck()
+            },
         ),
         (
             "uniform 8-bit",
-            UpaqConfig { quant_bits: vec![8], ..UpaqConfig::lck() },
+            UpaqConfig {
+                quant_bits: vec![8],
+                ..UpaqConfig::lck()
+            },
         ),
         (
             "single pattern draw",
-            UpaqConfig { patterns_per_group: 1, ..UpaqConfig::lck() },
+            UpaqConfig {
+                patterns_per_group: 1,
+                ..UpaqConfig::lck()
+            },
         ),
     ];
 
@@ -83,7 +108,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}%", outcome.report.sparsity * 100.0),
             format!("{:.1}s", elapsed.as_secs_f64()),
         ]);
-        records.push(serde_json::json!({
+        records.push(upaq_json::json!({
             "variant": name,
             "compression": outcome.report.compression_ratio,
             "latency_jetson_ms": outcome.report.latency_ms,
@@ -95,7 +120,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nAblations on paper-scale PointPillars (Jetson Orin device model):\n");
     print_table(
-        &["Variant", "Compression", "Latency ms", "Energy J", "Mean bits", "Sparsity", "Search"],
+        &[
+            "Variant",
+            "Compression",
+            "Latency ms",
+            "Energy J",
+            "Mean bits",
+            "Sparsity",
+            "Search",
+        ],
         &rows,
     );
     upaq_bench::harness::save_result("ablation", &records)?;
@@ -105,8 +138,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nSparsity-structure taxonomy (paper Fig. 2):\n");
     let taxonomy: Vec<(&str, Box<dyn Compressor>)> = vec![
         ("unstructured (Ps&Qs)", Box::new(PsQs::default())),
-        ("semi-structured (UPAQ LCK)", Box::new(Upaq::new(UpaqConfig::lck()))),
-        ("structured (channel prune)", Box::new(ChannelPrune::default())),
+        (
+            "semi-structured (UPAQ LCK)",
+            Box::new(Upaq::new(UpaqConfig::lck())),
+        ),
+        (
+            "structured (channel prune)",
+            Box::new(ChannelPrune::default()),
+        ),
     ];
     let mut rows = Vec::new();
     for (label, compressor) in taxonomy {
@@ -118,7 +157,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.2} ms", outcome.report.latency_ms),
         ]);
     }
-    print_table(&["Structure", "Sparsity", "Compression", "Jetson latency"], &rows);
+    print_table(
+        &["Structure", "Sparsity", "Compression", "Jetson latency"],
+        &rows,
+    );
 
     // Activation-quantization study (paper §III-B: "weights (and optionally
     // activations)").

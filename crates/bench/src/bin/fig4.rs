@@ -10,7 +10,10 @@ use upaq_bench::harness::{
 use upaq_bench::paper::{paper_row, PaperRow};
 
 fn print_panel(label: &str, result: &Table2Result, paper: &'static [PaperRow; 7]) {
-    println!("\nFig 4({label}): {} inference speedup vs base (Jetson Orin)", result.model);
+    println!(
+        "\nFig 4({label}): {} inference speedup vs base (Jetson Orin)",
+        result.model
+    );
     let base = result.rows[0].latency_jetson_ms;
     let paper_base = paper[0].latency_jetson_ms;
     for row in &result.rows {

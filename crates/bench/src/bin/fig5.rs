@@ -8,7 +8,10 @@ use upaq_bench::harness::{
 use upaq_bench::paper::{paper_row, PaperRow};
 
 fn print_panel(label: &str, result: &Table2Result, paper: &'static [PaperRow; 7]) {
-    println!("\nFig 5({label}): {} energy reduction vs base (Jetson Orin)", result.model);
+    println!(
+        "\nFig 5({label}): {} energy reduction vs base (Jetson Orin)",
+        result.model
+    );
     let base = result.rows[0].energy_jetson_j;
     let paper_base = paper[0].energy_jetson_j;
     for row in &result.rows {

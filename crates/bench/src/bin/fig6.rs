@@ -27,8 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fit_lidar_head(&mut base, &data, &refit, 1e-3)?;
     let shapes = base.input_shapes();
     let head = base.head_layer()?;
-    let devices = calibrated_devices(&base.model, &shapes, &upaq_bench::paper::POINTPILLARS_TABLE2[0])?;
-    let ctx = CompressionContext::new(devices.jetson, shapes, cfg.seed).with_skip_layers(vec![head]);
+    let devices = calibrated_devices(
+        &base.model,
+        &shapes,
+        &upaq_bench::paper::POINTPILLARS_TABLE2[0],
+    )?;
+    let ctx =
+        CompressionContext::new(devices.jetson, shapes, cfg.seed).with_skip_layers(vec![head]);
 
     let canvas = BevCanvas::default();
     let scene = data.scene(scene_idx);
@@ -56,10 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let preds = det.detect(&cloud)?;
         let align = alignment(&canvas, scene, &preds);
-        println!("\n── {name} ── ({} predictions, GT coverage {:.0}%, spurious {:.0}%)",
-            preds.len(), align.gt_covered * 100.0, align.spurious * 100.0);
+        println!(
+            "\n── {name} ── ({} predictions, GT coverage {:.0}%, spurious {:.0}%)",
+            preds.len(),
+            align.gt_covered * 100.0,
+            align.spurious * 100.0
+        );
         println!("{}", canvas.render(scene, &preds));
-        records.push(serde_json::json!({
+        records.push(upaq_json::json!({
             "framework": name,
             "predictions": preds.len(),
             "gt_covered": align.gt_covered,

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "  [{label}] scene {idx}: {} detections vs {} gt, scores {:?}",
                 boxes.len(),
                 scene.objects.len(),
-                boxes.iter().map(|b| (b.score * 100.0) as i32).collect::<Vec<_>>()
+                boxes
+                    .iter()
+                    .map(|b| (b.score * 100.0) as i32)
+                    .collect::<Vec<_>>()
             );
             for b in &boxes {
                 // Distance to the nearest same-class GT.
@@ -58,11 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .map(|o| bev_iou(b, &Box3d::from_object(o)))
                     .fold(0.0f32, f32::max);
                 print!(" iou{:.2}", best_iou);
-                all_dets.push(FrameBox { frame, b: b.clone() });
+                all_dets.push(FrameBox {
+                    frame,
+                    b: b.clone(),
+                });
             }
             println!();
             for o in &scene.objects {
-                all_gt.push(FrameBox { frame, b: Box3d::from_object(o) });
+                all_gt.push(FrameBox {
+                    frame,
+                    b: Box3d::from_object(o),
+                });
             }
         }
         println!(

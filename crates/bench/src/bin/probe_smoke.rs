@@ -17,8 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = data.split();
     let refit: Vec<usize> = split.train.iter().copied().take(cfg.refit_scenes).collect();
 
-    let lambda: f64 = std::env::var("UPAQ_LAMBDA").ok().and_then(|v| v.parse().ok()).unwrap_or(upaq_bench::harness::CAMERA_LAMBDA);
-    eprintln!("[probe_smoke] refit {} scenes, lambda {lambda}", refit.len());
+    let lambda: f64 = std::env::var("UPAQ_LAMBDA")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(upaq_bench::harness::CAMERA_LAMBDA);
+    eprintln!(
+        "[probe_smoke] refit {} scenes, lambda {lambda}",
+        refit.len()
+    );
     let mut det = Smoke::build(&smoke_cfg)?;
     fit_camera_head(&mut det, &data, &refit, lambda)?;
 
@@ -29,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .skip(cfg.refit_scenes)
         .take(4)
         .collect();
-    for (label, scenes) in [("train", &refit), ("holdout", &holdout), ("test", &split.test)] {
+    for (label, scenes) in [
+        ("train", &refit),
+        ("holdout", &holdout),
+        ("test", &split.test),
+    ] {
         let mut all_dets: Vec<FrameBox> = Vec::new();
         let mut all_gt: Vec<FrameBox> = Vec::new();
         let mut depth_err_sum = 0.0f32;
@@ -48,29 +58,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 boxes.len(),
                 scene.objects.len(),
                 visible,
-                boxes.iter().map(|b| (b.score * 100.0) as i32).collect::<Vec<_>>()
+                boxes
+                    .iter()
+                    .map(|b| (b.score * 100.0) as i32)
+                    .collect::<Vec<_>>()
             );
             for b in &boxes {
-                if let Some(nearest) = scene
-                    .objects
-                    .iter()
-                    .min_by(|a, o| {
-                        let d = |obj: &&upaq_kitti::SceneObject| {
-                            let dx = obj.center[0] - b.center[0];
-                            let dy = obj.center[1] - b.center[1];
-                            dx * dx + dy * dy
-                        };
-                        d(a).partial_cmp(&d(o)).unwrap()
-                    })
-                {
+                if let Some(nearest) = scene.objects.iter().min_by(|a, o| {
+                    let d = |obj: &&upaq_kitti::SceneObject| {
+                        let dx = obj.center[0] - b.center[0];
+                        let dy = obj.center[1] - b.center[1];
+                        dx * dx + dy * dy
+                    };
+                    d(a).partial_cmp(&d(o)).unwrap()
+                }) {
                     depth_err_sum += (nearest.center[0] - b.center[0]).abs();
                     lateral_err_sum += (nearest.center[1] - b.center[1]).abs();
                     matched += 1;
                 }
-                all_dets.push(FrameBox { frame, b: b.clone() });
+                all_dets.push(FrameBox {
+                    frame,
+                    b: b.clone(),
+                });
             }
             for o in &scene.objects {
-                all_gt.push(FrameBox { frame, b: Box3d::from_object(o) });
+                all_gt.push(FrameBox {
+                    frame,
+                    b: Box3d::from_object(o),
+                });
             }
         }
         if matched > 0 {
@@ -80,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 lateral_err_sum / matched as f32
             );
         }
-        println!("  [{label}] nuScenes-style mAP: {:.1}", nuscenes_map(&all_dets, &all_gt));
+        println!(
+            "  [{label}] nuScenes-style mAP: {:.1}",
+            nuscenes_map(&all_dets, &all_gt)
+        );
     }
     Ok(())
 }

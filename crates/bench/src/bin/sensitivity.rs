@@ -29,7 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     print_table(
-        &["Layer", "Weights", "SQNR@4b dB", "SQNR@8b dB", "SQNR@16b dB", "L2@n=2", "L2@n=3"],
+        &[
+            "Layer",
+            "Weights",
+            "SQNR@4b dB",
+            "SQNR@8b dB",
+            "SQNR@16b dB",
+            "L2@n=2",
+            "L2@n=3",
+        ],
         &rows,
     );
 
@@ -40,10 +48,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nThe spread across layers is what mixed precision exploits: the E_s");
     println!("search can give sensitive layers more bits and insensitive ones fewer.");
 
-    upaq_bench::harness::save_result(
-        "sensitivity",
-        &records,
-    )?;
+    let json_records: Vec<upaq_json::Value> = records
+        .iter()
+        .map(|r| {
+            upaq_json::json!({
+                "name": r.name,
+                "weights": r.weights,
+                "quantization": r.quantization
+                    .iter()
+                    .map(|&(bits, sqnr)| upaq_json::json!([bits, sqnr]))
+                    .collect::<Vec<_>>(),
+                "pruning": r.pruning
+                    .iter()
+                    .map(|&(n, l2)| upaq_json::json!([n, l2]))
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    upaq_bench::harness::save_result("sensitivity", &json_records)?;
     println!("\nSaved to target/upaq-results/sensitivity.json");
     Ok(())
 }

@@ -21,8 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Calibrate on the anchor model.
     let (anchor_model, anchor_shapes) = build_paper_model(ModelKind::PointPillars)?;
     let anchor_costs = upaq_nn::stats::model_costs(&anchor_model, &anchor_shapes)?;
-    let anchor_execs =
-        model_executions(&anchor_model, &anchor_costs, &BitAllocation::new(), &HashMap::new());
+    let anchor_execs = model_executions(
+        &anchor_model,
+        &anchor_costs,
+        &BitAllocation::new(),
+        &HashMap::new(),
+    );
     // Table 1 measures a workstation-class device; energy is not reported in
     // Table 1, so calibrate it loosely via the Table-2 RTX energy anchor.
     let device = calibrate_to(&DeviceProfile::rtx_4080(), &anchor_execs, 6.85e-3, 0.875);
@@ -38,9 +42,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.push(vec![
             kind.display_name().to_string(),
             format!("{params_m:.2} (paper {:.2})", kind.table1_params_m()),
-            format!("{:.2} (paper {:.2})", est.latency_ms(), kind.table1_exec_ms()),
+            format!(
+                "{:.2} (paper {:.2})",
+                est.latency_ms(),
+                kind.table1_exec_ms()
+            ),
         ]);
-        records.push(serde_json::json!({
+        records.push(upaq_json::json!({
             "model": kind.display_name(),
             "params_millions": params_m,
             "paper_params_millions": kind.table1_params_m(),
@@ -49,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }));
     }
     print_table(
-        &["Models", "Number of parameters (Millions)", "Execution time (ms)"],
+        &[
+            "Models",
+            "Number of parameters (Millions)",
+            "Execution time (ms)",
+        ],
         &rows,
     );
     save_result("table1", &records)?;

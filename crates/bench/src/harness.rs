@@ -28,6 +28,7 @@ use upaq_hwmodel::calibrate_to;
 use upaq_hwmodel::exec::{model_executions, BitAllocation, SparsityKind};
 use upaq_hwmodel::latency::{estimate, Estimate};
 use upaq_hwmodel::DeviceProfile;
+use upaq_json::{json, FromJson, ToJson, Value};
 use upaq_kitti::dataset::{Dataset, DatasetConfig};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 use upaq_models::pretrain::{fit_camera_head, fit_lidar_head};
@@ -63,7 +64,12 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { scenes: 60, refit_scenes: 14, seed: 2025, verbose: true }
+        HarnessConfig {
+            scenes: 60,
+            refit_scenes: 14,
+            seed: 2025,
+            verbose: true,
+        }
     }
 }
 
@@ -91,7 +97,12 @@ impl HarnessConfig {
 
     /// A fast configuration for smoke-testing the harness.
     pub fn quick() -> Self {
-        HarnessConfig { scenes: 20, refit_scenes: 6, seed: 2025, verbose: true }
+        HarnessConfig {
+            scenes: 20,
+            refit_scenes: 6,
+            seed: 2025,
+            verbose: true,
+        }
     }
 }
 
@@ -224,6 +235,7 @@ fn splits(data: &Dataset, cfg: &HarnessConfig) -> (Vec<usize>, Vec<usize>) {
     (refit, split.test)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn row_from(
     framework: &str,
     map: f32,
@@ -255,7 +267,15 @@ pub fn run_pointpillars_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Resul
     let t0 = Instant::now();
     let data = Dataset::generate(&DatasetConfig::evaluation(cfg.scenes), cfg.seed);
     let (refit, eval) = splits(&data, cfg);
-    log(cfg, &format!("PointPillars: {} scenes, refit on {}, eval on {}", cfg.scenes, refit.len(), eval.len()));
+    log(
+        cfg,
+        &format!(
+            "PointPillars: {} scenes, refit on {}, eval on {}",
+            cfg.scenes,
+            refit.len(),
+            eval.len()
+        ),
+    );
 
     let mut base = PointPillars::build(&PointPillarsConfig::paper())?;
     fit_lidar_head(&mut base, &data, &refit, LIDAR_LAMBDA)?;
@@ -263,7 +283,10 @@ pub fn run_pointpillars_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Resul
     let head = base.head_layer()?;
     let devices = calibrated_devices(&base.model, &shapes, &crate::paper::POINTPILLARS_TABLE2[0])?;
     let base_map = eval_lidar_map(&base, &data, &eval)?;
-    log(cfg, &format!("base mAP {base_map:.2} ({:.1?})", t0.elapsed()));
+    log(
+        cfg,
+        &format!("base mAP {base_map:.2} ({:.1?})", t0.elapsed()),
+    );
 
     let empty_bits = BitAllocation::new();
     let empty_kinds = HashMap::new();
@@ -301,14 +324,21 @@ pub fn run_pointpillars_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Resul
             outcome.report.compression_ratio,
             outcome.report.mean_bits,
         )?);
-        log(cfg, &format!(
-            "{}: ratio {:.2}×, mAP {map:.2} ({:.1?})",
-            compressor.name(),
-            outcome.report.compression_ratio,
-            t.elapsed()
-        ));
+        log(
+            cfg,
+            &format!(
+                "{}: ratio {:.2}×, mAP {map:.2} ({:.1?})",
+                compressor.name(),
+                outcome.report.compression_ratio,
+                t.elapsed()
+            ),
+        );
     }
-    Ok(Table2Result { model: "PointPillar".into(), rows, config: cfg.clone() })
+    Ok(Table2Result {
+        model: "PointPillar".into(),
+        rows,
+        config: cfg.clone(),
+    })
 }
 
 /// Runs the SMOKE block of Table 2.
@@ -319,7 +349,15 @@ pub fn run_smoke_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Result> {
     dataset_cfg.camera = smoke_cfg.calib.clone();
     let data = Dataset::generate(&dataset_cfg, cfg.seed);
     let (refit, eval) = splits(&data, cfg);
-    log(cfg, &format!("SMOKE: {} scenes, refit on {}, eval on {}", cfg.scenes, refit.len(), eval.len()));
+    log(
+        cfg,
+        &format!(
+            "SMOKE: {} scenes, refit on {}, eval on {}",
+            cfg.scenes,
+            refit.len(),
+            eval.len()
+        ),
+    );
 
     let mut base = Smoke::build(&smoke_cfg)?;
     fit_camera_head(&mut base, &data, &refit, CAMERA_LAMBDA)?;
@@ -327,7 +365,10 @@ pub fn run_smoke_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Result> {
     let head = base.head_layer()?;
     let devices = calibrated_devices(&base.model, &shapes, &crate::paper::SMOKE_TABLE2[0])?;
     let base_map = eval_camera_map(&base, &data, &eval)?;
-    log(cfg, &format!("base mAP {base_map:.2} ({:.1?})", t0.elapsed()));
+    log(
+        cfg,
+        &format!("base mAP {base_map:.2} ({:.1?})", t0.elapsed()),
+    );
 
     let empty_bits = BitAllocation::new();
     let empty_kinds = HashMap::new();
@@ -365,14 +406,95 @@ pub fn run_smoke_table2(cfg: &HarnessConfig) -> HarnessResult<Table2Result> {
             outcome.report.compression_ratio,
             outcome.report.mean_bits,
         )?);
-        log(cfg, &format!(
-            "{}: ratio {:.2}×, mAP {map:.2} ({:.1?})",
-            compressor.name(),
-            outcome.report.compression_ratio,
-            t.elapsed()
-        ));
+        log(
+            cfg,
+            &format!(
+                "{}: ratio {:.2}×, mAP {map:.2} ({:.1?})",
+                compressor.name(),
+                outcome.report.compression_ratio,
+                t.elapsed()
+            ),
+        );
     }
-    Ok(Table2Result { model: "SMOKE".into(), rows, config: cfg.clone() })
+    Ok(Table2Result {
+        model: "SMOKE".into(),
+        rows,
+        config: cfg.clone(),
+    })
+}
+
+impl ToJson for HarnessConfig {
+    fn to_json(&self) -> Value {
+        json!({
+            "scenes": self.scenes,
+            "refit_scenes": self.refit_scenes,
+            "seed": self.seed,
+            "verbose": self.verbose,
+        })
+    }
+}
+
+impl FromJson for HarnessConfig {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(HarnessConfig {
+            scenes: FromJson::from_json(v.get("scenes")?)?,
+            refit_scenes: FromJson::from_json(v.get("refit_scenes")?)?,
+            seed: FromJson::from_json(v.get("seed")?)?,
+            verbose: FromJson::from_json(v.get("verbose")?)?,
+        })
+    }
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Value {
+        json!({
+            "framework": self.framework,
+            "compression": self.compression,
+            "map": self.map,
+            "sparsity": self.sparsity,
+            "mean_bits": self.mean_bits,
+            "latency_rtx_ms": self.latency_rtx_ms,
+            "latency_jetson_ms": self.latency_jetson_ms,
+            "energy_rtx_j": self.energy_rtx_j,
+            "energy_jetson_j": self.energy_jetson_j,
+        })
+    }
+}
+
+impl FromJson for Row {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(Row {
+            framework: FromJson::from_json(v.get("framework")?)?,
+            compression: FromJson::from_json(v.get("compression")?)?,
+            map: FromJson::from_json(v.get("map")?)?,
+            sparsity: FromJson::from_json(v.get("sparsity")?)?,
+            mean_bits: FromJson::from_json(v.get("mean_bits")?)?,
+            latency_rtx_ms: FromJson::from_json(v.get("latency_rtx_ms")?)?,
+            latency_jetson_ms: FromJson::from_json(v.get("latency_jetson_ms")?)?,
+            energy_rtx_j: FromJson::from_json(v.get("energy_rtx_j")?)?,
+            energy_jetson_j: FromJson::from_json(v.get("energy_jetson_j")?)?,
+        })
+    }
+}
+
+impl ToJson for Table2Result {
+    fn to_json(&self) -> Value {
+        json!({
+            "model": self.model,
+            "rows": self.rows,
+            "config": self.config,
+        })
+    }
+}
+
+impl FromJson for Table2Result {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(Table2Result {
+            model: FromJson::from_json(v.get("model")?)?,
+            rows: FromJson::from_json(v.get("rows")?)?,
+            config: FromJson::from_json(v.get("config")?)?,
+        })
+    }
 }
 
 /// Directory where harness binaries persist their JSON results.
@@ -381,25 +503,25 @@ pub fn results_dir() -> std::path::PathBuf {
 }
 
 /// Saves a serializable result under `target/upaq-results/<name>.json`.
-pub fn save_result<T: Serialize>(name: &str, value: &T) -> HarnessResult<()> {
+pub fn save_result<T: ToJson>(name: &str, value: &T) -> HarnessResult<()> {
     let dir = results_dir();
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    std::fs::write(&path, value.to_json().pretty())?;
     Ok(())
 }
 
 /// Loads a previously saved result, if present.
-pub fn load_result<T: for<'de> Deserialize<'de>>(name: &str) -> Option<T> {
+pub fn load_result<T: FromJson>(name: &str) -> Option<T> {
     let path = results_dir().join(format!("{name}.json"));
     let text = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&text).ok()
+    T::from_json(&Value::parse(&text).ok()?)
 }
 
 /// Loads `name` from disk or computes and saves it.
 pub fn load_or_run<T, F>(name: &str, f: F) -> HarnessResult<T>
 where
-    T: Serialize + for<'de> Deserialize<'de>,
+    T: ToJson + FromJson,
     F: FnOnce() -> HarnessResult<T>,
 {
     if let Some(cached) = load_result::<T>(name) {
@@ -424,10 +546,20 @@ mod tests {
 
     #[test]
     fn frameworks_in_paper_order() {
-        let names: Vec<String> = frameworks().iter().map(|(c, _)| c.name().to_string()).collect();
+        let names: Vec<String> = frameworks()
+            .iter()
+            .map(|(c, _)| c.name().to_string())
+            .collect();
         assert_eq!(
             names,
-            vec!["Ps&Qs", "CLIP-Q", "R-TOSS", "LIDAR-PTQ", "UPAQ (LCK)", "UPAQ (HCK)"]
+            vec![
+                "Ps&Qs",
+                "CLIP-Q",
+                "R-TOSS",
+                "LIDAR-PTQ",
+                "UPAQ (LCK)",
+                "UPAQ (HCK)"
+            ]
         );
         // Only the PTQ framework skips retraining.
         let refits: Vec<bool> = frameworks().iter().map(|(_, r)| *r).collect();

@@ -24,13 +24,69 @@ pub struct PaperRow {
 
 /// Paper Table 2, PointPillars block (column order as printed).
 pub const POINTPILLARS_TABLE2: [PaperRow; 7] = [
-    PaperRow { framework: "Base Model", compression: 1.0, map: 78.96, latency_rtx_ms: 5.72, latency_jetson_ms: 35.98, energy_rtx_j: 0.875, energy_jetson_j: 0.863 },
-    PaperRow { framework: "Ps&Qs", compression: 1.89, map: 83.67, latency_rtx_ms: 5.17, latency_jetson_ms: 32.061, energy_rtx_j: 0.658, energy_jetson_j: 0.782 },
-    PaperRow { framework: "CLIP-Q", compression: 1.84, map: 79.68, latency_rtx_ms: 5.26, latency_jetson_ms: 35.07, energy_rtx_j: 0.716, energy_jetson_j: 0.841 },
-    PaperRow { framework: "R-TOSS", compression: 4.07, map: 85.26, latency_rtx_ms: 5.69, latency_jetson_ms: 35.94, energy_rtx_j: 0.871, energy_jetson_j: 0.862 },
-    PaperRow { framework: "LIDAR-PTQ", compression: 3.25, map: 78.90, latency_rtx_ms: 4.25, latency_jetson_ms: 29.65, energy_rtx_j: 0.567, energy_jetson_j: 0.711 },
-    PaperRow { framework: "UPAQ (LCK)", compression: 4.92, map: 86.15, latency_rtx_ms: 2.37, latency_jetson_ms: 19.96, energy_rtx_j: 0.371, energy_jetson_j: 0.472 },
-    PaperRow { framework: "UPAQ (HCK)", compression: 5.62, map: 84.25, latency_rtx_ms: 1.70, latency_jetson_ms: 18.23, energy_rtx_j: 0.327, energy_jetson_j: 0.417 },
+    PaperRow {
+        framework: "Base Model",
+        compression: 1.0,
+        map: 78.96,
+        latency_rtx_ms: 5.72,
+        latency_jetson_ms: 35.98,
+        energy_rtx_j: 0.875,
+        energy_jetson_j: 0.863,
+    },
+    PaperRow {
+        framework: "Ps&Qs",
+        compression: 1.89,
+        map: 83.67,
+        latency_rtx_ms: 5.17,
+        latency_jetson_ms: 32.061,
+        energy_rtx_j: 0.658,
+        energy_jetson_j: 0.782,
+    },
+    PaperRow {
+        framework: "CLIP-Q",
+        compression: 1.84,
+        map: 79.68,
+        latency_rtx_ms: 5.26,
+        latency_jetson_ms: 35.07,
+        energy_rtx_j: 0.716,
+        energy_jetson_j: 0.841,
+    },
+    PaperRow {
+        framework: "R-TOSS",
+        compression: 4.07,
+        map: 85.26,
+        latency_rtx_ms: 5.69,
+        latency_jetson_ms: 35.94,
+        energy_rtx_j: 0.871,
+        energy_jetson_j: 0.862,
+    },
+    PaperRow {
+        framework: "LIDAR-PTQ",
+        compression: 3.25,
+        map: 78.90,
+        latency_rtx_ms: 4.25,
+        latency_jetson_ms: 29.65,
+        energy_rtx_j: 0.567,
+        energy_jetson_j: 0.711,
+    },
+    PaperRow {
+        framework: "UPAQ (LCK)",
+        compression: 4.92,
+        map: 86.15,
+        latency_rtx_ms: 2.37,
+        latency_jetson_ms: 19.96,
+        energy_rtx_j: 0.371,
+        energy_jetson_j: 0.472,
+    },
+    PaperRow {
+        framework: "UPAQ (HCK)",
+        compression: 5.62,
+        map: 84.25,
+        latency_rtx_ms: 1.70,
+        latency_jetson_ms: 18.23,
+        energy_rtx_j: 0.327,
+        energy_jetson_j: 0.417,
+    },
 ];
 
 /// Paper Table 2, SMOKE block.
@@ -39,13 +95,69 @@ pub const POINTPILLARS_TABLE2: [PaperRow; 7] = [
 /// lower-energy SMOKE variant; we follow the table's column order (HCK
 /// last, most compressed, lowest energy), as EXPERIMENTS.md documents.
 pub const SMOKE_TABLE2: [PaperRow; 7] = [
-    PaperRow { framework: "Base Model", compression: 1.0, map: 29.85, latency_rtx_ms: 28.36, latency_jetson_ms: 127.48, energy_rtx_j: 8.95, energy_jetson_j: 25.85 },
-    PaperRow { framework: "Ps&Qs", compression: 1.95, map: 31.03, latency_rtx_ms: 23.72, latency_jetson_ms: 93.65, energy_rtx_j: 7.79, energy_jetson_j: 19.21 },
-    PaperRow { framework: "CLIP-Q", compression: 1.84, map: 30.45, latency_rtx_ms: 25.48, latency_jetson_ms: 87.28, energy_rtx_j: 8.63, energy_jetson_j: 17.87 },
-    PaperRow { framework: "R-TOSS", compression: 4.25, map: 32.56, latency_rtx_ms: 24.98, latency_jetson_ms: 98.87, energy_rtx_j: 4.37, energy_jetson_j: 20.84 },
-    PaperRow { framework: "LIDAR-PTQ", compression: 3.57, map: 30.23, latency_rtx_ms: 12.75, latency_jetson_ms: 86.27, energy_rtx_j: 4.79, energy_jetson_j: 18.25 },
-    PaperRow { framework: "UPAQ (LCK)", compression: 4.23, map: 36.65, latency_rtx_ms: 9.67, latency_jetson_ms: 71.35, energy_rtx_j: 3.21, energy_jetson_j: 15.62 },
-    PaperRow { framework: "UPAQ (HCK)", compression: 5.13, map: 35.49, latency_rtx_ms: 8.23, latency_jetson_ms: 68.45, energy_rtx_j: 2.83, energy_jetson_j: 13.80 },
+    PaperRow {
+        framework: "Base Model",
+        compression: 1.0,
+        map: 29.85,
+        latency_rtx_ms: 28.36,
+        latency_jetson_ms: 127.48,
+        energy_rtx_j: 8.95,
+        energy_jetson_j: 25.85,
+    },
+    PaperRow {
+        framework: "Ps&Qs",
+        compression: 1.95,
+        map: 31.03,
+        latency_rtx_ms: 23.72,
+        latency_jetson_ms: 93.65,
+        energy_rtx_j: 7.79,
+        energy_jetson_j: 19.21,
+    },
+    PaperRow {
+        framework: "CLIP-Q",
+        compression: 1.84,
+        map: 30.45,
+        latency_rtx_ms: 25.48,
+        latency_jetson_ms: 87.28,
+        energy_rtx_j: 8.63,
+        energy_jetson_j: 17.87,
+    },
+    PaperRow {
+        framework: "R-TOSS",
+        compression: 4.25,
+        map: 32.56,
+        latency_rtx_ms: 24.98,
+        latency_jetson_ms: 98.87,
+        energy_rtx_j: 4.37,
+        energy_jetson_j: 20.84,
+    },
+    PaperRow {
+        framework: "LIDAR-PTQ",
+        compression: 3.57,
+        map: 30.23,
+        latency_rtx_ms: 12.75,
+        latency_jetson_ms: 86.27,
+        energy_rtx_j: 4.79,
+        energy_jetson_j: 18.25,
+    },
+    PaperRow {
+        framework: "UPAQ (LCK)",
+        compression: 4.23,
+        map: 36.65,
+        latency_rtx_ms: 9.67,
+        latency_jetson_ms: 71.35,
+        energy_rtx_j: 3.21,
+        energy_jetson_j: 15.62,
+    },
+    PaperRow {
+        framework: "UPAQ (HCK)",
+        compression: 5.13,
+        map: 35.49,
+        latency_rtx_ms: 8.23,
+        latency_jetson_ms: 68.45,
+        energy_rtx_j: 2.83,
+        energy_jetson_j: 13.80,
+    },
 ];
 
 /// Looks up a paper row by framework name.

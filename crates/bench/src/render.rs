@@ -23,7 +23,12 @@ pub struct BevCanvas {
 
 impl Default for BevCanvas {
     fn default() -> Self {
-        BevCanvas { cols: 72, rows: 26, x_max: 70.0, y_half: 40.0 }
+        BevCanvas {
+            cols: 72,
+            rows: 26,
+            x_max: 70.0,
+            y_half: 40.0,
+        }
     }
 }
 
@@ -133,8 +138,16 @@ pub fn alignment(canvas: &BevCanvas, scene: &Scene, predictions: &[Box3d]) -> Al
         }
     }
     Alignment {
-        gt_covered: if gt == 0 { 0.0 } else { both as f32 / gt as f32 },
-        spurious: if pred == 0 { 0.0 } else { (pred - both) as f32 / pred as f32 },
+        gt_covered: if gt == 0 {
+            0.0
+        } else {
+            both as f32 / gt as f32
+        },
+        spurious: if pred == 0 {
+            0.0
+        } else {
+            (pred - both) as f32 / pred as f32
+        },
     }
 }
 
@@ -151,7 +164,10 @@ mod tests {
         let canvas = BevCanvas::default();
         let text = canvas.render(&scene, &preds);
         assert!(text.contains('#'));
-        assert!(!text.contains('G'), "perfect overlap leaves no GT-only cells");
+        assert!(
+            !text.contains('G'),
+            "perfect overlap leaves no GT-only cells"
+        );
         let a = alignment(&canvas, &scene, &preds);
         assert!(a.gt_covered > 0.99);
         assert!(a.spurious < 0.01);

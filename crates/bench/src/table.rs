@@ -50,7 +50,10 @@ mod tests {
     fn print_table_does_not_panic() {
         print_table(
             &["a", "b"],
-            &[vec!["1".into(), "second".into()], vec!["x".into(), "y".into()]],
+            &[
+                vec!["1".into(), "second".into()],
+                vec!["x".into(), "y".into()],
+            ],
         );
     }
 }

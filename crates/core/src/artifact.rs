@@ -197,7 +197,9 @@ pub fn pack(
         let layer_bits = bits.get(&id).copied().unwrap_or(32);
         let kind = kinds.get(&id).copied().unwrap_or(SparsityKind::Dense);
         if layer_bits < 32 && !(2..=16).contains(&layer_bits) {
-            return Err(UpaqError::BadConfig(format!("unsupported bits {layer_bits}")));
+            return Err(UpaqError::BadConfig(format!(
+                "unsupported bits {layer_bits}"
+            )));
         }
 
         w.u32(id as u32);
@@ -222,7 +224,12 @@ pub fn pack(
                     w.codes(&codes, b);
                 }
             }
-            (SparsityKind::Unstructured | SparsityKind::SemiStructured | SparsityKind::Structured, 32) => {
+            (
+                SparsityKind::Unstructured
+                | SparsityKind::SemiStructured
+                | SparsityKind::Structured,
+                32,
+            ) => {
                 // fp32 sparse: coordinate list.
                 w.u8(3);
                 w.u8(32);
@@ -352,8 +359,9 @@ pub fn unpack(packed: &PackedModel, template: &Model) -> Result<Model> {
                             .ok_or_else(|| UpaqError::BadConfig("index out of range".into()))? = v;
                     }
                 } else {
-                    let indices: Vec<usize> =
-                        (0..nnz).map(|_| r.u32().map(|v| v as usize)).collect::<Result<_>>()?;
+                    let indices: Vec<usize> = (0..nnz)
+                        .map(|_| r.u32().map(|v| v as usize))
+                        .collect::<Result<_>>()?;
                     let scale = r.f32()?;
                     let codes = r.codes(nnz, bits)?;
                     for (&i, c) in indices.iter().zip(codes) {
@@ -381,7 +389,11 @@ pub fn dense_size_bytes(model: &Model) -> usize {
         .weighted_layers()
         .iter()
         .map(|&id| {
-            let w = model.layer(id).expect("valid id").weights().expect("weighted");
+            let w = model
+                .layer(id)
+                .expect("valid id")
+                .weights()
+                .expect("weighted");
             per_layer + w.len() * 4
         })
         .sum::<usize>()
@@ -400,12 +412,20 @@ mod tests {
     fn model() -> (Model, CompressionContext) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 9);
-        let p = m.add_layer(Layer::conv2d("pfn", 9, 8, 1, 1, 0, 1), &[input]).unwrap();
-        let c1 = m.add_layer(Layer::conv2d("c1", 8, 8, 3, 1, 1, 2), &[p]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 3), &[c1]).unwrap();
+        let p = m
+            .add_layer(Layer::conv2d("pfn", 9, 8, 1, 1, 0, 1), &[input])
+            .unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 8, 8, 3, 1, 1, 2), &[p])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 3), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 9, 8, 8));
-        (m, CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 5))
+        (
+            m,
+            CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 5),
+        )
     }
 
     #[test]
@@ -447,7 +467,10 @@ mod tests {
         // And it should agree with the analytic estimate within ~40 %.
         let analytic = outcome.report.compression_ratio;
         let rel = (measured_ratio - analytic).abs() / analytic;
-        assert!(rel < 0.4, "measured {measured_ratio} vs analytic {analytic}");
+        assert!(
+            rel < 0.4,
+            "measured {measured_ratio} vs analytic {analytic}"
+        );
     }
 
     #[test]
@@ -486,7 +509,9 @@ mod tests {
         let packed = pack(&outcome.model, &outcome.bits, &outcome.kinds).unwrap();
         let mut other = Model::new("other");
         let input = other.add_input("in", 9);
-        other.add_layer(Layer::conv2d("pfn", 9, 4, 1, 1, 0, 1), &[input]).unwrap();
+        other
+            .add_layer(Layer::conv2d("pfn", 9, 4, 1, 1, 0, 1), &[input])
+            .unwrap();
         assert!(unpack(&packed, &other).is_err());
     }
 

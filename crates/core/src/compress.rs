@@ -36,12 +36,13 @@ pub struct CompressionContext {
 
 impl CompressionContext {
     /// Creates a context with no skipped layers.
-    pub fn new(
-        device: DeviceProfile,
-        input_shapes: HashMap<String, Shape>,
-        seed: u64,
-    ) -> Self {
-        CompressionContext { device, input_shapes, seed, skip_layers: Vec::new() }
+    pub fn new(device: DeviceProfile, input_shapes: HashMap<String, Shape>, seed: u64) -> Self {
+        CompressionContext {
+            device,
+            input_shapes,
+            seed,
+            skip_layers: Vec::new(),
+        }
     }
 
     /// Builder-style: marks layers as off-limits for compression.
@@ -115,7 +116,12 @@ pub fn build_report(
     ctx: &CompressionContext,
 ) -> Result<CompressionReport> {
     let base_costs = upaq_nn::stats::model_costs(original, &ctx.input_shapes)?;
-    let base_execs = model_executions(original, &base_costs, &BitAllocation::new(), &HashMap::new());
+    let base_execs = model_executions(
+        original,
+        &base_costs,
+        &BitAllocation::new(),
+        &HashMap::new(),
+    );
     let comp_costs = upaq_nn::stats::model_costs(compressed, &ctx.input_shapes)?;
     let comp_execs = model_executions(compressed, &comp_costs, bits, kinds);
     let est = estimate(&ctx.device, &comp_execs);
@@ -123,7 +129,10 @@ pub fn build_report(
     let mean_bits = if weighted.is_empty() {
         32.0
     } else {
-        weighted.iter().map(|id| f64::from(bits.get(id).copied().unwrap_or(32))).sum::<f64>()
+        weighted
+            .iter()
+            .map(|id| f64::from(bits.get(id).copied().unwrap_or(32)))
+            .sum::<f64>()
             / weighted.len() as f64
     };
     Ok(CompressionReport {
@@ -195,23 +204,37 @@ impl Compressor for Upaq {
             if members.is_empty() {
                 continue;
             }
-            let is_kxk = mc
-                .layer(members[0])?
-                .kernel_size()
-                .map_or(false, |k| k > 1); // Algorithm 3, line 7
+            let is_kxk = mc.layer(members[0])?.kernel_size().is_some_and(|k| k > 1); // Algorithm 3, line 7
             if is_kxk {
                 compress_kxk_group(
-                    &mut mc, &members, &self.config, &score_ctx, &mut bits, &mut kinds, &mut rng,
+                    &mut mc,
+                    &members,
+                    &self.config,
+                    &score_ctx,
+                    &mut bits,
+                    &mut kinds,
+                    &mut rng,
                 )?;
             } else if self.config.compress_pointwise {
                 compress_1x1_group(
-                    &mut mc, &members, &self.config, &score_ctx, &mut bits, &mut kinds, &mut rng,
+                    &mut mc,
+                    &members,
+                    &self.config,
+                    &score_ctx,
+                    &mut bits,
+                    &mut kinds,
+                    &mut rng,
                 )?;
             }
         }
 
         let report = build_report(self.name(), model, &mc, &bits, &kinds, ctx)?;
-        Ok(CompressionOutcome { model: mc, bits, kinds, report })
+        Ok(CompressionOutcome {
+            model: mc,
+            bits,
+            kinds,
+            report,
+        })
     }
 }
 
@@ -224,10 +247,17 @@ mod tests {
         let mut m = Model::new("m");
         let input = m.add_input("in", 9);
         // PFN-style 1×1 pair then a 3×3 stack — exercises both algorithms.
-        let p0 = m.add_layer(Layer::conv2d("pfn0", 9, 8, 1, 1, 0, 1), &[input]).unwrap();
-        let p1 = m.add_layer(Layer::conv2d("pfn1", 8, 8, 1, 1, 0, 2), &[p0]).unwrap();
-        let c1 = m.add_layer(Layer::conv2d("c1", 8, 8, 3, 1, 1, 3), &[p1]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 4), &[c1]).unwrap();
+        let p0 = m
+            .add_layer(Layer::conv2d("pfn0", 9, 8, 1, 1, 0, 1), &[input])
+            .unwrap();
+        let p1 = m
+            .add_layer(Layer::conv2d("pfn1", 8, 8, 1, 1, 0, 2), &[p0])
+            .unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 8, 8, 3, 1, 1, 3), &[p1])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 4), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 9, 8, 8));
         let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), shapes, 7);
@@ -277,7 +307,8 @@ mod tests {
     #[test]
     fn predicted_latency_improves() {
         let (m, ctx) = test_model();
-        let base = build_report("base", &m, &m, &BitAllocation::new(), &HashMap::new(), &ctx).unwrap();
+        let base =
+            build_report("base", &m, &m, &BitAllocation::new(), &HashMap::new(), &ctx).unwrap();
         let outcome = Upaq::new(UpaqConfig::hck()).compress(&m, &ctx).unwrap();
         assert!(outcome.report.latency_ms < base.latency_ms);
         assert!(outcome.report.energy_j < base.energy_j);

@@ -80,17 +80,27 @@ impl UpaqConfig {
             return Err(UpaqError::BadConfig("quant_bits must not be empty".into()));
         }
         if self.patterns_per_group == 0 {
-            return Err(UpaqError::BadConfig("patterns_per_group must be ≥ 1".into()));
+            return Err(UpaqError::BadConfig(
+                "patterns_per_group must be ≥ 1".into(),
+            ));
         }
         if self.virtual_kernel < 2 {
             return Err(UpaqError::BadConfig("virtual_kernel must be ≥ 2".into()));
         }
         if self.pattern_kinds.is_empty() {
-            return Err(UpaqError::BadConfig("pattern_kinds must not be empty".into()));
+            return Err(UpaqError::BadConfig(
+                "pattern_kinds must not be empty".into(),
+            ));
         }
-        for (name, v) in [("alpha", self.alpha), ("beta", self.beta), ("gamma", self.gamma)] {
+        for (name, v) in [
+            ("alpha", self.alpha),
+            ("beta", self.beta),
+            ("gamma", self.gamma),
+        ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(UpaqError::BadConfig(format!("{name} must be in [0, 1], got {v}")));
+                return Err(UpaqError::BadConfig(format!(
+                    "{name} must be in [0, 1], got {v}"
+                )));
             }
         }
         Ok(())

@@ -124,7 +124,12 @@ pub fn compress_kxk_group(
     let originals: HashMap<LayerId, Tensor> = members
         .iter()
         .map(|&id| {
-            let w = model.layer(id).expect("valid id").weights().expect("weighted").clone();
+            let w = model
+                .layer(id)
+                .expect("valid id")
+                .weights()
+                .expect("weighted")
+                .clone();
             (id, w)
         })
         .collect();
@@ -158,8 +163,13 @@ pub fn compress_kxk_group(
             }
             let est = ctx.estimate_candidate(model, &cand_bits, &cand_kinds)?;
             let score = ctx.efficiency_score(root_sqnr, &est);
-            if best.as_ref().map_or(true, |b| score > b.score) {
-                best = Some(KernelChoice { pattern: pattern.clone(), bits, score, sqnr: root_sqnr });
+            if best.as_ref().is_none_or(|b| score > b.score) {
+                best = Some(KernelChoice {
+                    pattern: pattern.clone(),
+                    bits,
+                    score,
+                    sqnr: root_sqnr,
+                });
             }
         }
     }
@@ -187,11 +197,15 @@ mod tests {
     fn setup() -> (Model, ScoreContext, StdRng) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 12, 12));
-        let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3).unwrap();
+        let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3)
+            .unwrap();
         (m, ctx, StdRng::seed_from_u64(5))
     }
 
@@ -205,9 +219,10 @@ mod tests {
         let mut bits = BitAllocation::new();
         let mut kinds = HashMap::new();
         let cfg = UpaqConfig::hck();
-        let choice =
-            compress_kxk_group(&mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-                .unwrap();
+        let choice = compress_kxk_group(
+            &mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng,
+        )
+        .unwrap();
         assert_eq!(choice.pattern.nonzeros(), 2);
         assert!(cfg.quant_bits.contains(&choice.bits));
         for &id in &members {
@@ -227,13 +242,31 @@ mod tests {
         let members = groups.members(groups.roots()[0]).unwrap().to_vec();
         let mut b = BitAllocation::new();
         let mut k = HashMap::new();
-        compress_kxk_group(&mut m_h, &members, &UpaqConfig::hck(), &ctx_h, &mut b, &mut k, &mut rng_h).unwrap();
+        compress_kxk_group(
+            &mut m_h,
+            &members,
+            &UpaqConfig::hck(),
+            &ctx_h,
+            &mut b,
+            &mut k,
+            &mut rng_h,
+        )
+        .unwrap();
         let hck_sparsity = m_h.sparsity();
 
         let (mut m_l, ctx_l, mut rng_l) = setup();
         let mut b = BitAllocation::new();
         let mut k = HashMap::new();
-        compress_kxk_group(&mut m_l, &members, &UpaqConfig::lck(), &ctx_l, &mut b, &mut k, &mut rng_l).unwrap();
+        compress_kxk_group(
+            &mut m_l,
+            &members,
+            &UpaqConfig::lck(),
+            &ctx_l,
+            &mut b,
+            &mut k,
+            &mut rng_l,
+        )
+        .unwrap();
         assert!(hck_sparsity > m_l.sparsity());
     }
 
@@ -245,9 +278,10 @@ mod tests {
         let mut bits = BitAllocation::new();
         let mut kinds = HashMap::new();
         let cfg = UpaqConfig::hck();
-        let choice =
-            compress_kxk_group(&mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-                .unwrap();
+        let choice = compress_kxk_group(
+            &mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng,
+        )
+        .unwrap();
         // Surviving weights must sit on each kernel's quantization grid
         // (scales are per-kernel — Algorithm 4 quantizes kernel by kernel).
         let w = m.layer(members[0]).unwrap().weights().unwrap();

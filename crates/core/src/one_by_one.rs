@@ -47,11 +47,7 @@ pub fn apply_virtual_pattern(weights: &Tensor, pattern: &Pattern) -> Tensor {
     out
 }
 
-fn mask_and_quantize_1x1(
-    weights: &Tensor,
-    pattern: &Pattern,
-    bits: u8,
-) -> Result<(Tensor, f32)> {
+fn mask_and_quantize_1x1(weights: &Tensor, pattern: &Pattern, bits: u8) -> Result<(Tensor, f32)> {
     // Per-virtual-kernel rescale + quantization, matching Algorithm 5's
     // per-chunk `mp_quantizer` calls and the paper's "dynamically adjusting
     // the 1×1 kernel weights" (see the notes in `kxk`).
@@ -97,7 +93,12 @@ pub fn compress_1x1_group(
     let originals: HashMap<LayerId, Tensor> = members
         .iter()
         .map(|&id| {
-            let w = model.layer(id).expect("valid id").weights().expect("weighted").clone();
+            let w = model
+                .layer(id)
+                .expect("valid id")
+                .weights()
+                .expect("weighted")
+                .clone();
             (id, w)
         })
         .collect();
@@ -130,8 +131,13 @@ pub fn compress_1x1_group(
             }
             let est = ctx.estimate_candidate(model, &cand_bits, &cand_kinds)?;
             let score = ctx.efficiency_score(root_sqnr, &est);
-            if best.as_ref().map_or(true, |b| score > b.score) {
-                best = Some(KernelChoice { pattern: pattern.clone(), bits, score, sqnr: root_sqnr });
+            if best.as_ref().is_none_or(|b| score > b.score) {
+                best = Some(KernelChoice {
+                    pattern: pattern.clone(),
+                    bits,
+                    score,
+                    sqnr: root_sqnr,
+                });
             }
         }
     }
@@ -159,8 +165,11 @@ mod tests {
     #[test]
     fn virtual_pattern_masks_chunks() {
         // 18 weights = two full 3×3 virtual kernels.
-        let w = Tensor::from_vec(Shape::nchw(18, 1, 1, 1), (1..=18).map(|i| i as f32).collect())
-            .unwrap();
+        let w = Tensor::from_vec(
+            Shape::nchw(18, 1, 1, 1),
+            (1..=18).map(|i| i as f32).collect(),
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let p = pattern_of_kind(PatternKind::MainDiagonal, 3, 3, &mut rng);
         let out = apply_virtual_pattern(&w, &p);
@@ -191,8 +200,11 @@ mod tests {
     fn compresses_pfn_style_group() {
         let mut m = Model::new("pfn");
         let input = m.add_input("in", 9);
-        let c1 = m.add_layer(Layer::conv2d("pfn0", 9, 16, 1, 1, 0, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("pfn1", 16, 16, 1, 1, 0, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("pfn0", 9, 16, 1, 1, 0, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("pfn1", 16, 16, 1, 1, 0, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 9, 8, 8));
         let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3)
@@ -204,9 +216,10 @@ mod tests {
         let mut kinds = HashMap::new();
         let mut rng = StdRng::seed_from_u64(3);
         let cfg = UpaqConfig::lck();
-        let choice =
-            compress_1x1_group(&mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-                .unwrap();
+        let choice = compress_1x1_group(
+            &mut m, &members, &cfg, &ctx, &mut bits, &mut kinds, &mut rng,
+        )
+        .unwrap();
         assert!(cfg.quant_bits.contains(&choice.bits));
         // Sparsity near 1 − n/k² (up to the ragged tail).
         for &id in &members {
@@ -228,7 +241,8 @@ mod tests {
         // the search must pick the highest bitwidth.
         let mut m = Model::new("pfn");
         let input = m.add_input("in", 9);
-        m.add_layer(Layer::conv2d("pfn0", 9, 16, 1, 1, 0, 1), &[input]).unwrap();
+        m.add_layer(Layer::conv2d("pfn0", 9, 16, 1, 1, 0, 1), &[input])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 9, 8, 8));
         let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 1.0, 0.0, 0.0)
@@ -236,9 +250,12 @@ mod tests {
         let mut bits = BitAllocation::new();
         let mut kinds = HashMap::new();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = UpaqConfig { quant_bits: vec![4, 16], ..UpaqConfig::lck() };
-        let choice = compress_1x1_group(&mut m, &[1], &cfg, &ctx, &mut bits, &mut kinds, &mut rng)
-            .unwrap();
+        let cfg = UpaqConfig {
+            quant_bits: vec![4, 16],
+            ..UpaqConfig::lck()
+        };
+        let choice =
+            compress_1x1_group(&mut m, &[1], &cfg, &ctx, &mut bits, &mut kinds, &mut rng).unwrap();
         assert_eq!(choice.bits, 16, "pure-SQNR weighting must choose 16-bit");
     }
 }

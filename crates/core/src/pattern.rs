@@ -124,7 +124,11 @@ pub fn pattern_of_kind(kind: PatternKind, n: usize, d: usize, rng: &mut impl Rng
             (0..n).map(|i| (start_row + i, col)).collect()
         }
     };
-    Pattern { kind, dim: d, positions }
+    Pattern {
+        kind,
+        dim: d,
+        positions,
+    }
 }
 
 /// Draws up to `count` *distinct* random patterns — the candidate set the
@@ -203,10 +207,16 @@ mod tests {
         assert_eq!(anti.positions(), &[(0, 2), (1, 1), (2, 0)]);
         let row = pattern_of_kind(PatternKind::Row, 2, 3, &mut r);
         let rows: Vec<usize> = row.positions().iter().map(|p| p.0).collect();
-        assert!(rows.windows(2).all(|w| w[0] == w[1]), "row pattern spans one row");
+        assert!(
+            rows.windows(2).all(|w| w[0] == w[1]),
+            "row pattern spans one row"
+        );
         let col = pattern_of_kind(PatternKind::Column, 2, 3, &mut r);
         let cols: Vec<usize> = col.positions().iter().map(|p| p.1).collect();
-        assert!(cols.windows(2).all(|w| w[0] == w[1]), "column pattern spans one column");
+        assert!(
+            cols.windows(2).all(|w| w[0] == w[1]),
+            "column pattern spans one column"
+        );
     }
 
     #[test]

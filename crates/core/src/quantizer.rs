@@ -31,7 +31,11 @@ pub struct QuantizedKernel {
 /// Returns an error for unsupported bitwidths (outside 2..=16).
 pub fn mp_quantizer(kernel: &Tensor, bits: u8) -> Result<QuantizedKernel> {
     let (restored, sqnr) = fake_quantize(kernel, bits)?;
-    Ok(QuantizedKernel { kernel: restored, sqnr, bits })
+    Ok(QuantizedKernel {
+        kernel: restored,
+        sqnr,
+        bits,
+    })
 }
 
 /// Sweeps a `quant_bit` array, returning one [`QuantizedKernel`] per entry
@@ -42,7 +46,9 @@ pub fn mp_quantizer(kernel: &Tensor, bits: u8) -> Result<QuantizedKernel> {
 /// Returns an error when `bits` is empty or contains unsupported widths.
 pub fn quantize_candidates(kernel: &Tensor, bits: &[u8]) -> Result<Vec<QuantizedKernel>> {
     if bits.is_empty() {
-        return Err(crate::UpaqError::BadConfig("quant_bits must not be empty".into()));
+        return Err(crate::UpaqError::BadConfig(
+            "quant_bits must not be empty".into(),
+        ));
     }
     bits.iter().map(|&b| mp_quantizer(kernel, b)).collect()
 }

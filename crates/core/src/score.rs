@@ -61,7 +61,14 @@ impl ScoreContext {
         let costs = upaq_nn::stats::model_costs(baseline, &input_shapes)?;
         let execs = model_executions(baseline, &costs, &BitAllocation::new(), &HashMap::new());
         let base = estimate(&device, &execs);
-        Ok(ScoreContext { device, input_shapes, base, alpha, beta, gamma })
+        Ok(ScoreContext {
+            device,
+            input_shapes,
+            base,
+            alpha,
+            beta,
+            gamma,
+        })
     }
 
     /// The baseline (dense fp32) estimate.
@@ -93,8 +100,7 @@ impl ScoreContext {
     /// Eq. 2: combines a candidate's SQNR with its estimated latency/energy
     /// improvement factors.
     pub fn efficiency_score(&self, sqnr: f32, candidate: &Estimate) -> f64 {
-        let sqnr_term = (f64::from(sqnr_db(sqnr)) / SQNR_NORM_DB)
-            .clamp(0.0, SQNR_TERM_CAP);
+        let sqnr_term = (f64::from(sqnr_db(sqnr)) / SQNR_NORM_DB).clamp(0.0, SQNR_TERM_CAP);
         let latency_term = if candidate.latency_s > 0.0 {
             self.base.latency_s / candidate.latency_s
         } else {
@@ -117,8 +123,11 @@ mod tests {
     fn model() -> (Model, HashMap<String, Shape>) {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 4, 16, 16));
         (m, shapes)
@@ -126,15 +135,8 @@ mod tests {
 
     fn ctx() -> (ScoreContext, Model) {
         let (m, shapes) = model();
-        let ctx = ScoreContext::new(
-            DeviceProfile::jetson_orin_nano(),
-            shapes,
-            &m,
-            0.3,
-            0.4,
-            0.3,
-        )
-        .unwrap();
+        let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3)
+            .unwrap();
         (ctx, m)
     }
 
@@ -155,13 +157,15 @@ mod tests {
         // 8-bit weights must push the score up on a compute-heavy model.
         let mut m = Model::new("big");
         let input = m.add_input("in", 16);
-        let c1 = m.add_layer(Layer::conv2d("c1", 16, 32, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 32, 32, 3, 1, 1, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 16, 32, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 32, 32, 3, 1, 1, 2), &[c1])
+            .unwrap();
         let mut shapes = HashMap::new();
         shapes.insert("in".to_string(), Shape::nchw(1, 16, 64, 64));
-        let ctx =
-            ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3)
-                .unwrap();
+        let ctx = ScoreContext::new(DeviceProfile::jetson_orin_nano(), shapes, &m, 0.3, 0.4, 0.3)
+            .unwrap();
         let mut bits = BitAllocation::new();
         let mut kinds = HashMap::new();
         for id in m.weighted_layers() {

@@ -11,8 +11,8 @@
 use crate::kxk::quantize_chunk;
 use crate::Result;
 use serde::{Deserialize, Serialize};
-use upaq_tensor::quant::{sqnr, sqnr_db};
 use upaq_nn::{LayerId, Model};
+use upaq_tensor::quant::{sqnr, sqnr_db};
 
 /// Sensitivity record for one layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,7 +36,11 @@ pub struct LayerSensitivity {
 /// # Errors
 ///
 /// Propagates quantization errors (unsupported bitwidths).
-pub fn analyze(model: &Model, bit_widths: &[u8], nonzeros: &[usize]) -> Result<Vec<LayerSensitivity>> {
+pub fn analyze(
+    model: &Model,
+    bit_widths: &[u8],
+    nonzeros: &[usize],
+) -> Result<Vec<LayerSensitivity>> {
     let mut out = Vec::new();
     for id in model.weighted_layers() {
         let layer = model.layer(id)?;
@@ -65,7 +69,11 @@ pub fn analyze(model: &Model, bit_widths: &[u8], nonzeros: &[usize]) -> Result<V
                 mags.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
                 kept_l2 += mags.iter().take(n).sum::<f32>();
             }
-            let frac = if total_l2 > 0.0 { kept_l2 / total_l2 } else { 1.0 };
+            let frac = if total_l2 > 0.0 {
+                kept_l2 / total_l2
+            } else {
+                1.0
+            };
             pruning.push((n, frac));
         }
 
@@ -101,8 +109,11 @@ mod tests {
     fn model() -> Model {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 8, 8, 1, 1, 0, 2), &[c1]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        m.add_layer(Layer::conv2d("c2", 8, 8, 1, 1, 0, 2), &[c1])
+            .unwrap();
         m
     }
 

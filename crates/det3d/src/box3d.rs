@@ -25,7 +25,13 @@ pub struct Box3d {
 impl Box3d {
     /// An axis-aligned box (yaw = 0).
     pub fn axis_aligned(class: ObjectClass, center: [f32; 3], dims: [f32; 3], score: f32) -> Self {
-        Box3d { class, center, dims, yaw: 0.0, score }
+        Box3d {
+            class,
+            center,
+            dims,
+            yaw: 0.0,
+            score,
+        }
     }
 
     /// Converts a ground-truth scene object into a unit-score box.

@@ -120,7 +120,11 @@ fn lift(
 ///
 /// Panics when `output` does not match [`CameraHeadSpec::output_shape`].
 pub fn decode_camera(output: &Tensor, spec: &CameraHeadSpec) -> Vec<Box3d> {
-    assert_eq!(output.shape(), &spec.output_shape(), "camera head output shape mismatch");
+    assert_eq!(
+        output.shape(),
+        &spec.output_shape(),
+        "camera head output shape mismatch"
+    );
     let (h, w) = (spec.grid_h(), spec.grid_w());
     let n_cells = h * w;
     let data = output.as_slice();
@@ -181,9 +185,8 @@ pub fn encode_camera_targets(boxes: &[Box3d], spec: &CameraHeadSpec) -> Tensor {
         }
 
         // Screen-space AABB of the projected box corners.
-        let bev = |dx: f32, dy: f32, dz: f32| {
-            [b.center[0] + dx, b.center[1] + dy, b.center[2] + dz]
-        };
+        let bev =
+            |dx: f32, dy: f32, dz: f32| [b.center[0] + dx, b.center[1] + dy, b.center[2] + dz];
         let (l2, w2, h2) = (b.dims[0] / 2.0, b.dims[1] / 2.0, b.dims[2] / 2.0);
         let mut min_u = f32::INFINITY;
         let mut max_u = f32::NEG_INFINITY;

@@ -40,10 +40,16 @@ pub fn evaluate_detections(detections: &[Vec<Box3d>], scenes: &[&Scene]) -> Eval
     let mut gt_frames = Vec::new();
     for (frame, (dets, scene)) in detections.iter().zip(scenes).enumerate() {
         for d in dets {
-            det_frames.push(FrameBox { frame, b: d.clone() });
+            det_frames.push(FrameBox {
+                frame,
+                b: d.clone(),
+            });
         }
         for obj in &scene.objects {
-            gt_frames.push(FrameBox { frame, b: Box3d::from_object(obj) });
+            gt_frames.push(FrameBox {
+                frame,
+                b: Box3d::from_object(obj),
+            });
         }
     }
     let mut per_class = Vec::new();
@@ -87,7 +93,10 @@ mod tests {
             .collect();
         let result = evaluate_detections(&dets, &refs);
         assert!((result.map - 100.0).abs() < 1e-2, "map={}", result.map);
-        assert_eq!(result.gt_count, scenes.iter().map(|s| s.objects.len()).sum::<usize>());
+        assert_eq!(
+            result.gt_count,
+            scenes.iter().map(|s| s.objects.len()).sum::<usize>()
+        );
     }
 
     #[test]

@@ -183,7 +183,8 @@ pub fn encode_targets(boxes: &[Box3d], spec: &HeadSpec) -> Tensor {
             })
         };
         if let (Some(lo), Some(hi)) = (
-            spec.grid.cell_of(x0.max(spec.grid.x_min), y0.max(spec.grid.y_min)),
+            spec.grid
+                .cell_of(x0.max(spec.grid.x_min), y0.max(spec.grid.y_min)),
             spec.grid.cell_of(
                 x1.min(spec.grid.x_max - 1e-3),
                 y1.min(spec.grid.y_max - 1e-3),
@@ -235,10 +236,7 @@ mod tests {
         let decoded = decode(&encoded, &spec);
         assert_eq!(decoded.len(), 2);
         for g in &gt {
-            let best = decoded
-                .iter()
-                .map(|d| bev_iou(d, g))
-                .fold(0.0f32, f32::max);
+            let best = decoded.iter().map(|d| bev_iou(d, g)).fold(0.0f32, f32::max);
             assert!(best > 0.9, "roundtrip IoU {best} too low");
         }
     }

@@ -21,7 +21,8 @@ pub fn convex_intersection_area(subject: &[[f32; 2]], clip: &[[f32; 2]]) -> f32 
         let a = clip[i];
         let b = clip[(i + 1) % clip.len()];
         // Keep points on the left of edge a→b (CCW interior).
-        let inside = |p: [f32; 2]| (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]) >= 0.0;
+        let inside =
+            |p: [f32; 2]| (b[0] - a[0]) * (p[1] - a[1]) - (b[1] - a[1]) * (p[0] - a[0]) >= 0.0;
         let mut next = Vec::with_capacity(poly.len() + 2);
         for j in 0..poly.len() {
             let cur = poly[j];

@@ -58,7 +58,11 @@ pub fn average_precision(
         return 0.0;
     }
     let mut dets: Vec<&FrameBox> = detections.iter().filter(|d| d.b.class == class).collect();
-    dets.sort_by(|a, b| b.b.score.partial_cmp(&a.b.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.b.score
+            .partial_cmp(&a.b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let threshold = iou_threshold(class);
     let mut gt_matched = vec![false; gt.len()];
@@ -70,7 +74,7 @@ pub fn average_precision(
                 continue;
             }
             let iou = bev_iou(&det.b, &g.b);
-            if iou >= threshold && best.map_or(true, |(_, b)| iou > b) {
+            if iou >= threshold && best.is_none_or(|(_, b)| iou > b) {
                 best = Some((gi, iou));
             }
         }
@@ -135,7 +139,11 @@ pub fn average_precision_dist(
         return 0.0;
     }
     let mut dets: Vec<&FrameBox> = detections.iter().filter(|d| d.b.class == class).collect();
-    dets.sort_by(|a, b| b.b.score.partial_cmp(&a.b.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.b.score
+            .partial_cmp(&a.b.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let mut gt_matched = vec![false; gt.len()];
     let mut tps = Vec::with_capacity(dets.len());
@@ -148,7 +156,7 @@ pub fn average_precision_dist(
             let dx = g.b.center[0] - det.b.center[0];
             let dy = g.b.center[1] - det.b.center[1];
             let dist = (dx * dx + dy * dy).sqrt();
-            if dist <= dist_threshold && best.map_or(true, |(_, b)| dist < b) {
+            if dist <= dist_threshold && best.is_none_or(|(_, b)| dist < b) {
                 best = Some((gi, dist));
             }
         }
@@ -238,10 +246,20 @@ mod tests {
 
     #[test]
     fn perfect_detections_give_100() {
-        let gt = vec![car_at(0, 10.0, 1.0), car_at(0, 30.0, 1.0), car_at(1, 20.0, 1.0)];
+        let gt = vec![
+            car_at(0, 10.0, 1.0),
+            car_at(0, 30.0, 1.0),
+            car_at(1, 20.0, 1.0),
+        ];
         let dets = gt
             .iter()
-            .map(|g| FrameBox { frame: g.frame, b: Box3d { score: 0.9, ..g.b.clone() } })
+            .map(|g| FrameBox {
+                frame: g.frame,
+                b: Box3d {
+                    score: 0.9,
+                    ..g.b.clone()
+                },
+            })
             .collect::<Vec<_>>();
         let ap = average_precision(ObjectClass::Car, &dets, &gt);
         assert!((ap - 100.0).abs() < 1e-3, "ap={ap}");

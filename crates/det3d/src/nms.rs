@@ -9,7 +9,11 @@ use crate::iou::bev_iou;
 ///
 /// Returns the surviving boxes in descending score order.
 pub fn nms(mut detections: Vec<Box3d>, iou_threshold: f32) -> Vec<Box3d> {
-    detections.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    detections.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Box3d> = Vec::with_capacity(detections.len());
     for det in detections {
         let suppressed = kept

@@ -34,7 +34,14 @@ pub struct BevGrid {
 impl BevGrid {
     /// The standard KITTI PointPillars range at a configurable resolution.
     pub fn kitti(cells_x: usize, cells_y: usize) -> Self {
-        BevGrid { x_min: 0.0, x_max: 69.12, y_min: -39.68, y_max: 39.68, cells_x, cells_y }
+        BevGrid {
+            x_min: 0.0,
+            x_max: 69.12,
+            y_min: -39.68,
+            y_max: 39.68,
+            cells_x,
+            cells_y,
+        }
     }
 
     /// Cell edge lengths `(dx, dy)` in metres.
@@ -88,7 +95,11 @@ pub struct PillarConfig {
 impl PillarConfig {
     /// Standard configuration over the KITTI range.
     pub fn kitti(cells_x: usize, cells_y: usize) -> Self {
-        PillarConfig { grid: BevGrid::kitti(cells_x, cells_y), z_max: 4.0, count_cap: 32 }
+        PillarConfig {
+            grid: BevGrid::kitti(cells_x, cells_y),
+            z_max: 4.0,
+            count_cap: 32,
+        }
     }
 }
 
@@ -209,7 +220,10 @@ mod tests {
     #[test]
     fn pillarize_shape_and_occupancy() {
         let cfg = PillarConfig::kitti(16, 16);
-        let p = LidarPoint { position: [10.0, 0.0, 1.0], intensity: 0.5 };
+        let p = LidarPoint {
+            position: [10.0, 0.0, 1.0],
+            intensity: 0.5,
+        };
         let cloud = cloud_of(vec![p; 8]);
         let img = pillarize(&cloud, &cfg);
         assert_eq!(img.shape().dims(), &[1, 12, 16, 16]);
@@ -230,7 +244,10 @@ mod tests {
     #[test]
     fn high_points_filtered() {
         let cfg = PillarConfig::kitti(8, 8);
-        let cloud = cloud_of(vec![LidarPoint { position: [10.0, 0.0, 10.0], intensity: 0.5 }]);
+        let cloud = cloud_of(vec![LidarPoint {
+            position: [10.0, 0.0, 10.0],
+            intensity: 0.5,
+        }]);
         let img = pillarize(&cloud, &cfg);
         assert_eq!(img.map(|v| if v == 1.0 { 1.0 } else { 0.0 }).sum(), 0.0);
     }
@@ -288,8 +305,14 @@ mod tests {
         let cfg = PillarConfig::kitti(16, 16);
         let (cx, cy) = cfg.grid.cell_of(10.0, 0.0).unwrap();
         let (ccx, _) = cfg.grid.cell_center(cx, cy);
-        let low = cloud_of(vec![LidarPoint { position: [ccx - 1.0, 0.0, 1.0], intensity: 0.5 }]);
-        let high = cloud_of(vec![LidarPoint { position: [ccx + 1.0, 0.0, 1.0], intensity: 0.5 }]);
+        let low = cloud_of(vec![LidarPoint {
+            position: [ccx - 1.0, 0.0, 1.0],
+            intensity: 0.5,
+        }]);
+        let high = cloud_of(vec![LidarPoint {
+            position: [ccx + 1.0, 0.0, 1.0],
+            intensity: 0.5,
+        }]);
         let img_low = pillarize(&low, &cfg);
         let img_high = pillarize(&high, &cfg);
         let v_low = img_low.get(&[0, 5, cx, cy]).unwrap();

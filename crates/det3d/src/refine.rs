@@ -31,7 +31,12 @@ pub struct RefineConfig {
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        RefineConfig { search_margin: 0.6, ground_z: 0.15, min_points: 5, min_points_yaw: 14 }
+        RefineConfig {
+            search_margin: 0.6,
+            ground_z: 0.15,
+            min_points: 5,
+            min_points_yaw: 14,
+        }
     }
 }
 
@@ -103,7 +108,10 @@ fn refine_box_once(proposal: &Box3d, cloud: &PointCloud, config: &RefineConfig) 
 
 /// Refines every proposal in a detection list.
 pub fn refine_all(proposals: &[Box3d], cloud: &PointCloud, config: &RefineConfig) -> Vec<Box3d> {
-    proposals.iter().map(|b| refine_box(b, cloud, config)).collect()
+    proposals
+        .iter()
+        .map(|b| refine_box(b, cloud, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -136,8 +144,16 @@ mod tests {
     fn centre_snaps_to_cluster() {
         let cloud = cluster(20.0, 3.0, 0.0, 40);
         let refined = refine_box(&proposal(21.5, 2.2), &cloud, &RefineConfig::default());
-        assert!((refined.center[0] - 20.0).abs() < 0.3, "x={}", refined.center[0]);
-        assert!((refined.center[1] - 3.0).abs() < 0.3, "y={}", refined.center[1]);
+        assert!(
+            (refined.center[0] - 20.0).abs() < 0.3,
+            "x={}",
+            refined.center[0]
+        );
+        assert!(
+            (refined.center[1] - 3.0).abs() < 0.3,
+            "y={}",
+            refined.center[1]
+        );
     }
 
     #[test]
@@ -164,7 +180,11 @@ mod tests {
         // A ground-plane carpet must not drag the box.
         let mut points: Vec<LidarPoint> = (0..200)
             .map(|i| LidarPoint {
-                position: [10.0 + (i % 20) as f32 * 0.3, -3.0 + (i / 20) as f32 * 0.3, 0.02],
+                position: [
+                    10.0 + (i % 20) as f32 * 0.3,
+                    -3.0 + (i / 20) as f32 * 0.3,
+                    0.02,
+                ],
                 intensity: 0.1,
             })
             .collect();
@@ -178,7 +198,11 @@ mod tests {
     #[test]
     fn refine_all_maps_each_box() {
         let cloud = cluster(20.0, 0.0, 0.0, 40);
-        let out = refine_all(&[proposal(20.5, 0.0), proposal(60.0, 20.0)], &cloud, &RefineConfig::default());
+        let out = refine_all(
+            &[proposal(20.5, 0.0), proposal(60.0, 20.0)],
+            &cloud,
+            &RefineConfig::default(),
+        );
         assert_eq!(out.len(), 2);
         assert!((out[0].center[0] - 20.0).abs() < 0.3);
         assert_eq!(out[1].center[0], 60.0); // untouched

@@ -63,7 +63,7 @@ proptest! {
     fn encode_decode_recovers_isolated_boxes(x in 10.0f32..60.0, y in -30.0f32..30.0, yaw in -3.0f32..3.0) {
         let spec = HeadSpec::kitti(BevGrid::kitti(32, 32));
         let b = Box3d { class: ObjectClass::Car, center: [x, y, 0.8], dims: [4.0, 1.7, 1.5], yaw, score: 1.0 };
-        let decoded = decode(&encode_targets(&[b.clone()], &spec), &spec);
+        let decoded = decode(&encode_targets(std::slice::from_ref(&b), &spec), &spec);
         prop_assert!(!decoded.is_empty(), "isolated box must decode");
         let best = decoded.iter().map(|d| bev_iou(d, &b)).fold(0.0f32, f32::max);
         prop_assert!(best > 0.75, "roundtrip IoU {best}");

@@ -28,7 +28,10 @@ pub fn calibrate_to(
     target_latency_s: f64,
     target_energy_j: f64,
 ) -> DeviceProfile {
-    assert!(target_latency_s > 0.0 && target_energy_j > 0.0, "targets must be positive");
+    assert!(
+        target_latency_s > 0.0 && target_energy_j > 0.0,
+        "targets must be positive"
+    );
     let mut d = device.clone();
 
     // Pin the uncompressible fixed work (pre/post-processing, host costs)
@@ -90,28 +93,47 @@ mod tests {
                 sparsity_kind: SparsityKind::Dense,
                 weight_bits: 32,
                 activation_elems: 1_000_000,
-            activation_bits: 32,
+                activation_bits: 32,
             })
             .collect()
     }
 
     #[test]
     fn hits_latency_target() {
-        let d = calibrate_to(&DeviceProfile::jetson_orin_nano(), &baseline(), 35.98e-3, 0.863);
+        let d = calibrate_to(
+            &DeviceProfile::jetson_orin_nano(),
+            &baseline(),
+            35.98e-3,
+            0.863,
+        );
         let est = estimate(&d, &baseline());
-        assert!((est.latency_ms() - 35.98).abs() < 0.05, "got {}", est.latency_ms());
+        assert!(
+            (est.latency_ms() - 35.98).abs() < 0.05,
+            "got {}",
+            est.latency_ms()
+        );
     }
 
     #[test]
     fn hits_energy_target() {
-        let d = calibrate_to(&DeviceProfile::jetson_orin_nano(), &baseline(), 35.98e-3, 0.863);
+        let d = calibrate_to(
+            &DeviceProfile::jetson_orin_nano(),
+            &baseline(),
+            35.98e-3,
+            0.863,
+        );
         let est = estimate(&d, &baseline());
         assert!((est.energy_j - 0.863).abs() < 0.01, "got {}", est.energy_j);
     }
 
     #[test]
     fn calibrated_model_still_rewards_compression() {
-        let d = calibrate_to(&DeviceProfile::jetson_orin_nano(), &baseline(), 35.98e-3, 0.863);
+        let d = calibrate_to(
+            &DeviceProfile::jetson_orin_nano(),
+            &baseline(),
+            35.98e-3,
+            0.863,
+        );
         let compressed: Vec<LayerExecution> = baseline()
             .into_iter()
             .map(|mut l| {

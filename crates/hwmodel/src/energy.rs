@@ -8,8 +8,7 @@ use crate::exec::LayerExecution;
 /// level in [`crate::latency::estimate`].
 pub fn layer_energy(device: &DeviceProfile, layer: &LayerExecution) -> f64 {
     let mac_energy = layer.executed_macs() * device.energy_per_mac(layer.weight_bits);
-    let traffic_energy =
-        (layer.weight_bytes() + layer.activation_bytes()) * device.energy_per_byte;
+    let traffic_energy = (layer.weight_bytes() + layer.activation_bytes()) * device.energy_per_byte;
     mac_energy + traffic_energy
 }
 

@@ -190,8 +190,13 @@ mod tests {
 
     #[test]
     fn exploitation_ordering() {
-        assert!(SparsityKind::Structured.exploitation(8) > SparsityKind::SemiStructured.exploitation(8));
-        assert!(SparsityKind::SemiStructured.exploitation(8) > SparsityKind::Unstructured.exploitation(8));
+        assert!(
+            SparsityKind::Structured.exploitation(8) > SparsityKind::SemiStructured.exploitation(8)
+        );
+        assert!(
+            SparsityKind::SemiStructured.exploitation(8)
+                > SparsityKind::Unstructured.exploitation(8)
+        );
         assert_eq!(SparsityKind::Dense.exploitation(8), 0.0);
         // fp32 pattern kernels miss the tensor-core sparse paths.
         assert!(
@@ -221,7 +226,8 @@ mod tests {
     fn bridge_reads_model_sparsity() {
         let mut m = Model::new("m");
         let input = m.add_input("in", 1);
-        m.add_layer(Layer::conv2d("c", 1, 2, 3, 1, 1, 0), &[input]).unwrap();
+        m.add_layer(Layer::conv2d("c", 1, 2, 3, 1, 1, 0), &[input])
+            .unwrap();
         // Zero half the weights.
         {
             let l = m.layer_mut(1).unwrap();

@@ -55,7 +55,11 @@ pub fn estimate(device: &DeviceProfile, layers: &[LayerExecution]) -> Estimate {
         .map(|l| crate::energy::layer_energy(device, l))
         .sum();
     let energy = device.idle_power_w * total + dynamic;
-    Estimate { latency_s: total, energy_j: energy, per_layer_s }
+    Estimate {
+        latency_s: total,
+        energy_j: energy,
+        per_layer_s,
+    }
 }
 
 /// Roofline latency of a single layer.

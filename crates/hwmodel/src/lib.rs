@@ -50,6 +50,7 @@ pub mod device;
 pub mod energy;
 pub mod exec;
 pub mod latency;
+pub mod meter;
 pub mod power;
 pub mod size;
 
@@ -57,4 +58,5 @@ pub use calibrate::calibrate_to;
 pub use device::DeviceProfile;
 pub use exec::{model_executions, BitAllocation, LayerExecution, SparsityKind};
 pub use latency::{estimate, Estimate};
+pub use meter::{EnergyMeter, VariantEnergy};
 pub use size::{compressed_size_bits, compression_ratio};

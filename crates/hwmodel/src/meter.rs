@@ -1,0 +1,101 @@
+//! Per-frame energy accounting for streaming inference.
+//!
+//! The hardware model predicts a fixed energy cost per forward pass of a
+//! given model variant on a given device ([`crate::estimate`]). A
+//! streaming runtime charges that modeled cost to an [`EnergyMeter`] once
+//! per processed frame, keyed by the variant that actually ran — so a run
+//! that degrades under load shows its energy savings in the report.
+
+use std::collections::BTreeMap;
+
+/// Accumulates modeled per-frame energy, grouped by model variant.
+#[derive(Debug, Default, Clone)]
+pub struct EnergyMeter {
+    per_variant: BTreeMap<String, VariantEnergy>,
+}
+
+/// Energy totals for one model variant.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct VariantEnergy {
+    /// Frames charged to this variant.
+    pub frames: u64,
+    /// Total modeled energy, joules.
+    pub energy_j: f64,
+}
+
+impl VariantEnergy {
+    /// Mean modeled energy per frame, joules (0 when no frames ran).
+    pub fn mean_energy_j(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.energy_j / self.frames as f64
+        }
+    }
+}
+
+impl EnergyMeter {
+    /// An empty meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Charges one frame's modeled energy to `variant`.
+    pub fn record(&mut self, variant: &str, energy_j: f64) {
+        let e = self.per_variant.entry(variant.to_string()).or_default();
+        e.frames += 1;
+        e.energy_j += energy_j;
+    }
+
+    /// Total frames recorded across all variants.
+    pub fn frames(&self) -> u64 {
+        self.per_variant.values().map(|e| e.frames).sum()
+    }
+
+    /// Total modeled energy across all variants, joules.
+    pub fn total_energy_j(&self) -> f64 {
+        self.per_variant.values().map(|e| e.energy_j).sum()
+    }
+
+    /// Mean modeled energy per frame over the whole run, joules.
+    pub fn mean_energy_j(&self) -> f64 {
+        let frames = self.frames();
+        if frames == 0 {
+            0.0
+        } else {
+            self.total_energy_j() / frames as f64
+        }
+    }
+
+    /// Per-variant totals, in variant-name order (deterministic).
+    pub fn variants(&self) -> impl Iterator<Item = (&str, &VariantEnergy)> {
+        self.per_variant.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_per_variant() {
+        let mut m = EnergyMeter::new();
+        m.record("base", 2.0);
+        m.record("base", 2.0);
+        m.record("lck", 0.5);
+        assert_eq!(m.frames(), 3);
+        assert!((m.total_energy_j() - 4.5).abs() < 1e-12);
+        assert!((m.mean_energy_j() - 1.5).abs() < 1e-12);
+        let v: Vec<(&str, u64)> = m.variants().map(|(k, e)| (k, e.frames)).collect();
+        assert_eq!(v, vec![("base", 2), ("lck", 1)]);
+        let base = m.variants().next().unwrap().1;
+        assert!((base.mean_energy_j() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.frames(), 0);
+        assert_eq!(m.mean_energy_j(), 0.0);
+    }
+}

@@ -63,7 +63,11 @@ pub struct NvPowerSampler {
 impl NvPowerSampler {
     /// A 100 Hz sampler with 50 ms idle margins.
     pub fn new(idle_power_w: f64) -> Self {
-        NvPowerSampler { dt_s: 0.01, idle_margin_s: 0.05, idle_power_w }
+        NvPowerSampler {
+            dt_s: 0.01,
+            idle_margin_s: 0.05,
+            idle_power_w,
+        }
     }
 
     /// Samples the power trace of one inference described by `estimate`.
@@ -83,13 +87,19 @@ impl NvPowerSampler {
         let mut samples = Vec::with_capacity(n);
         for i in 0..n {
             let t = i as f64 * self.dt_s;
-            let in_window =
-                t >= self.idle_margin_s && t <= self.idle_margin_s + estimate.latency_s;
+            let in_window = t >= self.idle_margin_s && t <= self.idle_margin_s + estimate.latency_s;
             let ripple = 1.0 + 0.03 * ((i as f64) * 2.399).sin();
-            let p = if in_window { plateau * ripple } else { self.idle_power_w };
+            let p = if in_window {
+                plateau * ripple
+            } else {
+                self.idle_power_w
+            };
             samples.push(PowerSample { t_s: t, power_w: p });
         }
-        PowerTrace { samples, dt_s: self.dt_s }
+        PowerTrace {
+            samples,
+            dt_s: self.dt_s,
+        }
     }
 }
 
@@ -98,7 +108,11 @@ mod tests {
     use super::*;
 
     fn estimate(latency_s: f64, energy_j: f64) -> Estimate {
-        Estimate { latency_s, energy_j, per_layer_s: vec![] }
+        Estimate {
+            latency_s,
+            energy_j,
+            per_layer_s: vec![],
+        }
     }
 
     #[test]
@@ -141,7 +155,10 @@ mod tests {
 
     #[test]
     fn degenerate_trace_integrates_to_zero() {
-        let trace = PowerTrace { samples: vec![], dt_s: 0.01 };
+        let trace = PowerTrace {
+            samples: vec![],
+            dt_s: 0.01,
+        };
         assert_eq!(trace.integrate_energy(), 0.0);
     }
 }

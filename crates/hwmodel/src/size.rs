@@ -92,10 +92,7 @@ mod tests {
     fn quantization_shrinks_size() {
         let fp32 = layer(32, 0.0, SparsityKind::Dense);
         let int8 = layer(8, 0.0, SparsityKind::Dense);
-        assert_eq!(
-            compression_ratio(&[fp32], &[int8]),
-            4.0
-        );
+        assert_eq!(compression_ratio(&[fp32], &[int8]), 4.0);
     }
 
     #[test]

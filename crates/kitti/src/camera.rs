@@ -137,7 +137,11 @@ pub fn render(scene: &Scene, calib: &CameraCalib, seed: u64) -> CameraImage {
     for y in 0..h {
         for x in 0..w {
             let horizon = calib.cy as usize;
-            let base = if y < horizon { 0.30 } else { 0.15 + 0.05 * (y - horizon) as f32 / h as f32 };
+            let base = if y < horizon {
+                0.30
+            } else {
+                0.15 + 0.05 * (y - horizon) as f32 / h as f32
+            };
             intensity[y * w + x] = base + rng.gen_range(-0.02..0.02);
         }
     }
@@ -298,7 +302,10 @@ mod tests {
             .take(38 * 124)
             .cloned()
             .fold(f32::NEG_INFINITY, f32::max);
-        assert!(max_intensity > 0.6, "car should paint bright pixels, max={max_intensity}");
+        assert!(
+            max_intensity > 0.6,
+            "car should paint bright pixels, max={max_intensity}"
+        );
     }
 
     #[test]
@@ -320,17 +327,26 @@ mod tests {
             .iter()
             .cloned()
             .fold(f32::NEG_INFINITY, f32::max);
-        assert!((inv_depth_max - 0.5).abs() < 0.05, "10/20 = 0.5, got {inv_depth_max}");
+        assert!(
+            (inv_depth_max - 0.5).abs() < 0.05,
+            "10/20 = 0.5, got {inv_depth_max}"
+        );
         // Direct-depth channel carries 20/80 = 0.25 at the painted pixels.
         let direct_max = img.tensor().as_slice()[2 * n..3 * n]
             .iter()
             .cloned()
             .fold(f32::NEG_INFINITY, f32::max);
-        assert!((direct_max - 0.25).abs() < 0.05, "20/80 = 0.25, got {direct_max}");
+        assert!(
+            (direct_max - 0.25).abs() < 0.05,
+            "20/80 = 0.25, got {direct_max}"
+        );
         // Ground-plane prior decreases with pixel row below the horizon.
         let prior = &img.tensor().as_slice()[3 * n..4 * n];
         let top_row = prior[0];
         let bottom_row = prior[(38 - 1) * 124];
-        assert!(bottom_row < top_row, "prior must shrink toward the near ground");
+        assert!(
+            bottom_row < top_row,
+            "prior must shrink toward the near ground"
+        );
     }
 }

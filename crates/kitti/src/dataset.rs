@@ -23,8 +23,17 @@ impl DatasetConfig {
     pub fn small() -> Self {
         DatasetConfig {
             scenes: 10,
-            scene: SceneConfig { cars: (2, 4), pedestrians: (0, 1), cyclists: (0, 1), ..Default::default() },
-            lidar: LidarConfig { ground_points: 300, clutter_points: 20, ..Default::default() },
+            scene: SceneConfig {
+                cars: (2, 4),
+                pedestrians: (0, 1),
+                cyclists: (0, 1),
+                ..Default::default()
+            },
+            lidar: LidarConfig {
+                ground_points: 300,
+                clutter_points: 20,
+                ..Default::default()
+            },
             camera: CameraCalib::kitti_small(64, 24),
         }
     }
@@ -76,7 +85,11 @@ impl Dataset {
         let scenes = (0..config.scenes)
             .map(|i| Scene::generate(i, &config.scene, seed.wrapping_add(i as u64 * 7919)))
             .collect();
-        Dataset { config: config.clone(), scenes, seed }
+        Dataset {
+            config: config.clone(),
+            scenes,
+            seed,
+        }
     }
 
     /// Number of scenes.
@@ -167,7 +180,10 @@ mod tests {
 
     #[test]
     fn split_ratios_80_10_10() {
-        let cfg = DatasetConfig { scenes: 100, ..DatasetConfig::small() };
+        let cfg = DatasetConfig {
+            scenes: 100,
+            ..DatasetConfig::small()
+        };
         let d = Dataset::generate(&cfg, 0);
         let split = d.split();
         assert_eq!(split.train.len(), 80);
@@ -187,7 +203,10 @@ mod tests {
 
     #[test]
     fn split_handles_small_datasets() {
-        let cfg = DatasetConfig { scenes: 5, ..DatasetConfig::small() };
+        let cfg = DatasetConfig {
+            scenes: 5,
+            ..DatasetConfig::small()
+        };
         let d = Dataset::generate(&cfg, 0);
         let split = d.split();
         assert_eq!(split.train.len(), 5);

@@ -34,8 +34,10 @@ pub mod camera;
 pub mod dataset;
 pub mod lidar;
 pub mod scene;
+pub mod stream;
 
 pub use camera::{CameraCalib, CameraImage};
 pub use dataset::{Dataset, DatasetConfig, Split};
 pub use lidar::{LidarConfig, PointCloud};
 pub use scene::{Difficulty, ObjectClass, Scene, SceneConfig, SceneObject};
+pub use stream::{Frame, FrameStream};

@@ -85,8 +85,8 @@ pub fn synthesize(scene: &Scene, config: &LidarConfig, seed: u64) -> PointCloud 
 
     for obj in &scene.objects {
         let r = obj.range().max(1.0);
-        let budget = (config.points_at_10m as f32 * (10.0 / r).powi(2)
-            * (1.0 - obj.occlusion)).round() as usize;
+        let budget = (config.points_at_10m as f32 * (10.0 / r).powi(2) * (1.0 - obj.occlusion))
+            .round() as usize;
         let budget = budget.clamp(3, 4 * config.points_at_10m);
         sample_object_surface(obj, budget, config.noise_sigma, &mut rng, &mut points);
     }
@@ -97,7 +97,10 @@ pub fn synthesize(scene: &Scene, config: &LidarConfig, seed: u64) -> PointCloud 
         let x = rng.gen_range(0.0..cfg.max_range);
         let y = rng.gen_range(-cfg.half_width..cfg.half_width);
         let z = rng.gen_range(-0.05..0.05);
-        points.push(LidarPoint { position: [x, y, z], intensity: 0.1 });
+        points.push(LidarPoint {
+            position: [x, y, z],
+            intensity: 0.1,
+        });
     }
 
     // Random clutter (vegetation, poles, noise).
@@ -105,7 +108,10 @@ pub fn synthesize(scene: &Scene, config: &LidarConfig, seed: u64) -> PointCloud 
         let x = rng.gen_range(0.0..cfg.max_range);
         let y = rng.gen_range(-cfg.half_width..cfg.half_width);
         let z = rng.gen_range(0.0..3.0);
-        points.push(LidarPoint { position: [x, y, z], intensity: rng.gen_range(0.0..0.4) });
+        points.push(LidarPoint {
+            position: [x, y, z],
+            intensity: rng.gen_range(0.0..0.4),
+        });
     }
 
     PointCloud { points }
@@ -182,7 +188,11 @@ mod tests {
         far.center = [50.0, 10.0, 0.78];
         scene.objects.push(base.clone());
         scene.objects.push(far.clone());
-        let cfg = LidarConfig { ground_points: 0, clutter_points: 0, ..Default::default() };
+        let cfg = LidarConfig {
+            ground_points: 0,
+            clutter_points: 0,
+            ..Default::default()
+        };
         let cloud = synthesize(&scene, &cfg, 3);
         let count_near = cloud
             .points()
@@ -194,7 +204,10 @@ mod tests {
             .iter()
             .filter(|p| (p.position[0] - 50.0).abs() < 4.0 && (p.position[1] - 10.0).abs() < 3.0)
             .count();
-        assert!(count_near > 3 * count_far, "near {count_near} vs far {count_far}");
+        assert!(
+            count_near > 3 * count_far,
+            "near {count_near} vs far {count_far}"
+        );
     }
 
     #[test]
@@ -202,7 +215,11 @@ mod tests {
         let mut scene = test_scene(0);
         scene.objects.truncate(1);
         let obj = scene.objects[0].clone();
-        let cfg = LidarConfig { ground_points: 0, clutter_points: 0, ..Default::default() };
+        let cfg = LidarConfig {
+            ground_points: 0,
+            clutter_points: 0,
+            ..Default::default()
+        };
         let cloud = synthesize(&scene, &cfg, 9);
         let radius = obj.dims[0].max(obj.dims[1]) / 2.0 + 0.5;
         for p in cloud.points() {
@@ -219,7 +236,10 @@ mod tests {
     fn ground_points_near_ground() {
         let mut scene = test_scene(0);
         scene.objects.clear();
-        let cfg = LidarConfig { clutter_points: 0, ..Default::default() };
+        let cfg = LidarConfig {
+            clutter_points: 0,
+            ..Default::default()
+        };
         let cloud = synthesize(&scene, &cfg, 4);
         assert_eq!(cloud.len(), cfg.ground_points);
         assert!(cloud.points().iter().all(|p| p.position[2].abs() < 0.1));
@@ -238,7 +258,11 @@ mod tests {
             difficulty: crate::scene::Difficulty::Easy,
         };
         scene.objects.push(visible.clone());
-        let cfg = LidarConfig { ground_points: 0, clutter_points: 0, ..Default::default() };
+        let cfg = LidarConfig {
+            ground_points: 0,
+            clutter_points: 0,
+            ..Default::default()
+        };
         let n_visible = synthesize(&scene, &cfg, 5).len();
         visible.occlusion = 0.8;
         scene.objects[0] = visible;
@@ -250,6 +274,9 @@ mod tests {
     fn intensities_in_unit_range() {
         let scene = test_scene(2);
         let cloud = synthesize(&scene, &LidarConfig::default(), 0);
-        assert!(cloud.points().iter().all(|p| (0.0..=1.0).contains(&p.intensity)));
+        assert!(cloud
+            .points()
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.intensity)));
     }
 }

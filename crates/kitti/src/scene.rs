@@ -18,7 +18,11 @@ pub enum ObjectClass {
 
 impl ObjectClass {
     /// All classes, in KITTI evaluation order.
-    pub const ALL: [ObjectClass; 3] = [ObjectClass::Car, ObjectClass::Pedestrian, ObjectClass::Cyclist];
+    pub const ALL: [ObjectClass; 3] = [
+        ObjectClass::Car,
+        ObjectClass::Pedestrian,
+        ObjectClass::Cyclist,
+    ];
 
     /// Mean object dimensions `(length, width, height)` in metres, from the
     /// KITTI label statistics.
@@ -159,36 +163,38 @@ impl Scene {
         let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut objects: Vec<SceneObject> = Vec::new();
 
-        let place = |rng: &mut StdRng, class: ObjectClass, count: usize, objects: &mut Vec<SceneObject>| {
-            for _ in 0..count {
-                for _attempt in 0..32 {
-                    let x = rng.gen_range(5.0..config.max_range * 0.95);
-                    let y = rng.gen_range(-config.half_width * 0.9..config.half_width * 0.9);
-                    let (ml, mw, mh) = class.mean_dims();
-                    let jitter = |rng: &mut StdRng, m: f32| m * rng.gen_range(0.85..1.15);
-                    let dims = [jitter(rng, ml), jitter(rng, mw), jitter(rng, mh)];
-                    let yaw = rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI);
-                    let candidate = SceneObject {
-                        class,
-                        center: [x, y, dims[2] / 2.0],
-                        dims,
-                        yaw,
-                        occlusion: 0.0,
-                        difficulty: Difficulty::Easy,
-                    };
-                    let clear = objects.iter().all(|o| {
-                        let dx = o.center[0] - x;
-                        let dy = o.center[1] - y;
-                        let min_sep = (o.dims[0].max(o.dims[1]) + dims[0].max(dims[1])) / 2.0 + 1.0;
-                        dx * dx + dy * dy > min_sep * min_sep
-                    });
-                    if clear {
-                        objects.push(candidate);
-                        break;
+        let place =
+            |rng: &mut StdRng, class: ObjectClass, count: usize, objects: &mut Vec<SceneObject>| {
+                for _ in 0..count {
+                    for _attempt in 0..32 {
+                        let x = rng.gen_range(5.0..config.max_range * 0.95);
+                        let y = rng.gen_range(-config.half_width * 0.9..config.half_width * 0.9);
+                        let (ml, mw, mh) = class.mean_dims();
+                        let jitter = |rng: &mut StdRng, m: f32| m * rng.gen_range(0.85..1.15);
+                        let dims = [jitter(rng, ml), jitter(rng, mw), jitter(rng, mh)];
+                        let yaw = rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI);
+                        let candidate = SceneObject {
+                            class,
+                            center: [x, y, dims[2] / 2.0],
+                            dims,
+                            yaw,
+                            occlusion: 0.0,
+                            difficulty: Difficulty::Easy,
+                        };
+                        let clear = objects.iter().all(|o| {
+                            let dx = o.center[0] - x;
+                            let dy = o.center[1] - y;
+                            let min_sep =
+                                (o.dims[0].max(o.dims[1]) + dims[0].max(dims[1])) / 2.0 + 1.0;
+                            dx * dx + dy * dy > min_sep * min_sep
+                        });
+                        if clear {
+                            objects.push(candidate);
+                            break;
+                        }
                     }
                 }
-            }
-        };
+            };
 
         let n_cars = rng.gen_range(config.cars.0..=config.cars.1);
         let n_peds = rng.gen_range(config.pedestrians.0..=config.pedestrians.1);
@@ -222,7 +228,12 @@ impl Scene {
             obj.difficulty = classify_difficulty(obj.range(), occ);
         }
 
-        Scene { id, objects, config: config.clone(), seed }
+        Scene {
+            id,
+            objects,
+            config: config.clone(),
+            seed,
+        }
     }
 
     /// Objects of a given class.
@@ -284,7 +295,12 @@ mod tests {
 
     #[test]
     fn car_counts_respect_config() {
-        let cfg = SceneConfig { cars: (2, 2), pedestrians: (0, 0), cyclists: (0, 0), ..Default::default() };
+        let cfg = SceneConfig {
+            cars: (2, 2),
+            pedestrians: (0, 0),
+            cyclists: (0, 0),
+            ..Default::default()
+        };
         let scene = Scene::generate(0, &cfg, 1);
         assert_eq!(scene.objects_of(ObjectClass::Car).len(), 2);
         assert!(scene.objects_of(ObjectClass::Pedestrian).is_empty());

@@ -16,13 +16,7 @@ use upaq_tensor::{Shape, Tensor};
 /// init carries it through arbitrarily deep stacks — the backbone still
 /// mixes features (noise taps), so the closed-form head has something to
 /// regress on.
-pub fn identity_conv_weights(
-    in_c: usize,
-    out_c: usize,
-    k: usize,
-    noise: f32,
-    seed: u64,
-) -> Tensor {
+pub fn identity_conv_weights(in_c: usize, out_c: usize, k: usize, noise: f32, seed: u64) -> Tensor {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut w = Tensor::zeros(Shape::nchw(out_c, in_c, k, k));
     let centre = k / 2;
@@ -116,8 +110,25 @@ pub fn residual_block(
     noise: f32,
     model_seed: u64,
 ) -> Result<LayerId> {
-    let c1 = conv_bn_relu(model, &format!("{name}.0"), input, channels, channels, 3, 1, 1, noise, model_seed)?;
-    let weights = identity_conv_weights(channels, channels, 3, noise, seed_for(model_seed, &format!("{name}.1")));
+    let c1 = conv_bn_relu(
+        model,
+        &format!("{name}.0"),
+        input,
+        channels,
+        channels,
+        3,
+        1,
+        1,
+        noise,
+        model_seed,
+    )?;
+    let weights = identity_conv_weights(
+        channels,
+        channels,
+        3,
+        noise,
+        seed_for(model_seed, &format!("{name}.1")),
+    );
     let bias = Tensor::zeros(Shape::vector(channels));
     let c2 = model.add_layer(
         Layer::conv2d_with_weights(format!("{name}.1.conv"), 1, 1, weights, bias),

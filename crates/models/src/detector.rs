@@ -38,8 +38,23 @@ impl LidarDetector {
     /// Propagates network-execution errors.
     pub fn detect(&self, cloud: &PointCloud) -> Result<Vec<Box3d>> {
         let output = self.head_output(cloud)?;
-        let proposals = decode(&output, &self.head_spec);
-        Ok(match &self.refine {
+        Ok(self.postprocess(&output, cloud))
+    }
+
+    /// Stage 1 of the pipeline: point cloud → pillar tensor. Exposed so a
+    /// streaming runtime can run it as its own stage while sharing the
+    /// exact code path [`detect`][Self::detect] uses.
+    pub fn preprocess(&self, cloud: &PointCloud) -> Tensor {
+        pillarize(cloud, &self.pillar_config)
+    }
+
+    /// Stage 3 of the pipeline: raw head output → decoded proposals →
+    /// point-based refinement → final NMS. Exposed for the same reason as
+    /// [`preprocess`][Self::preprocess]; `detect` delegates here, so
+    /// streaming and batch detections are bit-identical by construction.
+    pub fn postprocess(&self, output: &Tensor, cloud: &PointCloud) -> Vec<Box3d> {
+        let proposals = decode(output, &self.head_spec);
+        match &self.refine {
             Some(cfg) => {
                 // Refinement can converge near-duplicates onto the same
                 // cluster; a second NMS dedupes them.
@@ -47,7 +62,7 @@ impl LidarDetector {
                 nms(refined, self.head_spec.nms_iou)
             }
             None => proposals,
-        })
+        }
     }
 
     /// The raw head-output tensor for a cloud.
@@ -74,7 +89,9 @@ impl LidarDetector {
         let graph = self.model.compute_graph();
         let feed = graph.inputs_of(head);
         if feed.len() != 1 {
-            return Err(NnError::BadWiring("head must have exactly one input".into()));
+            return Err(NnError::BadWiring(
+                "head must have exactly one input".into(),
+            ));
         }
         Ok(acts[&feed[0]].clone())
     }
@@ -87,7 +104,10 @@ impl LidarDetector {
     pub fn head_layer(&self) -> Result<LayerId> {
         let sinks = self.model.compute_graph().sinks();
         if sinks.len() != 1 {
-            return Err(NnError::BadWiring(format!("expected 1 sink, got {}", sinks.len())));
+            return Err(NnError::BadWiring(format!(
+                "expected 1 sink, got {}",
+                sinks.len()
+            )));
         }
         Ok(sinks[0])
     }
@@ -98,7 +118,12 @@ impl LidarDetector {
         let mut shapes = HashMap::new();
         shapes.insert(
             self.input_name.clone(),
-            Shape::nchw(1, upaq_det3d::pillars::PILLAR_CHANNELS, grid.cells_x, grid.cells_y),
+            Shape::nchw(
+                1,
+                upaq_det3d::pillars::PILLAR_CHANNELS,
+                grid.cells_x,
+                grid.cells_y,
+            ),
         );
         shapes
     }
@@ -153,7 +178,9 @@ impl CameraDetector {
         let graph = self.model.compute_graph();
         let feed = graph.inputs_of(head);
         if feed.len() != 1 {
-            return Err(NnError::BadWiring("head must have exactly one input".into()));
+            return Err(NnError::BadWiring(
+                "head must have exactly one input".into(),
+            ));
         }
         Ok(acts[&feed[0]].clone())
     }
@@ -166,7 +193,10 @@ impl CameraDetector {
     pub fn head_layer(&self) -> Result<LayerId> {
         let sinks = self.model.compute_graph().sinks();
         if sinks.len() != 1 {
-            return Err(NnError::BadWiring(format!("expected 1 sink, got {}", sinks.len())));
+            return Err(NnError::BadWiring(format!(
+                "expected 1 sink, got {}",
+                sinks.len()
+            )));
         }
         Ok(sinks[0])
     }
@@ -177,7 +207,12 @@ impl CameraDetector {
         let mut shapes = HashMap::new();
         shapes.insert(
             self.input_name.clone(),
-            Shape::nchw(1, upaq_kitti::camera::CAMERA_CHANNELS, calib.height, calib.width),
+            Shape::nchw(
+                1,
+                upaq_kitti::camera::CAMERA_CHANNELS,
+                calib.height,
+                calib.width,
+            ),
         );
         shapes
     }

@@ -102,44 +102,157 @@ pub(crate) fn build_pillar_detector(
     name: &str,
     config: &PointPillarsConfig,
 ) -> Result<LidarDetector> {
-    assert!(config.grid_cells % 4 == 0, "grid must be divisible by 4");
+    assert!(
+        config.grid_cells.is_multiple_of(4),
+        "grid must be divisible by 4"
+    );
     let seed = config.seed;
     let mut m = Model::new(name);
     let input = m.add_input("pillars", PILLAR_CHANNELS);
 
     // Pillar Feature Network: 1×1 convolutions (Algorithm 5 targets).
-    let pfn0 = conv_bn_relu(&mut m, "pfn.0", input, PILLAR_CHANNELS, config.pfn_channels[0], 1, 1, 0, NOISE, seed)?;
-    let pfn1 = conv_bn_relu(&mut m, "pfn.1", pfn0, config.pfn_channels[0], config.pfn_channels[1], 1, 1, 0, NOISE, seed)?;
+    let pfn0 = conv_bn_relu(
+        &mut m,
+        "pfn.0",
+        input,
+        PILLAR_CHANNELS,
+        config.pfn_channels[0],
+        1,
+        1,
+        0,
+        NOISE,
+        seed,
+    )?;
+    let pfn1 = conv_bn_relu(
+        &mut m,
+        "pfn.1",
+        pfn0,
+        config.pfn_channels[0],
+        config.pfn_channels[1],
+        1,
+        1,
+        0,
+        NOISE,
+        seed,
+    )?;
 
     // Backbone stage 1 (stride 1).
     let mut prev = pfn1;
     let mut in_c = config.pfn_channels[1];
     for d in 0..config.block_depths[0] {
-        prev = conv_bn_relu(&mut m, &format!("block1.{d}"), prev, in_c, config.block_channels[0], 3, 1, 1, NOISE, seed)?;
+        prev = conv_bn_relu(
+            &mut m,
+            &format!("block1.{d}"),
+            prev,
+            in_c,
+            config.block_channels[0],
+            3,
+            1,
+            1,
+            NOISE,
+            seed,
+        )?;
         in_c = config.block_channels[0];
     }
     let stage1 = prev;
 
     // Stage 2 (stride 2 entry).
-    let mut prev = conv_bn_relu(&mut m, "block2.0", stage1, in_c, config.block_channels[1], 3, 2, 1, NOISE, seed)?;
+    let mut prev = conv_bn_relu(
+        &mut m,
+        "block2.0",
+        stage1,
+        in_c,
+        config.block_channels[1],
+        3,
+        2,
+        1,
+        NOISE,
+        seed,
+    )?;
     for d in 1..config.block_depths[1] {
-        prev = conv_bn_relu(&mut m, &format!("block2.{d}"), prev, config.block_channels[1], config.block_channels[1], 3, 1, 1, NOISE, seed)?;
+        prev = conv_bn_relu(
+            &mut m,
+            &format!("block2.{d}"),
+            prev,
+            config.block_channels[1],
+            config.block_channels[1],
+            3,
+            1,
+            1,
+            NOISE,
+            seed,
+        )?;
     }
     let stage2 = prev;
 
     // Stage 3 (stride 2 entry).
-    let mut prev = conv_bn_relu(&mut m, "block3.0", stage2, config.block_channels[1], config.block_channels[2], 3, 2, 1, NOISE, seed)?;
+    let mut prev = conv_bn_relu(
+        &mut m,
+        "block3.0",
+        stage2,
+        config.block_channels[1],
+        config.block_channels[2],
+        3,
+        2,
+        1,
+        NOISE,
+        seed,
+    )?;
     for d in 1..config.block_depths[2] {
-        prev = conv_bn_relu(&mut m, &format!("block3.{d}"), prev, config.block_channels[2], config.block_channels[2], 3, 1, 1, NOISE, seed)?;
+        prev = conv_bn_relu(
+            &mut m,
+            &format!("block3.{d}"),
+            prev,
+            config.block_channels[2],
+            config.block_channels[2],
+            3,
+            1,
+            1,
+            NOISE,
+            seed,
+        )?;
     }
     let stage3 = prev;
 
     // Neck: lateral convs to a common width, upsampled to full resolution.
     let n = config.neck_channels;
-    let lat1 = conv(&mut m, "neck.l1", stage1, config.block_channels[0], n, 1, 1, 0, NOISE, seed)?;
-    let lat2_conv = conv(&mut m, "neck.l2", stage2, config.block_channels[1], n, 3, 1, 1, NOISE, seed)?;
+    let lat1 = conv(
+        &mut m,
+        "neck.l1",
+        stage1,
+        config.block_channels[0],
+        n,
+        1,
+        1,
+        0,
+        NOISE,
+        seed,
+    )?;
+    let lat2_conv = conv(
+        &mut m,
+        "neck.l2",
+        stage2,
+        config.block_channels[1],
+        n,
+        3,
+        1,
+        1,
+        NOISE,
+        seed,
+    )?;
     let lat2 = m.add_layer(Layer::upsample("neck.u2", 2), &[lat2_conv])?;
-    let lat3_conv = conv(&mut m, "neck.l3", stage3, config.block_channels[2], n, 3, 1, 1, NOISE, seed)?;
+    let lat3_conv = conv(
+        &mut m,
+        "neck.l3",
+        stage3,
+        config.block_channels[2],
+        n,
+        3,
+        1,
+        1,
+        NOISE,
+        seed,
+    )?;
     let lat3 = m.add_layer(Layer::upsample("neck.u3", 4), &[lat3_conv])?;
     // Raw pillar statistics skip straight into the head: sub-cell offsets
     // and point-spread moments are exactly the quantities the box regressor
@@ -165,7 +278,11 @@ pub(crate) fn build_pillar_detector(
 
     Ok(LidarDetector {
         model: m,
-        pillar_config: PillarConfig { grid, z_max: 4.0, count_cap: 32 },
+        pillar_config: PillarConfig {
+            grid,
+            z_max: 4.0,
+            count_cap: 32,
+        },
         head_spec,
         refine: Some(upaq_det3d::refine::RefineConfig::default()),
         input_name: "pillars".into(),
@@ -183,7 +300,11 @@ mod tests {
         let params = det.model.param_count() as f64;
         let target = 4.8e6;
         let err = (params - target).abs() / target;
-        assert!(err < 0.05, "params {params} vs table-1 target {target} ({:.1}% off)", err * 100.0);
+        assert!(
+            err < 0.05,
+            "params {params} vs table-1 target {target} ({:.1}% off)",
+            err * 100.0
+        );
     }
 
     #[test]
@@ -202,7 +323,11 @@ mod tests {
         // Far fewer roots than weighted layers — the compression-cost saving
         // the paper's preprocessing stage exists for.
         let weighted = det.model.weighted_layers().len();
-        assert!(groups.len() < weighted, "{} roots vs {weighted} layers", groups.len());
+        assert!(
+            groups.len() < weighted,
+            "{} roots vs {weighted} layers",
+            groups.len()
+        );
     }
 
     #[test]

@@ -291,7 +291,9 @@ fn accumulate_cells(fitter: &mut SplitFitter, feats: &Tensor, targets: &Tensor) 
             // geometric readout; edge-of-object cells get less say.
             let is_keypoint = y.iter().take(num_classes).any(|&v| v > 2.0);
             let reg_weight = if is_keypoint { 5.0 } else { 1.0 };
-            fitter.regression.add_sample(&x, &y[num_classes..], reg_weight);
+            fitter
+                .regression
+                .add_sample(&x, &y[num_classes..], reg_weight);
         }
     }
 }
@@ -316,7 +318,9 @@ fn write_head(
     }
     layer.set_weights(Tensor::from_vec(shape, data)?);
     let bias_t = Tensor::from_vec(Shape::vector(t), bias.to_vec())?;
-    *layer.bias_mut().ok_or_else(|| NnError::BadWiring("head has no bias".into()))? = bias_t;
+    *layer
+        .bias_mut()
+        .ok_or_else(|| NnError::BadWiring("head has no bias".into()))? = bias_t;
     Ok(())
 }
 
@@ -346,14 +350,22 @@ pub fn fit_lidar_head(
     for &idx in scenes {
         let cloud = dataset.lidar(idx);
         let feats = detector.head_features(&cloud)?;
-        let gt: Vec<Box3d> = dataset.scene(idx).objects.iter().map(Box3d::from_object).collect();
+        let gt: Vec<Box3d> = dataset
+            .scene(idx)
+            .objects
+            .iter()
+            .map(Box3d::from_object)
+            .collect();
         let targets = encode_targets(&gt, &detector.head_spec);
         accumulate_cells(&mut fitter, &feats, &targets);
     }
     let (weights, bias) = fitter.solve(lambda, lambda)?;
     write_head(&mut detector.model, head, &weights, &bias)?;
     let mse = training_mse_lidar(detector, dataset, scenes)?;
-    Ok(FitReport { samples: fitter.samples(), mse })
+    Ok(FitReport {
+        samples: fitter.samples(),
+        mse,
+    })
 }
 
 /// Fits the camera detector's head on the given training scenes.
@@ -377,13 +389,21 @@ pub fn fit_camera_head(
     for &idx in scenes {
         let image = dataset.camera(idx);
         let feats = detector.head_features(&image)?;
-        let gt: Vec<Box3d> = dataset.scene(idx).objects.iter().map(Box3d::from_object).collect();
+        let gt: Vec<Box3d> = dataset
+            .scene(idx)
+            .objects
+            .iter()
+            .map(Box3d::from_object)
+            .collect();
         let targets = encode_camera_targets(&gt, &detector.head_spec);
         accumulate_cells(&mut fitter, &feats, &targets);
     }
     let (weights, bias) = fitter.solve(lambda, lambda * 0.01)?;
     write_head(&mut detector.model, head, &weights, &bias)?;
-    Ok(FitReport { samples: fitter.samples(), mse: 0.0 })
+    Ok(FitReport {
+        samples: fitter.samples(),
+        mse: 0.0,
+    })
 }
 
 fn training_mse_lidar(
@@ -396,10 +416,19 @@ fn training_mse_lidar(
     for &idx in scenes.iter().take(2) {
         let cloud = dataset.lidar(idx);
         let out = detector.head_output(&cloud)?;
-        let gt: Vec<Box3d> = dataset.scene(idx).objects.iter().map(Box3d::from_object).collect();
+        let gt: Vec<Box3d> = dataset
+            .scene(idx)
+            .objects
+            .iter()
+            .map(Box3d::from_object)
+            .collect();
         let target = encode_targets(&gt, &detector.head_spec);
         let diff = out.sub(&target)?;
-        sum += diff.as_slice().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>();
+        sum += diff
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>();
         count += diff.len();
     }
     Ok(if count == 0 { 0.0 } else { sum / count as f64 })
@@ -475,9 +504,16 @@ mod tests {
         // Evaluate on the training scenes: the fitted head must beat the
         // blind baseline by a wide margin.
         let scenes: Vec<&upaq_kitti::Scene> = train.iter().map(|&i| data.scene(i)).collect();
-        let dets: Vec<Vec<Box3d>> = train.iter().map(|&i| det.detect(&data.lidar(i)).unwrap()).collect();
+        let dets: Vec<Vec<Box3d>> = train
+            .iter()
+            .map(|&i| det.detect(&data.lidar(i)).unwrap())
+            .collect();
         let result = evaluate_detections(&dets, &scenes);
-        assert!(result.map > 10.0, "fitted detector mAP {} too low", result.map);
+        assert!(
+            result.map > 10.0,
+            "fitted detector mAP {} too low",
+            result.map
+        );
     }
 
     #[test]

@@ -78,7 +78,7 @@ impl Smoke {
     /// Returns wiring errors for invalid configurations.
     pub fn build(config: &SmokeConfig) -> Result<CameraDetector> {
         assert!(
-            config.calib.width % 8 == 0 && config.calib.height % 8 == 0,
+            config.calib.width.is_multiple_of(8) && config.calib.height.is_multiple_of(8),
             "image size must be divisible by 8"
         );
         let seed = config.seed;
@@ -88,7 +88,18 @@ impl Smoke {
         let input = m.add_input("image", channels);
 
         // Stem: full-res conv (+ReLU) then stride-2 conv-bn-relu into level 1.
-        let stem0_conv = conv(&mut m, "stem.0.conv", input, channels, c1 / 2, 3, 1, 1, NOISE, seed)?;
+        let stem0_conv = conv(
+            &mut m,
+            "stem.0.conv",
+            input,
+            channels,
+            c1 / 2,
+            3,
+            1,
+            1,
+            NOISE,
+            seed,
+        )?;
         let stem0 = m.add_layer(Layer::relu("stem.0.relu"), &[stem0_conv])?;
         let stem1 = conv_bn_relu(&mut m, "stem.1", stem0, c1 / 2, c1, 3, 2, 1, NOISE, seed)?;
 
@@ -143,7 +154,11 @@ impl Smoke {
             seed,
         )?;
 
-        Ok(CameraDetector { model: m, head_spec, input_name: "image".into() })
+        Ok(CameraDetector {
+            model: m,
+            head_spec,
+            input_name: "image".into(),
+        })
     }
 }
 
@@ -158,7 +173,11 @@ mod tests {
         let params = det.model.param_count() as f64;
         let target = 19.51e6;
         let err = (params - target).abs() / target;
-        assert!(err < 0.02, "params {params} vs target {target} ({:.2}% off)", err * 100.0);
+        assert!(
+            err < 0.02,
+            "params {params} vs target {target} ({:.2}% off)",
+            err * 100.0
+        );
         assert_eq!(det.model.len(), 173, "paper quotes 173 layers");
     }
 

@@ -144,7 +144,13 @@ mod tests {
             let summary = summarize(kind).unwrap();
             let target = kind.table1_params_m() * 1e6;
             let err = (summary.params as f64 - target).abs() / target;
-            assert!(err < 0.05, "{}: {} params, {:.1}% off Table 1", kind.display_name(), summary.params, err * 100.0);
+            assert!(
+                err < 0.05,
+                "{}: {} params, {:.1}% off Table 1",
+                kind.display_name(),
+                summary.params,
+                err * 100.0
+            );
             assert!(summary.dense_macs > 0);
         }
     }

@@ -13,6 +13,15 @@ pub enum NnError {
     BadWiring(String),
     /// The model's graph contains a cycle and cannot be topologically sorted.
     CyclicGraph,
+    /// A layer is missing the parameters its kind requires (e.g. a conv
+    /// layer without weights). Produced at execution time instead of
+    /// panicking so a streaming runtime can surface the broken model.
+    MissingParams {
+        /// Name of the offending layer.
+        layer: String,
+        /// Which parameters were absent.
+        what: &'static str,
+    },
     /// Execution failed inside a tensor kernel.
     Tensor(TensorError),
     /// Shape inference failed for a layer (message explains which).
@@ -26,6 +35,9 @@ impl fmt::Display for NnError {
             NnError::DuplicateName(name) => write!(f, "duplicate layer name `{name}`"),
             NnError::BadWiring(msg) => write!(f, "bad wiring: {msg}"),
             NnError::CyclicGraph => write!(f, "model graph contains a cycle"),
+            NnError::MissingParams { layer, what } => {
+                write!(f, "layer `{layer}` is missing {what}")
+            }
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::ShapeInference(msg) => write!(f, "shape inference failed: {msg}"),
         }
@@ -58,5 +70,13 @@ mod tests {
         assert!(err.to_string().contains("tensor error"));
         assert!(err.source().is_some());
         assert!(NnError::CyclicGraph.source().is_none());
+        let missing = NnError::MissingParams {
+            layer: "c1".into(),
+            what: "convolution weights",
+        };
+        assert_eq!(
+            missing.to_string(),
+            "layer `c1` is missing convolution weights"
+        );
     }
 }

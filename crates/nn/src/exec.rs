@@ -1,9 +1,46 @@
 //! Forward execution of a [`Model`] over its computation graph.
 
-use crate::{LayerId, LayerKind, Model, NnError, Result};
+use crate::{Layer, LayerId, LayerKind, Model, NnError, Result};
 use std::collections::HashMap;
-use upaq_tensor::ops::{batch_norm, conv2d, linear, max_pool2d, relu, Conv2dParams};
+use upaq_tensor::ops::{batch_norm, conv2d_into, linear, max_pool2d, relu, Conv2dParams};
 use upaq_tensor::{Shape, Tensor};
+
+/// Reusable per-stream activation storage.
+///
+/// A streaming runtime calls [`forward_into`] with the same workspace for
+/// every frame; convolution outputs (the dominant allocations) are then
+/// written into the previous frame's buffers instead of freshly allocated
+/// tensors. Results are bit-identical to [`forward`] — the buffers are
+/// fully overwritten and the arithmetic path is shared.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    acts: HashMap<LayerId, Tensor>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// The activations of the most recent [`forward_into`] call.
+    pub fn activations(&self) -> &HashMap<LayerId, Tensor> {
+        &self.acts
+    }
+
+    /// Moves the activations out, leaving the workspace empty (the next
+    /// frame reallocates).
+    pub fn take(&mut self) -> HashMap<LayerId, Tensor> {
+        std::mem::take(&mut self.acts)
+    }
+}
+
+fn missing(layer: &Layer, what: &'static str) -> NnError {
+    NnError::MissingParams {
+        layer: layer.name().to_string(),
+        what,
+    }
+}
 
 /// Runs the model forward from named inputs and returns every layer's
 /// activation.
@@ -18,9 +55,36 @@ use upaq_tensor::{Shape, Tensor};
 /// Returns [`NnError::BadWiring`] when a named input is missing or an
 /// activation shape does not suit a layer, and propagates tensor-kernel
 /// errors.
-pub fn forward(model: &Model, inputs: &HashMap<String, Tensor>) -> Result<HashMap<LayerId, Tensor>> {
+pub fn forward(
+    model: &Model,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<HashMap<LayerId, Tensor>> {
+    let mut ws = Workspace::new();
+    forward_into(model, inputs, &mut ws)?;
+    Ok(ws.take())
+}
+
+/// [`forward`] into a reusable [`Workspace`].
+///
+/// On return `ws.activations()` holds every layer's activation for this
+/// frame. Convolution outputs reuse the workspace's buffers from the
+/// previous call when shapes line up, so steady-state streaming does not
+/// reallocate the large intermediate tensors.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWiring`] when a named input is missing or an
+/// activation shape does not suit a layer, [`NnError::MissingParams`] when
+/// a layer lacks the parameters its kind requires, and propagates
+/// tensor-kernel errors.
+pub fn forward_into(
+    model: &Model,
+    inputs: &HashMap<String, Tensor>,
+    ws: &mut Workspace,
+) -> Result<()> {
     let graph = model.compute_graph();
     let order = graph.topo_order()?;
+    let mut recycled = std::mem::take(&mut ws.acts);
     let mut acts: HashMap<LayerId, Tensor> = HashMap::with_capacity(model.len());
 
     for id in order {
@@ -40,21 +104,43 @@ pub fn forward(model: &Model, inputs: &HashMap<String, Tensor>) -> Result<HashMa
                 }
                 t.clone()
             }
-            LayerKind::Conv2d { stride, padding, .. } => {
+            LayerKind::Conv2d {
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
                 let x = &acts[&in_ids[0]];
-                conv2d(
-                    x,
-                    layer.weights().expect("conv has weights"),
-                    layer.bias(),
-                    Conv2dParams { stride: *stride, padding: *padding },
-                )?
+                let weights = layer
+                    .weights()
+                    .ok_or_else(|| missing(layer, "convolution weights"))?;
+                let params = Conv2dParams {
+                    stride: *stride,
+                    padding: *padding,
+                };
+                let oh = params.out_size(x.shape().dim(2), *kernel);
+                let ow = params.out_size(x.shape().dim(3), *kernel);
+                let expected = [1, *out_channels, oh, ow];
+                let mut out = match recycled.remove(&id) {
+                    Some(buf) if buf.shape().dims() == expected => buf,
+                    _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
+                };
+                conv2d_into(x, weights, layer.bias(), params, &mut out)?;
+                out
             }
             LayerKind::Linear { .. } => {
                 let x = acts[&in_ids[0]].flatten();
-                linear(&x, layer.weights().expect("linear has weights"), layer.bias())?
+                let weights = layer
+                    .weights()
+                    .ok_or_else(|| missing(layer, "linear weights"))?;
+                linear(&x, weights, layer.bias())?
             }
             LayerKind::BatchNorm { .. } => {
-                batch_norm(&acts[&in_ids[0]], layer.batch_norm_params().expect("bn params"))?
+                let params = layer
+                    .batch_norm_params()
+                    .ok_or_else(|| missing(layer, "batch-norm parameters"))?;
+                batch_norm(&acts[&in_ids[0]], params)?
             }
             LayerKind::ReLU => relu(&acts[&in_ids[0]]),
             LayerKind::MaxPool { kernel, stride } => {
@@ -73,7 +159,8 @@ pub fn forward(model: &Model, inputs: &HashMap<String, Tensor>) -> Result<HashMa
         };
         acts.insert(id, value);
     }
-    Ok(acts)
+    ws.acts = acts;
+    Ok(())
 }
 
 /// Convenience wrapper for single-input models: runs [`forward`] and returns
@@ -104,11 +191,15 @@ pub fn forward_single(model: &Model, input_name: &str, input: &Tensor) -> Result
 /// Returns [`NnError::BadWiring`] for zero factors or non-NCHW input.
 pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
     if factor == 0 {
-        return Err(NnError::BadWiring("upsample factor must be non-zero".into()));
+        return Err(NnError::BadWiring(
+            "upsample factor must be non-zero".into(),
+        ));
     }
     let s = input.shape();
     if s.rank() != 4 {
-        return Err(NnError::BadWiring(format!("upsample expects NCHW, got {s}")));
+        return Err(NnError::BadWiring(format!(
+            "upsample expects NCHW, got {s}"
+        )));
     }
     let (c, h, w) = (s.dim(1), s.dim(2), s.dim(3));
     let (oh, ow) = (h * factor, w * factor);
@@ -133,7 +224,9 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
 /// their spatial sizes differ.
 pub fn concat_channels(tensors: &[&Tensor]) -> Result<Tensor> {
     if tensors.len() < 2 {
-        return Err(NnError::BadWiring("concat needs at least two inputs".into()));
+        return Err(NnError::BadWiring(
+            "concat needs at least two inputs".into(),
+        ));
     }
     let first = tensors[0].shape();
     let (h, w) = (first.dim(2), first.dim(3));
@@ -247,6 +340,29 @@ mod tests {
         let x = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![3.0, 4.0]).unwrap();
         let out = forward_single(&m, "in", &x).unwrap();
         assert_eq!(out.as_slice(), &[7.0]);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_forward() {
+        let mut m = Model::new("m");
+        let input = m.add_input("in", 2);
+        let c = m
+            .add_layer(Layer::conv2d("c", 2, 4, 3, 1, 1, 77), &[input])
+            .unwrap();
+        m.add_layer(Layer::relu("r"), &[c]).unwrap();
+
+        let mut ws = Workspace::new();
+        for seed in 0..3u64 {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = Tensor::uniform(Shape::nchw(1, 2, 6, 6), -1.0, 1.0, &mut rng);
+            let inputs = make_inputs("in", x);
+            forward_into(&m, &inputs, &mut ws).unwrap();
+            let fresh = forward(&m, &inputs).unwrap();
+            for (id, t) in &fresh {
+                assert_eq!(ws.activations()[id].as_slice(), t.as_slice(), "seed {seed}");
+            }
+        }
     }
 
     #[test]

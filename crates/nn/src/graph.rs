@@ -56,12 +56,16 @@ impl Graph {
 
     /// Layers with no producers (the model's inputs).
     pub fn sources(&self) -> Vec<LayerId> {
-        (0..self.len()).filter(|&i| self.inputs[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.inputs[i].is_empty())
+            .collect()
     }
 
     /// Layers with no consumers (the model's outputs).
     pub fn sinks(&self) -> Vec<LayerId> {
-        (0..self.len()).filter(|&i| self.outputs[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.outputs[i].is_empty())
+            .collect()
     }
 
     /// Kahn topological sort.

@@ -152,12 +152,19 @@ mod tests {
     fn chain_model() -> Model {
         let mut m = Model::new("chain");
         let input = m.add_input("in", 4);
-        let c1 = m.add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
         let r1 = m.add_layer(Layer::relu("r1"), &[c1]).unwrap();
-        let c2 = m.add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[r1]).unwrap();
-        let c3 = m.add_layer(Layer::conv2d("c3", 8, 8, 1, 1, 0, 3), &[c2]).unwrap();
+        let c2 = m
+            .add_layer(Layer::conv2d("c2", 8, 8, 3, 1, 1, 2), &[r1])
+            .unwrap();
+        let c3 = m
+            .add_layer(Layer::conv2d("c3", 8, 8, 1, 1, 0, 3), &[c2])
+            .unwrap();
         let r2 = m.add_layer(Layer::relu("r2"), &[c3]).unwrap();
-        m.add_layer(Layer::conv2d("c4", 8, 8, 1, 1, 0, 4), &[r2]).unwrap();
+        m.add_layer(Layer::conv2d("c4", 8, 8, 1, 1, 0, 4), &[r2])
+            .unwrap();
         m
     }
 
@@ -194,10 +201,16 @@ mod tests {
     fn joins_break_chains() {
         let mut m = Model::new("join");
         let input = m.add_input("in", 4);
-        let a = m.add_layer(Layer::conv2d("a", 4, 8, 3, 1, 1, 1), &[input]).unwrap();
-        let b = m.add_layer(Layer::conv2d("b", 4, 8, 3, 1, 1, 2), &[input]).unwrap();
+        let a = m
+            .add_layer(Layer::conv2d("a", 4, 8, 3, 1, 1, 1), &[input])
+            .unwrap();
+        let b = m
+            .add_layer(Layer::conv2d("b", 4, 8, 3, 1, 1, 2), &[input])
+            .unwrap();
         let j = m.add_layer(Layer::add("j"), &[a, b]).unwrap();
-        let c = m.add_layer(Layer::conv2d("c", 8, 8, 3, 1, 1, 3), &[j]).unwrap();
+        let c = m
+            .add_layer(Layer::conv2d("c", 8, 8, 3, 1, 1, 3), &[j])
+            .unwrap();
         let groups = preprocess(&m);
         // `c` sits after a join: it roots itself even though a/b are 3×3.
         assert_eq!(groups.root_of(c), Some(c));
@@ -229,7 +242,9 @@ mod tests {
     fn linear_layers_group_separately_from_convs() {
         let mut m = Model::new("mixed");
         let input = m.add_input("in", 4);
-        let c = m.add_layer(Layer::conv2d("c", 4, 4, 3, 1, 1, 1), &[input]).unwrap();
+        let c = m
+            .add_layer(Layer::conv2d("c", 4, 4, 3, 1, 1, 1), &[input])
+            .unwrap();
         let l = m.add_layer(Layer::linear("fc", 4, 2, 2), &[c]).unwrap();
         let groups = preprocess(&m);
         assert_eq!(groups.root_of(l), Some(l));

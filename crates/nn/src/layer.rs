@@ -125,7 +125,13 @@ impl Layer {
         let bias = Tensor::zeros(Shape::vector(out_channels));
         Layer {
             name: name.into(),
-            kind: LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding },
+            kind: LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            },
             weights: Some(weights),
             bias: Some(bias),
             bn: None,
@@ -174,11 +180,19 @@ impl Layer {
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = (1.0 / in_features as f32).sqrt();
-        let weights = Tensor::uniform(Shape::matrix(out_features, in_features), -bound, bound, &mut rng);
+        let weights = Tensor::uniform(
+            Shape::matrix(out_features, in_features),
+            -bound,
+            bound,
+            &mut rng,
+        );
         let bias = Tensor::zeros(Shape::vector(out_features));
         Layer {
             name: name.into(),
-            kind: LayerKind::Linear { in_features, out_features },
+            kind: LayerKind::Linear {
+                in_features,
+                out_features,
+            },
             weights: Some(weights),
             bias: Some(bias),
             bn: None,
@@ -198,7 +212,13 @@ impl Layer {
 
     /// Creates a ReLU layer.
     pub fn relu(name: impl Into<String>) -> Self {
-        Layer { name: name.into(), kind: LayerKind::ReLU, weights: None, bias: None, bn: None }
+        Layer {
+            name: name.into(),
+            kind: LayerKind::ReLU,
+            weights: None,
+            bias: None,
+            bn: None,
+        }
     }
 
     /// Creates a max-pool layer.
@@ -225,12 +245,24 @@ impl Layer {
 
     /// Creates a residual-add join.
     pub fn add(name: impl Into<String>) -> Self {
-        Layer { name: name.into(), kind: LayerKind::Add, weights: None, bias: None, bn: None }
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Add,
+            weights: None,
+            bias: None,
+            bn: None,
+        }
     }
 
     /// Creates a channel-concat join.
     pub fn concat(name: impl Into<String>) -> Self {
-        Layer { name: name.into(), kind: LayerKind::Concat, weights: None, bias: None, bn: None }
+        Layer {
+            name: name.into(),
+            kind: LayerKind::Concat,
+            weights: None,
+            bias: None,
+            bn: None,
+        }
     }
 
     pub(crate) fn input(name: impl Into<String>, channels: usize) -> Self {
@@ -271,7 +303,10 @@ impl Layer {
     /// Panics when the new tensor's shape differs from the current weights —
     /// compression must never change a layer's geometry.
     pub fn set_weights(&mut self, weights: Tensor) {
-        let current = self.weights.as_ref().expect("layer has no weights to replace");
+        let current = self
+            .weights
+            .as_ref()
+            .expect("layer has no weights to replace");
         assert_eq!(
             current.shape(),
             weights.shape(),

@@ -201,9 +201,12 @@ mod tests {
     fn tiny_model() -> Model {
         let mut m = Model::new("tiny");
         let input = m.add_input("in", 1);
-        let c1 = m.add_layer(Layer::conv2d("c1", 1, 2, 3, 1, 1, 0), &[input]).unwrap();
+        let c1 = m
+            .add_layer(Layer::conv2d("c1", 1, 2, 3, 1, 1, 0), &[input])
+            .unwrap();
         let r1 = m.add_layer(Layer::relu("r1"), &[c1]).unwrap();
-        m.add_layer(Layer::conv2d("c2", 2, 2, 3, 1, 1, 1), &[r1]).unwrap();
+        m.add_layer(Layer::conv2d("c2", 2, 2, 3, 1, 1, 1), &[r1])
+            .unwrap();
         m
     }
 

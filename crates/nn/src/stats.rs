@@ -80,9 +80,9 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
         let layer = model.layer(id)?;
         let in_ids = graph.inputs_of(id);
         let in_shape = |i: usize| -> Result<&Shape> {
-            shapes
-                .get(&in_ids[i])
-                .ok_or_else(|| NnError::ShapeInference(format!("no shape for input of `{}`", layer.name())))
+            shapes.get(&in_ids[i]).ok_or_else(|| {
+                NnError::ShapeInference(format!("no shape for input of `{}`", layer.name()))
+            })
         };
 
         let (out_shape, dense_macs): (Shape, u64) = match layer.kind() {
@@ -98,7 +98,13 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
                 }
                 (s.clone(), 0)
             }
-            LayerKind::Conv2d { in_channels, out_channels, kernel, stride, padding } => {
+            LayerKind::Conv2d {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+            } => {
                 let s = in_shape(0)?;
                 if s.rank() != 4 || s.dim(1) != *in_channels {
                     return Err(NnError::ShapeInference(format!(
@@ -111,7 +117,10 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
                 let macs = (oh * ow * out_channels * in_channels * kernel * kernel) as u64;
                 (Shape::nchw(1, *out_channels, oh, ow), macs)
             }
-            LayerKind::Linear { in_features, out_features } => {
+            LayerKind::Linear {
+                in_features,
+                out_features,
+            } => {
                 let s = in_shape(0)?;
                 if s.volume() != *in_features {
                     return Err(NnError::ShapeInference(format!(
@@ -120,7 +129,10 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
                         s.volume()
                     )));
                 }
-                (Shape::vector(*out_features), (*in_features * *out_features) as u64)
+                (
+                    Shape::vector(*out_features),
+                    (*in_features * *out_features) as u64,
+                )
             }
             LayerKind::BatchNorm { channels } => {
                 let s = in_shape(0)?.clone();
@@ -188,7 +200,9 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
         // Weighted ops scale compute with surviving weights; others don't.
         let effective_macs = if layer.kind().is_weighted() && params > 0 {
             let weight_total = layer.weights().map_or(0, upaq_tensor::Tensor::len);
-            let weight_nnz = layer.weights().map_or(0, upaq_tensor::Tensor::count_nonzero);
+            let weight_nnz = layer
+                .weights()
+                .map_or(0, upaq_tensor::Tensor::count_nonzero);
             if weight_total == 0 {
                 dense_macs
             } else {
@@ -198,10 +212,7 @@ pub fn model_costs(model: &Model, input_shapes: &HashMap<String, Shape>) -> Resu
             dense_macs
         };
 
-        let in_elems: u64 = in_ids
-            .iter()
-            .map(|i| shapes[i].volume() as u64)
-            .sum();
+        let in_elems: u64 = in_ids.iter().map(|i| shapes[i].volume() as u64).sum();
         let activation_elems = in_elems + out_shape.volume() as u64;
 
         layers.push(LayerCost {
@@ -245,7 +256,9 @@ mod tests {
     fn conv_model() -> Model {
         let mut m = Model::new("m");
         let input = m.add_input("in", 2);
-        let c = m.add_layer(Layer::conv2d("c", 2, 4, 3, 1, 1, 0), &[input]).unwrap();
+        let c = m
+            .add_layer(Layer::conv2d("c", 2, 4, 3, 1, 1, 0), &[input])
+            .unwrap();
         m.add_layer(Layer::relu("r"), &[c]).unwrap();
         m
     }
@@ -294,7 +307,9 @@ mod tests {
     fn stride_and_pool_shapes() {
         let mut m = Model::new("m");
         let input = m.add_input("in", 1);
-        let c = m.add_layer(Layer::conv2d("c", 1, 1, 3, 2, 1, 0), &[input]).unwrap();
+        let c = m
+            .add_layer(Layer::conv2d("c", 1, 1, 3, 2, 1, 0), &[input])
+            .unwrap();
         m.add_layer(Layer::max_pool("p", 2, 2), &[c]).unwrap();
         let costs = model_costs(&m, &shapes_for("in", Shape::nchw(1, 1, 16, 16))).unwrap();
         assert_eq!(costs.layer(1).unwrap().output_shape.dims(), &[1, 1, 8, 8]);
@@ -305,7 +320,8 @@ mod tests {
     fn linear_features_checked() {
         let mut m = Model::new("m");
         let input = m.add_input("in", 4);
-        m.add_layer(Layer::linear("fc", 16, 2, 0), &[input]).unwrap();
+        m.add_layer(Layer::linear("fc", 16, 2, 0), &[input])
+            .unwrap();
         // 4 channels × 2 × 2 = 16 features: OK.
         assert!(model_costs(&m, &shapes_for("in", Shape::nchw(1, 4, 2, 2))).is_ok());
         // 4 channels × 3 × 3 = 36 features: mismatch.
@@ -333,7 +349,12 @@ mod tests {
         inputs.insert("in".to_string(), x);
         let acts = crate::exec::forward(&m, &inputs).unwrap();
         for cost in &costs.layers {
-            assert_eq!(acts[&cost.id].shape(), &cost.output_shape, "layer {}", cost.name);
+            assert_eq!(
+                acts[&cost.id].shape(),
+                &cost.output_shape,
+                "layer {}",
+                cost.name
+            );
         }
     }
 }

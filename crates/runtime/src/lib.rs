@@ -1,0 +1,30 @@
+//! `upaq-runtime` — a streaming inference runtime with deadline-aware
+//! scheduling and backpressure.
+//!
+//! Pulls endless seeded frames from `upaq-kitti` through a staged
+//! pipeline (pillarize → backbone forward → head decode + NMS) over a
+//! fixed worker pool with bounded channels. A deadline scheduler decides
+//! per frame whether to run the full model, degrade to a cheaper
+//! UPAQ-compressed variant (picked by the paper's efficiency score), or
+//! drop the frame; the hardware model acts as the cost oracle for both
+//! the schedule and the modeled energy report.
+//!
+//! Module map:
+//!
+//! * [`queue`] — bounded MPMC queues with blocking and drop-oldest push;
+//! * [`variant`] — the degrade ladder (base → UPAQ LCK → UPAQ HCK);
+//! * [`scheduler`] — deadline-aware admission over the ladder;
+//! * [`pipeline`] — the staged engine and its run loop;
+//! * [`metrics`] — timers, counters and the JSON run report.
+
+pub mod metrics;
+pub mod pipeline;
+pub mod queue;
+pub mod scheduler;
+pub mod variant;
+
+pub use metrics::{Counters, LatencyRecorder, LatencySummary, RuntimeReport, StageReport};
+pub use pipeline::{Pipeline, PipelineConfig, StreamOutcome};
+pub use queue::{BoundedQueue, PushOutcome};
+pub use scheduler::{Admission, DeadlineScheduler, SchedulerConfig};
+pub use variant::{VariantLadder, VariantSpec};

@@ -1,0 +1,321 @@
+//! Observability for the streaming pipeline: per-stage timers, counters,
+//! latency percentiles and the JSON run report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use upaq_json::{json, ToJson, Value};
+
+/// Collects latency samples and answers percentile queries.
+///
+/// Samples are stored raw (one `f64` per frame) — streaming runs here are
+/// thousands of frames, not billions, so exact percentiles are affordable
+/// and simpler to trust than a sketch.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<f64>>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one latency sample, in seconds.
+    pub fn record(&self, seconds: f64) {
+        self.samples.lock().unwrap().push(seconds);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.lock().unwrap().len()
+    }
+
+    /// Sorted copy of the samples.
+    fn sorted(&self) -> Vec<f64> {
+        let mut v = self.samples.lock().unwrap().clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// Summarises the samples (zeros when empty).
+    pub fn summary(&self) -> LatencySummary {
+        let sorted = self.sorted();
+        if sorted.is_empty() {
+            return LatencySummary::default();
+        }
+        let pct = |p: f64| {
+            let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        LatencySummary {
+            count: sorted.len() as u64,
+            mean_s: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50_s: pct(50.0),
+            p95_s: pct(95.0),
+            p99_s: pct(99.0),
+            max_s: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Percentile summary of one latency distribution, in seconds.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples observed.
+    pub count: u64,
+    /// Mean.
+    pub mean_s: f64,
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Worst observed.
+    pub max_s: f64,
+}
+
+impl ToJson for LatencySummary {
+    fn to_json(&self) -> Value {
+        json!({
+            "count": self.count,
+            "mean_ms": self.mean_s * 1e3,
+            "p50_ms": self.p50_s * 1e3,
+            "p95_ms": self.p95_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+            "max_ms": self.max_s * 1e3,
+        })
+    }
+}
+
+/// Frame-accounting counters shared by every pipeline stage.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Frames emitted by the source.
+    pub generated: AtomicU64,
+    /// Frames evicted from a full input queue (drop-oldest backpressure).
+    pub dropped_backpressure: AtomicU64,
+    /// Frames the deadline scheduler refused (past their deadline).
+    pub dropped_deadline: AtomicU64,
+    /// Frames the scheduler degraded to a cheaper variant (level > 0).
+    pub degraded: AtomicU64,
+    /// Frames that produced final detections.
+    pub completed: AtomicU64,
+    /// Completed frames that still missed their deadline end-to-end.
+    pub deadline_misses: AtomicU64,
+    /// Frames whose forward pass returned an execution error.
+    pub failed: AtomicU64,
+}
+
+impl Counters {
+    /// Adds one to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Every frame must be accounted exactly once: completed plus each
+    /// drop class equals generated. Holds at pipeline shutdown (after the
+    /// queues drain); the backpressure test asserts it.
+    pub fn accounted(&self) -> bool {
+        Counters::get(&self.completed)
+            + Counters::get(&self.dropped_backpressure)
+            + Counters::get(&self.dropped_deadline)
+            + Counters::get(&self.failed)
+            == Counters::get(&self.generated)
+    }
+}
+
+/// Per-stage section of the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (`"preprocess"`, `"backbone"`, `"postprocess"`).
+    pub name: String,
+    /// Latency distribution of the stage body.
+    pub latency: LatencySummary,
+    /// High-water mark of the stage's input queue.
+    pub queue_max_depth: usize,
+    /// Capacity of the stage's input queue.
+    pub queue_capacity: usize,
+}
+
+impl ToJson for StageReport {
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "latency": self.latency,
+            "queue_max_depth": self.queue_max_depth,
+            "queue_capacity": self.queue_capacity,
+        })
+    }
+}
+
+/// Per-variant section of the run report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantReport {
+    /// Variant name (`"base"`, `"UPAQ (LCK)"`, …).
+    pub name: String,
+    /// Frames this variant processed.
+    pub frames: u64,
+    /// Modeled energy per frame on the configured device, joules.
+    pub energy_per_frame_j: f64,
+    /// Modeled device latency per frame, milliseconds.
+    pub modeled_latency_ms: f64,
+    /// Efficiency score `Es` that ordered the degrade ladder.
+    pub efficiency_score: f64,
+}
+
+impl ToJson for VariantReport {
+    fn to_json(&self) -> Value {
+        json!({
+            "name": self.name,
+            "frames": self.frames,
+            "energy_per_frame_j": self.energy_per_frame_j,
+            "modeled_latency_ms": self.modeled_latency_ms,
+            "efficiency_score": self.efficiency_score,
+        })
+    }
+}
+
+/// The complete streaming-run report serialized by `bin/stream`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Scenario label (`"nominal"`, `"overload"`, …).
+    pub scenario: String,
+    /// Wall-clock duration of the run, seconds.
+    pub duration_s: f64,
+    /// Frames emitted by the source.
+    pub frames_generated: u64,
+    /// Frames fully processed.
+    pub frames_completed: u64,
+    /// Frames evicted under backpressure.
+    pub dropped_backpressure: u64,
+    /// Frames refused by the deadline scheduler.
+    pub dropped_deadline: u64,
+    /// Frames run on a degraded (cheaper) variant.
+    pub degraded: u64,
+    /// Completed frames that missed the deadline anyway.
+    pub deadline_misses: u64,
+    /// Completed frames per wall-clock second.
+    pub fps: f64,
+    /// End-to-end latency (source arrival → detections ready).
+    pub e2e_latency: LatencySummary,
+    /// Per-stage breakdown.
+    pub stages: Vec<StageReport>,
+    /// Per-variant execution counts and modeled energy.
+    pub variants: Vec<VariantReport>,
+    /// Total modeled energy charged over the run, joules.
+    pub total_energy_j: f64,
+    /// Mean modeled energy per completed frame, joules.
+    pub energy_per_frame_j: f64,
+}
+
+impl ToJson for RuntimeReport {
+    fn to_json(&self) -> Value {
+        json!({
+            "scenario": self.scenario,
+            "duration_s": self.duration_s,
+            "frames_generated": self.frames_generated,
+            "frames_completed": self.frames_completed,
+            "dropped_backpressure": self.dropped_backpressure,
+            "dropped_deadline": self.dropped_deadline,
+            "degraded": self.degraded,
+            "deadline_misses": self.deadline_misses,
+            "fps": self.fps,
+            "e2e_latency": self.e2e_latency,
+            "stages": self.stages,
+            "variants": self.variants,
+            "total_energy_j": self.total_energy_j,
+            "energy_per_frame_j": self.energy_per_frame_j,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let r = LatencyRecorder::new();
+        for i in 1..=100 {
+            r.record(i as f64);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 100);
+        assert!((s.mean_s - 50.5).abs() < 1e-9);
+        // Nearest-rank on an even count rounds up: index round(49.5) = 50.
+        assert_eq!(s.p50_s, 51.0);
+        assert_eq!(s.p95_s, 95.0);
+        assert_eq!(s.p99_s, 99.0);
+        assert_eq!(s.max_s, 100.0);
+    }
+
+    #[test]
+    fn empty_recorder_summary_is_zero() {
+        let s = LatencyRecorder::new().summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_s, 0.0);
+    }
+
+    #[test]
+    fn counters_account_frames() {
+        let c = Counters::default();
+        for _ in 0..5 {
+            Counters::bump(&c.generated);
+        }
+        Counters::bump(&c.completed);
+        Counters::bump(&c.completed);
+        Counters::bump(&c.dropped_backpressure);
+        Counters::bump(&c.dropped_deadline);
+        assert!(!c.accounted());
+        Counters::bump(&c.completed);
+        assert!(c.accounted());
+    }
+
+    #[test]
+    fn report_serializes_with_expected_keys() {
+        let report = RuntimeReport {
+            scenario: "nominal".into(),
+            duration_s: 1.0,
+            frames_generated: 10,
+            frames_completed: 9,
+            dropped_backpressure: 1,
+            dropped_deadline: 0,
+            degraded: 2,
+            deadline_misses: 0,
+            fps: 9.0,
+            e2e_latency: LatencySummary::default(),
+            stages: vec![StageReport {
+                name: "backbone".into(),
+                latency: LatencySummary::default(),
+                queue_max_depth: 3,
+                queue_capacity: 4,
+            }],
+            variants: vec![VariantReport {
+                name: "base".into(),
+                frames: 7,
+                energy_per_frame_j: 0.5,
+                modeled_latency_ms: 20.0,
+                efficiency_score: 1.0,
+            }],
+            total_energy_j: 3.5,
+            energy_per_frame_j: 0.5,
+        };
+        let v = report.to_json();
+        assert_eq!(v.get("fps").and_then(|x| x.as_f64()), Some(9.0));
+        let stages = v.get("stages").and_then(|s| s.as_arr()).unwrap();
+        assert_eq!(
+            stages[0].get("name").and_then(|n| n.as_str()),
+            Some("backbone")
+        );
+        let text = v.pretty();
+        assert!(text.contains("p99_ms"));
+        assert!(text.contains("efficiency_score"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The staged streaming pipeline.
+//!
+//! Four stages over bounded queues:
+//!
+//! ```text
+//! source ─q_pre→ preprocess ─q_bb→ backbone ×N ─q_post→ postprocess
+//! ```
+//!
+//! * **source** paces frames out of a [`FrameStream`] and applies
+//!   drop-oldest backpressure when the pipeline cannot keep up;
+//! * **preprocess** pillarizes the point cloud (variant-independent);
+//! * **backbone** workers consult the [`DeadlineScheduler`] per frame —
+//!   run the chosen ladder level through [`forward_into`] with a
+//!   per-worker reusable [`Workspace`], or drop the frame;
+//! * **postprocess** decodes the head output, applies refinement + NMS,
+//!   charges modeled energy and records end-to-end latency.
+//!
+//! In `deterministic` mode every queue becomes lossless (blocking push),
+//! the scheduler is bypassed (always level 0), and the source is unpaced:
+//! the run then produces detections bit-identical to calling
+//! [`LidarDetector::detect`] on the same frames, which the determinism
+//! integration test asserts.
+
+use crate::metrics::{Counters, LatencyRecorder, RuntimeReport, StageReport, VariantReport};
+use crate::queue::{BoundedQueue, PushOutcome};
+use crate::scheduler::{Admission, DeadlineScheduler, SchedulerConfig};
+use crate::variant::VariantLadder;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use upaq_det3d::Box3d;
+use upaq_hwmodel::EnergyMeter;
+use upaq_kitti::stream::{Frame, FrameStream};
+use upaq_nn::exec::{forward_into, Workspace};
+use upaq_tensor::Tensor;
+
+/// Streaming-run configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Frames to draw from the source before shutting down.
+    pub frames: u64,
+    /// Capacity of every inter-stage queue.
+    pub queue_capacity: usize,
+    /// Backbone worker threads.
+    pub backbone_workers: usize,
+    /// Deadline-scheduler knobs.
+    pub scheduler: SchedulerConfig,
+    /// Source pacing: seconds between frames (0 = emit as fast as the
+    /// first queue accepts).
+    pub source_interval_s: f64,
+    /// Extra latency injected into every backbone execution — the overload
+    /// tests use this to force degradation and drops.
+    pub slow_backbone_s: f64,
+    /// Lossless mode: blocking queues, no pacing, no scheduler — every
+    /// frame runs the full model. Detections become bit-identical to
+    /// batch `detect` calls.
+    pub deterministic: bool,
+    /// Label copied into the report.
+    pub scenario: String,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            frames: 64,
+            queue_capacity: 4,
+            backbone_workers: 2,
+            scheduler: SchedulerConfig::default(),
+            source_interval_s: 0.0,
+            slow_backbone_s: 0.0,
+            deterministic: false,
+            scenario: "nominal".into(),
+        }
+    }
+}
+
+/// Everything a finished run produced.
+pub struct StreamOutcome {
+    /// Metrics report (the JSON artifact of `bin/stream`).
+    pub report: RuntimeReport,
+    /// Final detections of every completed frame, sorted by frame id.
+    pub detections: Vec<(u64, Vec<Box3d>)>,
+}
+
+struct PreJob {
+    frame: Frame,
+    arrived: Instant,
+}
+
+struct BackboneJob {
+    frame: Frame,
+    pillars: Tensor,
+    arrived: Instant,
+}
+
+struct PostJob {
+    frame: Frame,
+    level: usize,
+    head_out: Tensor,
+    arrived: Instant,
+}
+
+/// The streaming engine: a variant ladder plus run configuration.
+pub struct Pipeline {
+    ladder: VariantLadder,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline over a prebuilt degrade ladder.
+    pub fn new(ladder: VariantLadder, config: PipelineConfig) -> Self {
+        Pipeline { ladder, config }
+    }
+
+    /// The degrade ladder in use.
+    pub fn ladder(&self) -> &VariantLadder {
+        &self.ladder
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the stream to completion and returns the report + detections.
+    pub fn run(&self, stream: FrameStream) -> StreamOutcome {
+        let cfg = &self.config;
+        let ladder = &self.ladder;
+        let deterministic = cfg.deterministic;
+
+        let q_pre: BoundedQueue<PreJob> = BoundedQueue::new(cfg.queue_capacity);
+        let q_bb: BoundedQueue<BackboneJob> = BoundedQueue::new(cfg.queue_capacity);
+        let q_post: BoundedQueue<PostJob> = BoundedQueue::new(cfg.queue_capacity);
+
+        let counters = Counters::default();
+        let pre_timer = LatencyRecorder::new();
+        let bb_timer = LatencyRecorder::new();
+        let post_timer = LatencyRecorder::new();
+        let e2e_timer = LatencyRecorder::new();
+        let scheduler = DeadlineScheduler::new(ladder, cfg.scheduler);
+        let meter = Mutex::new(EnergyMeter::new());
+        let results: Mutex<Vec<(u64, Vec<Box3d>)>> = Mutex::new(Vec::new());
+
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            // Source: pace frames in, drop-oldest when the pipeline lags.
+            let source = {
+                let (q_pre, counters) = (&q_pre, &counters);
+                let mut stream = stream;
+                let (frames, interval_s) = (cfg.frames, cfg.source_interval_s);
+                s.spawn(move || {
+                    for frame in stream.by_ref().take(frames as usize) {
+                        Counters::bump(&counters.generated);
+                        let job = PreJob {
+                            frame,
+                            arrived: Instant::now(),
+                        };
+                        push_stage(q_pre, job, deterministic, counters);
+                        if interval_s > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(interval_s));
+                        }
+                    }
+                    q_pre.close();
+                })
+            };
+
+            // Preprocess: pillarize. Variant-independent, so level 0's
+            // detector serves every frame.
+            let pre = {
+                let (q_pre, q_bb, counters) = (&q_pre, &q_bb, &counters);
+                let (base, pre_timer) = (&ladder.level(0).detector, &pre_timer);
+                s.spawn(move || {
+                    while let Some(job) = q_pre.pop() {
+                        let t0 = Instant::now();
+                        let pillars = base.preprocess(&job.frame.cloud);
+                        pre_timer.record(t0.elapsed().as_secs_f64());
+                        let next = BackboneJob {
+                            frame: job.frame,
+                            pillars,
+                            arrived: job.arrived,
+                        };
+                        push_stage(q_bb, next, deterministic, counters);
+                    }
+                    q_bb.close();
+                })
+            };
+
+            // Backbone pool: admission decision, then the network forward
+            // pass on the chosen variant.
+            let workers: Vec<_> = (0..cfg.backbone_workers.max(1))
+                .map(|_| {
+                    let (q_bb, q_post, counters) = (&q_bb, &q_post, &counters);
+                    let (scheduler, bb_timer) = (&scheduler, &bb_timer);
+                    let slow_s = cfg.slow_backbone_s;
+                    s.spawn(move || {
+                        let mut ws = Workspace::new();
+                        while let Some(job) = q_bb.pop() {
+                            let age = job.arrived.elapsed().as_secs_f64();
+                            let admission = if deterministic {
+                                Admission::Run { level: 0 }
+                            } else {
+                                scheduler.admit(age)
+                            };
+                            let Admission::Run { level } = admission else {
+                                Counters::bump(&counters.dropped_deadline);
+                                continue;
+                            };
+                            if level > 0 {
+                                Counters::bump(&counters.degraded);
+                            }
+                            let variant = ladder.level(level);
+                            let t0 = Instant::now();
+                            let mut inputs = HashMap::new();
+                            inputs.insert(variant.detector.input_name.clone(), job.pillars);
+                            if forward_into(&variant.detector.model, &inputs, &mut ws).is_err() {
+                                Counters::bump(&counters.failed);
+                                continue;
+                            }
+                            let head_out = ws.activations()[&variant.head].clone();
+                            if slow_s > 0.0 {
+                                std::thread::sleep(Duration::from_secs_f64(slow_s));
+                            }
+                            let dt = t0.elapsed().as_secs_f64();
+                            bb_timer.record(dt);
+                            if !deterministic {
+                                scheduler.observe(level, dt);
+                            }
+                            // Lossless from here: an admitted frame always
+                            // completes, so accounting stays exact.
+                            let next = PostJob {
+                                frame: job.frame,
+                                level,
+                                head_out,
+                                arrived: job.arrived,
+                            };
+                            let _ = q_post.push_wait(next);
+                        }
+                    })
+                })
+                .collect();
+
+            // Postprocess: decode + refine + NMS, then bookkeeping.
+            let post = {
+                let (q_post, counters) = (&q_post, &counters);
+                let (post_timer, e2e_timer) = (&post_timer, &e2e_timer);
+                let (meter, results) = (&meter, &results);
+                let deadline_s = cfg.scheduler.deadline_s;
+                s.spawn(move || {
+                    while let Some(job) = q_post.pop() {
+                        let variant = ladder.level(job.level);
+                        let t0 = Instant::now();
+                        let dets = variant
+                            .detector
+                            .postprocess(&job.head_out, &job.frame.cloud);
+                        post_timer.record(t0.elapsed().as_secs_f64());
+                        let e2e = job.arrived.elapsed().as_secs_f64();
+                        e2e_timer.record(e2e);
+                        if !deterministic && e2e > deadline_s {
+                            Counters::bump(&counters.deadline_misses);
+                        }
+                        meter
+                            .lock()
+                            .unwrap()
+                            .record(&variant.name, variant.estimate.energy_j);
+                        Counters::bump(&counters.completed);
+                        results.lock().unwrap().push((job.frame.id, dets));
+                    }
+                })
+            };
+
+            source.join().unwrap();
+            pre.join().unwrap();
+            for w in workers {
+                w.join().unwrap();
+            }
+            // All producers of q_post are done; let the post stage drain.
+            q_post.close();
+            post.join().unwrap();
+        });
+        let duration_s = started.elapsed().as_secs_f64();
+
+        let meter = meter.into_inner().unwrap();
+        let mut detections = results.into_inner().unwrap();
+        detections.sort_by_key(|(id, _)| *id);
+
+        let completed = Counters::get(&counters.completed);
+        let stages = vec![
+            stage_report("preprocess", &pre_timer, &q_pre),
+            stage_report("backbone", &bb_timer, &q_bb),
+            stage_report("postprocess", &post_timer, &q_post),
+        ];
+        let variants = ladder
+            .levels()
+            .iter()
+            .map(|spec| {
+                let charged = meter
+                    .variants()
+                    .find(|(name, _)| *name == spec.name)
+                    .map(|(_, e)| *e)
+                    .unwrap_or_default();
+                VariantReport {
+                    name: spec.name.clone(),
+                    frames: charged.frames,
+                    energy_per_frame_j: spec.estimate.energy_j,
+                    modeled_latency_ms: spec.estimate.latency_s * 1e3,
+                    efficiency_score: spec.efficiency_score,
+                }
+            })
+            .collect();
+
+        let report = RuntimeReport {
+            scenario: cfg.scenario.clone(),
+            duration_s,
+            frames_generated: Counters::get(&counters.generated),
+            frames_completed: completed,
+            dropped_backpressure: Counters::get(&counters.dropped_backpressure),
+            dropped_deadline: Counters::get(&counters.dropped_deadline)
+                + Counters::get(&counters.failed),
+            degraded: Counters::get(&counters.degraded),
+            deadline_misses: Counters::get(&counters.deadline_misses),
+            fps: if duration_s > 0.0 {
+                completed as f64 / duration_s
+            } else {
+                0.0
+            },
+            e2e_latency: e2e_timer.summary(),
+            stages,
+            variants,
+            total_energy_j: meter.total_energy_j(),
+            energy_per_frame_j: meter.mean_energy_j(),
+        };
+        debug_assert!(counters.accounted(), "pipeline lost track of a frame");
+        StreamOutcome { report, detections }
+    }
+}
+
+/// Pushes a job into a stage queue under the run's loss policy: blocking
+/// (lossless) in deterministic mode, drop-oldest otherwise.
+fn push_stage<T>(queue: &BoundedQueue<T>, job: T, deterministic: bool, counters: &Counters) {
+    if deterministic {
+        // Err only after close, which each producer controls; a lost push
+        // here would be a pipeline bug, so surface it in accounting.
+        if queue.push_wait(job).is_err() {
+            Counters::bump(&counters.dropped_backpressure);
+        }
+        return;
+    }
+    match queue.push_or_drop_oldest(job) {
+        PushOutcome::Accepted => {}
+        PushOutcome::DroppedOldest(_) | PushOutcome::Full(_) | PushOutcome::Closed(_) => {
+            Counters::bump(&counters.dropped_backpressure);
+        }
+    }
+}
+
+fn stage_report<T>(name: &str, timer: &LatencyRecorder, queue: &BoundedQueue<T>) -> StageReport {
+    StageReport {
+        name: name.into(),
+        latency: timer.summary(),
+        queue_max_depth: queue.max_depth(),
+        queue_capacity: queue.capacity(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_hwmodel::DeviceProfile;
+    use upaq_kitti::dataset::DatasetConfig;
+    use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+    fn pipeline(config: PipelineConfig) -> Pipeline {
+        let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+        let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 5).unwrap();
+        Pipeline::new(ladder, config)
+    }
+
+    fn stream() -> FrameStream {
+        let mut cfg = DatasetConfig::small();
+        cfg.scenes = 2;
+        FrameStream::generate(&cfg, 21)
+    }
+
+    #[test]
+    fn deterministic_run_completes_every_frame_in_order() {
+        let p = pipeline(PipelineConfig {
+            frames: 6,
+            deterministic: true,
+            backbone_workers: 2,
+            scenario: "deterministic".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream());
+        let r = &outcome.report;
+        assert_eq!(r.frames_generated, 6);
+        assert_eq!(r.frames_completed, 6);
+        assert_eq!(r.dropped_backpressure, 0);
+        assert_eq!(r.dropped_deadline, 0);
+        assert_eq!(r.degraded, 0);
+        let ids: Vec<u64> = outcome.detections.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        // Frames cycling the same scene must decode identical boxes.
+        assert_eq!(outcome.detections[0].1, outcome.detections[2].1);
+    }
+
+    #[test]
+    fn overload_degrades_or_drops_but_accounts_every_frame() {
+        let p = pipeline(PipelineConfig {
+            frames: 12,
+            queue_capacity: 2,
+            backbone_workers: 1,
+            // Fast source against a backbone slowed well past the deadline.
+            source_interval_s: 0.001,
+            slow_backbone_s: 0.040,
+            scheduler: SchedulerConfig {
+                deadline_s: 0.030,
+                ..SchedulerConfig::default()
+            },
+            scenario: "overload".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream());
+        let r = &outcome.report;
+        assert_eq!(r.frames_generated, 12);
+        assert_eq!(
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline,
+            r.frames_generated
+        );
+        // Overload must show up as shed load, not unbounded queues.
+        assert!(r.dropped_backpressure + r.dropped_deadline + r.degraded > 0);
+        for stage in &r.stages {
+            assert!(stage.queue_max_depth <= stage.queue_capacity);
+        }
+        assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+    }
+}

@@ -1,0 +1,305 @@
+//! Bounded MPMC queues with explicit backpressure.
+//!
+//! Every edge between pipeline stages is a [`BoundedQueue`]: a fixed
+//! capacity ring guarded by a mutex and two condvars. Producers choose the
+//! overload policy per call — block ([`BoundedQueue::push_wait`]), fail
+//! fast ([`BoundedQueue::try_push`]) or evict the oldest queued item
+//! ([`BoundedQueue::push_or_drop_oldest`]) — so the scheduler, not the
+//! channel, decides what happens when a stage falls behind. The queue
+//! tracks its high-water mark so the report can prove depth never exceeded
+//! capacity.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Result of a non-blocking push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The item was enqueued.
+    Accepted,
+    /// The queue was full; the oldest item was evicted to make room and is
+    /// returned so the caller can account for it.
+    DroppedOldest(T),
+    /// The queue was full and the policy was fail-fast; the rejected item
+    /// is handed back.
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity blocking queue connecting two pipeline stages.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    max_depth: AtomicUsize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a zero-capacity edge would
+    /// deadlock the first `push_wait`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+            max_depth: AtomicUsize::new(0),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// High-water mark: the deepest the queue has ever been.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth.load(Ordering::Relaxed)
+    }
+
+    fn record_depth(&self, depth: usize) {
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Blocks until there is room (backpressure), then enqueues.
+    /// Returns the item back when the queue has been closed.
+    pub fn push_wait(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.items.len() >= self.capacity && !inner.closed {
+            inner = self.not_full.wait(inner).unwrap();
+        }
+        if inner.closed {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        self.record_depth(inner.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues without blocking; hands the item back when full or closed.
+    pub fn try_push(&self, item: T) -> PushOutcome<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return PushOutcome::Closed(item);
+        }
+        if inner.items.len() >= self.capacity {
+            return PushOutcome::Full(item);
+        }
+        inner.items.push_back(item);
+        self.record_depth(inner.items.len());
+        self.not_empty.notify_one();
+        PushOutcome::Accepted
+    }
+
+    /// Enqueues without blocking; when full, evicts the oldest queued item
+    /// and returns it so the caller can count the drop.
+    pub fn push_or_drop_oldest(&self, item: T) -> PushOutcome<T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return PushOutcome::Closed(item);
+        }
+        let evicted = if inner.items.len() >= self.capacity {
+            inner.items.pop_front()
+        } else {
+            None
+        };
+        inner.items.push_back(item);
+        self.record_depth(inner.items.len());
+        self.not_empty.notify_one();
+        match evicted {
+            Some(old) => PushOutcome::DroppedOldest(old),
+            None => PushOutcome::Accepted,
+        }
+    }
+
+    /// Blocks until an item is available; `None` once the queue is closed
+    /// *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let item = inner.items.pop_front();
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: pending pops drain the backlog then see `None`;
+    /// new pushes are refused. Idempotent.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`close`][Self::close] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert_eq!(q.try_push(i), PushOutcome::Accepted);
+        }
+        for i in 0..4 {
+            assert_eq!(q.try_pop(), Some(i));
+        }
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn try_push_refuses_when_full() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), PushOutcome::Accepted);
+        assert_eq!(q.try_push(2), PushOutcome::Accepted);
+        assert_eq!(q.try_push(3), PushOutcome::Full(3));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_head() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1);
+        q.try_push(2);
+        assert_eq!(q.push_or_drop_oldest(3), PushOutcome::DroppedOldest(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), Some(3));
+    }
+
+    #[test]
+    fn depth_never_exceeds_capacity_and_gauge_tracks_high_water() {
+        let q = BoundedQueue::new(3);
+        for i in 0..10 {
+            q.push_or_drop_oldest(i);
+            assert!(q.len() <= q.capacity());
+        }
+        assert_eq!(q.max_depth(), 3);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7);
+        q.close();
+        assert_eq!(q.try_push(8), PushOutcome::Closed(8));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_wait_blocks_until_pop_frees_a_slot() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_wait(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_wait(2));
+        // Give the producer time to block on the full queue.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_unblocks_waiting_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_wait(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push_wait(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(2));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_account_for_every_item() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        q.push_wait(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.pop() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut expect: Vec<i32> = (0..4)
+            .flat_map(|p| (0..100).map(move |i| p * 1000 + i))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+        assert!(q.max_depth() <= q.capacity());
+    }
+}

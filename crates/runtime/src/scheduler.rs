@@ -1,0 +1,204 @@
+//! Deadline-aware admission: per frame, run the most accurate variant
+//! that still fits the frame's remaining deadline budget, degrade down
+//! the ladder when it does not, and drop the frame when even the
+//! cheapest variant cannot finish in time.
+//!
+//! Latency predictions start from the hardware model's per-variant
+//! estimates and are corrected online by an exponential moving average of
+//! measured stage latencies, so the policy adapts to the machine it is
+//! actually running on (including injected slow stages in the overload
+//! tests).
+
+use crate::variant::VariantLadder;
+use std::sync::Mutex;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Per-frame deadline from source arrival to detections, seconds.
+    pub deadline_s: f64,
+    /// EMA weight for new latency observations (0 disables adaptation).
+    pub ema_alpha: f64,
+    /// Safety factor applied to predicted latency (1.0 = none): a frame is
+    /// admitted at a level only if `headroom × predicted ≤ remaining`.
+    pub headroom: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            deadline_s: 0.100,
+            ema_alpha: 0.2,
+            headroom: 1.0,
+        }
+    }
+}
+
+/// The scheduler's verdict for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the frame on ladder level `level` (0 = full model).
+    Run {
+        /// Chosen degrade-ladder level.
+        level: usize,
+    },
+    /// The frame cannot meet its deadline on any variant; drop it.
+    Drop,
+}
+
+/// Deadline-aware variant scheduler over a [`VariantLadder`].
+pub struct DeadlineScheduler {
+    config: SchedulerConfig,
+    /// Predicted per-variant processing latency, seconds. Seeded from the
+    /// hardware model, corrected by measurement.
+    predicted_s: Mutex<Vec<f64>>,
+}
+
+impl DeadlineScheduler {
+    /// Seeds per-variant latency predictions from the ladder's hardware
+    /// estimates.
+    pub fn new(ladder: &VariantLadder, config: SchedulerConfig) -> Self {
+        let predicted = ladder
+            .levels()
+            .iter()
+            .map(|v| v.estimate.latency_s)
+            .collect();
+        DeadlineScheduler {
+            config,
+            predicted_s: Mutex::new(predicted),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// Current latency prediction for a ladder level, seconds.
+    pub fn predicted_s(&self, level: usize) -> f64 {
+        self.predicted_s.lock().unwrap()[level]
+    }
+
+    /// Decides what to do with a frame that has already waited `age_s`
+    /// seconds since source arrival.
+    pub fn admit(&self, age_s: f64) -> Admission {
+        let remaining = self.config.deadline_s - age_s;
+        if remaining <= 0.0 {
+            return Admission::Drop;
+        }
+        let predicted = self.predicted_s.lock().unwrap();
+        for (level, &p) in predicted.iter().enumerate() {
+            if p * self.config.headroom <= remaining {
+                return Admission::Run { level };
+            }
+        }
+        Admission::Drop
+    }
+
+    /// Feeds back a measured processing latency for `level`.
+    pub fn observe(&self, level: usize, measured_s: f64) {
+        let a = self.config.ema_alpha;
+        if a <= 0.0 {
+            return;
+        }
+        let mut predicted = self.predicted_s.lock().unwrap();
+        let p = &mut predicted[level];
+        *p = (1.0 - a) * *p + a * measured_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::VariantLadder;
+    use upaq_hwmodel::DeviceProfile;
+    use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+    fn ladder() -> VariantLadder {
+        let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+        VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 3).unwrap()
+    }
+
+    #[test]
+    fn fresh_frame_runs_full_model() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                deadline_s: 10.0,
+                ..SchedulerConfig::default()
+            },
+        );
+        assert_eq!(s.admit(0.0), Admission::Run { level: 0 });
+    }
+
+    #[test]
+    fn stale_frame_is_dropped() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        assert_eq!(s.admit(0.2), Admission::Drop);
+    }
+
+    #[test]
+    fn tight_budget_degrades_down_the_ladder() {
+        let l = ladder();
+        let base = l.level(0).estimate.latency_s;
+        let cheapest = l.level(l.len() - 1).estimate.latency_s;
+        // Deadline sits between the cheapest and the full variant: the
+        // scheduler must pick a degraded level, not drop.
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                deadline_s: (cheapest + base) / 2.0,
+                ema_alpha: 0.0,
+                headroom: 1.0,
+            },
+        );
+        match s.admit(0.0) {
+            Admission::Run { level } => assert!(level > 0, "expected a degraded level"),
+            Admission::Drop => panic!("should degrade, not drop"),
+        }
+    }
+
+    #[test]
+    fn observations_move_predictions() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                ema_alpha: 0.5,
+                ..SchedulerConfig::default()
+            },
+        );
+        let before = s.predicted_s(0);
+        s.observe(0, before * 10.0);
+        let after = s.predicted_s(0);
+        assert!(after > before);
+        // EMA, not replacement.
+        assert!(after < before * 10.0);
+    }
+
+    #[test]
+    fn slow_measurements_push_scheduler_off_full_model() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                deadline_s: 0.050,
+                ema_alpha: 0.5,
+                headroom: 1.0,
+            },
+        );
+        // Nominal predictions fit the deadline at level 0.
+        assert_eq!(s.admit(0.0), Admission::Run { level: 0 });
+        // A run of slow level-0 measurements (injected slow stage) makes
+        // the full model unattractive; the scheduler degrades.
+        for _ in 0..20 {
+            s.observe(0, 0.200);
+        }
+        match s.admit(0.0) {
+            Admission::Run { level } => assert!(level > 0),
+            Admission::Drop => panic!("cheaper variants still fit"),
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! The degrade ladder: the model variants a stream can fall back to.
+//!
+//! Level 0 is the uncompressed detector; deeper levels are
+//! UPAQ-compressed variants (LCK, then HCK) that trade accuracy for
+//! modeled latency/energy. Levels are ordered by strictly decreasing
+//! modeled cost, and each variant carries the paper's efficiency score
+//! `Es` (quality vs. latency vs. energy against the uncompressed
+//! baseline) so reports can show *why* the scheduler considers a variant
+//! cheaper, not just that it is.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use upaq::compress::{CompressionContext, Compressor, Upaq};
+use upaq::config::UpaqConfig;
+use upaq::score::ScoreContext;
+use upaq_hwmodel::exec::{model_executions, BitAllocation, SparsityKind};
+use upaq_hwmodel::latency::{estimate, Estimate};
+use upaq_hwmodel::DeviceProfile;
+use upaq_models::LidarDetector;
+use upaq_nn::{LayerId, Model, NnError};
+use upaq_tensor::quant::sqnr;
+
+/// Errors from ladder construction.
+pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + Sync>>;
+
+/// One rung of the degrade ladder.
+#[derive(Clone)]
+pub struct VariantSpec {
+    /// Display name (`"base"`, `"UPAQ (LCK)"`, `"UPAQ (HCK)"`).
+    pub name: String,
+    /// The detector to run for this variant. All variants share the pillar
+    /// configuration and head spec of the base detector, so preprocessing
+    /// is variant-independent.
+    pub detector: Arc<LidarDetector>,
+    /// Id of the detector's head (output) layer.
+    pub head: LayerId,
+    /// Modeled cost of one forward pass on the configured device.
+    pub estimate: Estimate,
+    /// Weight SQNR against the uncompressed model (linear ratio;
+    /// `f32::INFINITY` for the base variant itself).
+    pub sqnr: f32,
+    /// The paper's efficiency score of this variant against the base.
+    pub efficiency_score: f64,
+}
+
+/// The ordered set of variants available to the scheduler.
+#[derive(Clone)]
+pub struct VariantLadder {
+    levels: Vec<VariantSpec>,
+}
+
+/// Aggregate weight SQNR (linear ratio) of `compressed` against `base`:
+/// total signal power over total quantization-noise power across all
+/// weighted layers.
+fn model_sqnr(base: &Model, compressed: &Model) -> Result<f32> {
+    let mut signal = 0.0f64;
+    let mut noise = 0.0f64;
+    for id in base.weighted_layers() {
+        let (Some(orig), Some(comp)) = (base.layer(id)?.weights(), compressed.layer(id)?.weights())
+        else {
+            continue;
+        };
+        // sqnr() = signal/noise per layer; recover the powers so layers
+        // combine by energy, not by unweighted ratio averaging.
+        let s: f64 = orig
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum();
+        let n: f64 = orig
+            .as_slice()
+            .iter()
+            .zip(comp.as_slice())
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum();
+        signal += s;
+        noise += n;
+        // Guard: the per-layer helper must agree with our power math.
+        debug_assert!(n == 0.0 || sqnr(orig, comp).is_ok());
+    }
+    if noise == 0.0 {
+        return Ok(f32::INFINITY);
+    }
+    Ok((signal / noise) as f32)
+}
+
+fn estimate_for(
+    model: &Model,
+    shapes: &HashMap<String, upaq_tensor::Shape>,
+    bits: &BitAllocation,
+    kinds: &HashMap<LayerId, SparsityKind>,
+    device: &DeviceProfile,
+) -> Result<Estimate> {
+    let costs = upaq_nn::stats::model_costs(model, shapes)?;
+    let execs = model_executions(model, &costs, bits, kinds);
+    Ok(estimate(device, &execs))
+}
+
+impl VariantLadder {
+    /// Builds the three-rung ladder (base, UPAQ LCK, UPAQ HCK) for a base
+    /// detector on `device`.
+    ///
+    /// The UPAQ search is seeded, so the same inputs always produce the
+    /// same ladder. Compression skips the detection head (matching the
+    /// Table-2 harness protocol); the head keeps its trained weights, so a
+    /// degraded variant differs from base only in its backbone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression and cost-model errors, and fails when the
+    /// compressed variants do not come out cheaper than base (a modeling
+    /// regression worth failing loudly on).
+    pub fn build(base: LidarDetector, device: &DeviceProfile, seed: u64) -> Result<Self> {
+        let shapes = base.input_shapes();
+        let head = base.head_layer()?;
+        let empty_bits = BitAllocation::new();
+        let empty_kinds = HashMap::new();
+        let base_est = estimate_for(&base.model, &shapes, &empty_bits, &empty_kinds, device)?;
+
+        let lck = UpaqConfig::lck();
+        let score_ctx = ScoreContext::new(
+            device.clone(),
+            shapes.clone(),
+            &base.model,
+            lck.alpha,
+            lck.beta,
+            lck.gamma,
+        )?;
+        let base_score = score_ctx.efficiency_score(f32::INFINITY, &base_est);
+
+        let mut levels = vec![VariantSpec {
+            name: "base".into(),
+            head,
+            estimate: base_est.clone(),
+            sqnr: f32::INFINITY,
+            efficiency_score: base_score,
+            detector: Arc::new(base.clone()),
+        }];
+
+        let ctx = CompressionContext::new(device.clone(), shapes.clone(), seed)
+            .with_skip_layers(vec![head]);
+        for config in [UpaqConfig::lck(), UpaqConfig::hck()] {
+            let compressor = Upaq::new(config);
+            let outcome = compressor.compress(&base.model, &ctx)?;
+            let est = estimate_for(
+                &outcome.model,
+                &shapes,
+                &outcome.bits,
+                &outcome.kinds,
+                device,
+            )?;
+            let ratio = model_sqnr(&base.model, &outcome.model)?;
+            let score = score_ctx.efficiency_score(ratio, &est);
+            let mut det = base.clone();
+            det.model = outcome.model;
+            levels.push(VariantSpec {
+                name: compressor.name().to_string(),
+                head,
+                estimate: est,
+                sqnr: ratio,
+                efficiency_score: score,
+                detector: Arc::new(det),
+            });
+        }
+
+        for pair in levels.windows(2) {
+            if pair[1].estimate.latency_s >= pair[0].estimate.latency_s {
+                return Err(Box::new(NnError::BadWiring(format!(
+                    "degrade ladder not monotone: `{}` ({:.3} ms) is not cheaper than `{}` ({:.3} ms)",
+                    pair[1].name,
+                    pair[1].estimate.latency_s * 1e3,
+                    pair[0].name,
+                    pair[0].estimate.latency_s * 1e3,
+                ))));
+            }
+        }
+        Ok(VariantLadder { levels })
+    }
+
+    /// Number of levels (≥ 1; level 0 is the base variant).
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the ladder has no levels (never true for a built ladder).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The variant at `level` (0 = most accurate, last = cheapest).
+    pub fn level(&self, level: usize) -> &VariantSpec {
+        &self.levels[level]
+    }
+
+    /// All levels in degrade order.
+    pub fn levels(&self) -> &[VariantSpec] {
+        &self.levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+
+    #[test]
+    fn ladder_orders_variants_by_decreasing_cost() {
+        let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+        let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 7).unwrap();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder.level(0).name, "base");
+        assert!(ladder.level(0).sqnr.is_infinite());
+        for pair in ladder.levels().windows(2) {
+            assert!(pair[1].estimate.latency_s < pair[0].estimate.latency_s);
+            assert!(pair[1].estimate.energy_j < pair[0].estimate.energy_j);
+        }
+        // Compressed variants trade accuracy: finite SQNR, higher Es than
+        // base (they gain more in latency/energy than they lose in SQNR).
+        for spec in &ladder.levels()[1..] {
+            assert!(spec.sqnr.is_finite() && spec.sqnr > 0.0);
+            assert!(spec.efficiency_score > 0.0);
+        }
+    }
+
+    #[test]
+    fn ladder_is_deterministic_for_a_seed() {
+        let build = || {
+            let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+            VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 11).unwrap()
+        };
+        let (a, b) = (build(), build());
+        for (la, lb) in a.levels().iter().zip(b.levels()) {
+            assert_eq!(la.name, lb.name);
+            assert_eq!(la.estimate.latency_s, lb.estimate.latency_s);
+            assert_eq!(la.sqnr, lb.sqnr);
+            for id in la.detector.model.weighted_layers() {
+                let wa = la.detector.model.layer(id).unwrap().weights().unwrap();
+                let wb = lb.detector.model.layer(id).unwrap().weights().unwrap();
+                assert_eq!(wa.as_slice(), wb.as_slice());
+            }
+        }
+    }
+}

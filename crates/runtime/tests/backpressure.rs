@@ -1,0 +1,127 @@
+//! Backpressure and overload guarantees of the streaming pipeline:
+//! bounded queues stay bounded, and the counters account for every frame
+//! the source ever emitted.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::DatasetConfig;
+use upaq_kitti::stream::FrameStream;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_runtime::{
+    BoundedQueue, Pipeline, PipelineConfig, PushOutcome, SchedulerConfig, VariantLadder,
+};
+
+fn stream() -> FrameStream {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 2;
+    FrameStream::generate(&cfg, 13)
+}
+
+fn pipeline(config: PipelineConfig) -> Pipeline {
+    let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 13).unwrap();
+    Pipeline::new(ladder, config)
+}
+
+#[test]
+fn queues_never_exceed_capacity_and_drops_account_for_every_frame() {
+    // A fast source against a single stalled backbone worker: the input
+    // queues must saturate (shedding oldest frames) instead of growing.
+    let outcome = pipeline(PipelineConfig {
+        frames: 20,
+        queue_capacity: 3,
+        backbone_workers: 1,
+        source_interval_s: 0.001,
+        slow_backbone_s: 0.030,
+        scheduler: SchedulerConfig {
+            deadline_s: 0.025,
+            ..SchedulerConfig::default()
+        },
+        scenario: "overload-integration".into(),
+        ..PipelineConfig::default()
+    })
+    .run(stream());
+
+    let r = &outcome.report;
+    assert_eq!(r.frames_generated, 20);
+    // Every generated frame is either completed or counted in a drop class.
+    assert_eq!(
+        r.frames_completed + r.dropped_backpressure + r.dropped_deadline,
+        r.frames_generated,
+        "a frame went unaccounted"
+    );
+    // Overload must surface as shed/degraded load…
+    assert!(r.dropped_backpressure + r.dropped_deadline + r.degraded > 0);
+    // …while memory stays bounded: no queue ever held more than capacity.
+    for stage in &r.stages {
+        assert_eq!(stage.queue_capacity, 3);
+        assert!(
+            stage.queue_max_depth <= stage.queue_capacity,
+            "stage `{}` exceeded its queue capacity",
+            stage.name
+        );
+    }
+    // Completed frames all produced detection lists.
+    assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+}
+
+#[test]
+fn nominal_run_reports_latency_and_energy_per_variant() {
+    let outcome = pipeline(PipelineConfig {
+        frames: 8,
+        deterministic: true,
+        scenario: "nominal-integration".into(),
+        ..PipelineConfig::default()
+    })
+    .run(stream());
+
+    let r = &outcome.report;
+    assert_eq!(r.frames_completed, 8);
+    assert_eq!(r.e2e_latency.count, 8);
+    assert!(r.e2e_latency.p50_s > 0.0 && r.e2e_latency.p99_s >= r.e2e_latency.p50_s);
+    assert!(r.fps > 0.0);
+    // The report always lists the full ladder, with modeled energy, even
+    // for variants that never ran this scenario.
+    assert_eq!(r.variants.len(), 3);
+    assert_eq!(r.variants[0].frames, 8);
+    for v in &r.variants {
+        assert!(v.energy_per_frame_j > 0.0);
+        assert!(v.modeled_latency_ms > 0.0);
+    }
+    assert!(r.total_energy_j > 0.0);
+}
+
+#[test]
+fn raw_queue_accounts_for_drops_under_concurrent_producers() {
+    // Drop-oldest pushes from many threads: capacity is never exceeded and
+    // accepted == drained + evicted when the dust settles.
+    let q: Arc<BoundedQueue<u64>> = Arc::new(BoundedQueue::new(4));
+    let evicted = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let (q, evicted) = (Arc::clone(&q), Arc::clone(&evicted));
+            std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    match q.push_or_drop_oldest(t * 1000 + i) {
+                        PushOutcome::Accepted => {}
+                        PushOutcome::DroppedOldest(_) => {
+                            evicted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        outcome => panic!("unexpected outcome: {outcome:?}"),
+                    }
+                    assert!(q.len() <= q.capacity());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut drained = 0u64;
+    while q.try_pop().is_some() {
+        drained += 1;
+    }
+    assert!(q.max_depth() <= q.capacity());
+    assert_eq!(drained + evicted.load(Ordering::Relaxed), 400);
+}

@@ -46,7 +46,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
@@ -58,7 +61,10 @@ impl fmt::Display for TensorError {
                 write!(f, "expected rank {expected}, got rank {actual}")
             }
             TensorError::UnsupportedBitwidth(bits) => {
-                write!(f, "unsupported quantization bitwidth {bits} (supported: 2..=16)")
+                write!(
+                    f,
+                    "unsupported quantization bitwidth {bits} (supported: 2..=16)"
+                )
             }
             TensorError::Invalid(msg) => write!(f, "{msg}"),
         }
@@ -73,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let err = TensorError::LengthMismatch { expected: 4, actual: 3 };
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(err.to_string().contains('4'));
         assert!(err.to_string().contains('3'));
     }

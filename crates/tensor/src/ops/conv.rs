@@ -14,14 +14,20 @@ pub struct Conv2dParams {
 
 impl Default for Conv2dParams {
     fn default() -> Self {
-        Conv2dParams { stride: 1, padding: 0 }
+        Conv2dParams {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
 impl Conv2dParams {
     /// Stride-1 "same" convolution for odd kernel size `k`.
     pub fn same(k: usize) -> Self {
-        Conv2dParams { stride: 1, padding: k / 2 }
+        Conv2dParams {
+            stride: 1,
+            padding: k / 2,
+        }
     }
 
     /// Output spatial size for an input of size `i` and kernel size `k`.
@@ -56,16 +62,37 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     params: Conv2dParams,
 ) -> Result<Tensor> {
+    let (out_c, oh, ow) = conv2d_out_dims(input, weights, bias, params)?;
+    let mut out = Tensor::zeros(Shape::nchw(1, out_c, oh, ow));
+    conv2d_into(input, weights, bias, params, &mut out)?;
+    Ok(out)
+}
+
+/// Validates conv2d operands and returns the output `(out_c, oh, ow)`.
+fn conv2d_out_dims(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<(usize, usize, usize)> {
     let ishape = input.shape();
     let wshape = weights.shape();
     if ishape.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: ishape.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: ishape.rank(),
+        });
     }
     if wshape.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: wshape.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: wshape.rank(),
+        });
     }
     if ishape.dim(0) != 1 {
-        return Err(TensorError::Invalid("conv2d supports batch size 1 only".into()));
+        return Err(TensorError::Invalid(
+            "conv2d supports batch size 1 only".into(),
+        ));
     }
     let (in_c, h, w) = (ishape.dim(1), ishape.dim(2), ishape.dim(3));
     let (out_c, w_in_c, kh, kw) = (wshape.dim(0), wshape.dim(1), wshape.dim(2), wshape.dim(3));
@@ -83,63 +110,138 @@ pub fn conv2d(
             )));
         }
     }
-    let oh = params.out_size(h, kh);
-    let ow = params.out_size(w, kw);
-    let mut out = Tensor::zeros(Shape::nchw(1, out_c, oh, ow));
+    Ok((out_c, params.out_size(h, kh), params.out_size(w, kw)))
+}
 
-    let idata = input.as_slice();
-    let wdata = weights.as_slice();
-    let odata = out.as_mut_slice();
-
+/// One output channel of the convolution, written into its `oh*ow` slice.
+/// The per-element arithmetic (tap extraction, accumulation order, bias
+/// add) is identical whether channels run serially or on worker threads,
+/// so parallel and single-threaded execution are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_channel(
+    oc: usize,
+    idata: &[f32],
+    wdata: &[f32],
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    dims: (usize, usize, usize, usize, usize, usize, usize),
+    ochan: &mut [f32],
+) {
+    let (in_c, h, w, kh, kw, oh, ow) = dims;
+    let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
     // Pre-extract the non-zero weight taps per (out_c, in_c) kernel so the
     // hot loop only visits surviving weights.
-    for oc in 0..out_c {
-        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
-        for ic in 0..in_c {
-            let kbase = ((oc * in_c) + ic) * kh * kw;
-            let mut taps: Vec<(usize, usize, f32)> = Vec::with_capacity(kh * kw);
-            for r in 0..kh {
-                for c in 0..kw {
-                    let v = wdata[kbase + r * kw + c];
-                    if v != 0.0 {
-                        taps.push((r, c, v));
-                    }
-                }
-            }
-            if taps.is_empty() {
-                continue;
-            }
-            let ibase = ic * h * w;
-            for oy in 0..oh {
-                let iy0 = oy * params.stride;
-                for ox in 0..ow {
-                    let ix0 = ox * params.stride;
-                    let mut acc = 0.0f32;
-                    for &(r, c, wv) in &taps {
-                        let iy = iy0 + r;
-                        let ix = ix0 + c;
-                        // Padding: translate to unpadded coordinates.
-                        if iy < params.padding || ix < params.padding {
-                            continue;
-                        }
-                        let iy = iy - params.padding;
-                        let ix = ix - params.padding;
-                        if iy >= h || ix >= w {
-                            continue;
-                        }
-                        acc += wv * idata[ibase + iy * w + ix];
-                    }
-                    odata[(oc * oh + oy) * ow + ox] += acc;
+    for ic in 0..in_c {
+        let kbase = ((oc * in_c) + ic) * kh * kw;
+        let mut taps: Vec<(usize, usize, f32)> = Vec::with_capacity(kh * kw);
+        for r in 0..kh {
+            for c in 0..kw {
+                let v = wdata[kbase + r * kw + c];
+                if v != 0.0 {
+                    taps.push((r, c, v));
                 }
             }
         }
-        if bias_v != 0.0 {
-            for v in &mut odata[oc * oh * ow..(oc + 1) * oh * ow] {
-                *v += bias_v;
+        if taps.is_empty() {
+            continue;
+        }
+        let ibase = ic * h * w;
+        for oy in 0..oh {
+            let iy0 = oy * params.stride;
+            for ox in 0..ow {
+                let ix0 = ox * params.stride;
+                let mut acc = 0.0f32;
+                for &(r, c, wv) in &taps {
+                    let iy = iy0 + r;
+                    let ix = ix0 + c;
+                    // Padding: translate to unpadded coordinates.
+                    if iy < params.padding || ix < params.padding {
+                        continue;
+                    }
+                    let iy = iy - params.padding;
+                    let ix = ix - params.padding;
+                    if iy >= h || ix >= w {
+                        continue;
+                    }
+                    acc += wv * idata[ibase + iy * w + ix];
+                }
+                ochan[oy * ow + ox] += acc;
             }
         }
     }
-    Ok(out)
+    if bias_v != 0.0 {
+        for v in ochan {
+            *v += bias_v;
+        }
+    }
+}
+
+/// [`conv2d`] into a caller-provided output tensor, so a streaming runtime
+/// can reuse activation buffers across frames instead of reallocating.
+///
+/// When [`TensorParallel`][crate::ops::TensorParallel] is configured with
+/// more than one thread, output channels are distributed over scoped
+/// worker threads. Each channel's slice is disjoint and its arithmetic
+/// order unchanged, so results are bit-identical to serial execution.
+///
+/// # Errors
+///
+/// All [`conv2d`] error conditions, plus [`TensorError::ShapeMismatch`]
+/// when `out` does not have the expected output shape.
+pub fn conv2d_into(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out: &mut Tensor,
+) -> Result<()> {
+    let (out_c, oh, ow) = conv2d_out_dims(input, weights, bias, params)?;
+    let expected = [1, out_c, oh, ow];
+    if out.shape().dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: expected.to_vec(),
+            right: out.shape().dims().to_vec(),
+        });
+    }
+    let ishape = input.shape();
+    let wshape = weights.shape();
+    let dims = (
+        ishape.dim(1),
+        ishape.dim(2),
+        ishape.dim(3),
+        wshape.dim(2),
+        wshape.dim(3),
+        oh,
+        ow,
+    );
+    let idata = input.as_slice();
+    let wdata = weights.as_slice();
+    let odata = out.as_mut_slice();
+    odata.fill(0.0);
+
+    let threads = super::TensorParallel::threads().min(out_c.max(1));
+    let chan = oh * ow;
+    if threads <= 1 || out_c <= 1 || chan == 0 {
+        for (oc, ochan) in odata.chunks_mut(chan.max(1)).enumerate() {
+            conv2d_channel(oc, idata, wdata, bias, params, dims, ochan);
+        }
+        return Ok(());
+    }
+
+    // Split the output channels into one contiguous run per worker; the
+    // chunks are disjoint `&mut` slices, so no synchronisation is needed.
+    let per_worker = out_c.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (w_idx, worker_chunk) in odata.chunks_mut(per_worker * chan).enumerate() {
+            scope.spawn(move || {
+                let oc0 = w_idx * per_worker;
+                for (i, ochan) in worker_chunk.chunks_mut(chan).enumerate() {
+                    conv2d_channel(oc0 + i, idata, wdata, bias, params, dims, ochan);
+                }
+            });
+        }
+    });
+    Ok(())
 }
 
 #[cfg(test)]
@@ -174,7 +276,16 @@ mod tests {
     fn stride_reduces_output() {
         let input = input_1ch(5, 5, vec![1.0; 25]);
         let weights = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
-        let out = conv2d(&input, &weights, None, Conv2dParams { stride: 2, padding: 0 }).unwrap();
+        let out = conv2d(
+            &input,
+            &weights,
+            None,
+            Conv2dParams {
+                stride: 2,
+                padding: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
     }
 
@@ -182,7 +293,16 @@ mod tests {
     fn padding_grows_output() {
         let input = input_1ch(3, 3, vec![1.0; 9]);
         let weights = Tensor::full(Shape::nchw(1, 1, 3, 3), 1.0);
-        let out = conv2d(&input, &weights, None, Conv2dParams { stride: 1, padding: 1 }).unwrap();
+        let out = conv2d(
+            &input,
+            &weights,
+            None,
+            Conv2dParams {
+                stride: 1,
+                padding: 1,
+            },
+        )
+        .unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 3, 3]);
         // Corner sees only a 2×2 patch of ones.
         assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 4.0);
@@ -213,7 +333,11 @@ mod tests {
         // A conv with explicitly-zeroed taps must equal the dense computation.
         let input = input_1ch(4, 4, (0..16).map(|i| i as f32 * 0.3).collect());
         let dense = Tensor::from_fn(Shape::nchw(1, 1, 3, 3), |i| {
-            if i % 2 == 0 { (i as f32) * 0.1 } else { 0.0 }
+            if i % 2 == 0 {
+                (i as f32) * 0.1
+            } else {
+                0.0
+            }
         });
         let out = conv2d(&input, &dense, None, Conv2dParams::same(3)).unwrap();
         // Recompute naively.
@@ -266,7 +390,15 @@ mod tests {
         let input = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let weights = Tensor::from_vec(Shape::nchw(1, 2, 1, 1), vec![0.5, 0.25]).unwrap();
         let out = conv2d(&input, &weights, None, Conv2dParams::default()).unwrap();
-        assert!(approx_eq(out.get(&[0, 0, 0, 0]).unwrap(), 0.5 * 1.0 + 0.25 * 3.0, 1e-6));
-        assert!(approx_eq(out.get(&[0, 0, 0, 1]).unwrap(), 0.5 * 2.0 + 0.25 * 4.0, 1e-6));
+        assert!(approx_eq(
+            out.get(&[0, 0, 0, 0]).unwrap(),
+            0.5 * 1.0 + 0.25 * 3.0,
+            1e-6
+        ));
+        assert!(approx_eq(
+            out.get(&[0, 0, 0, 1]).unwrap(),
+            0.5 * 2.0 + 0.25 * 4.0,
+            1e-6
+        ));
     }
 }

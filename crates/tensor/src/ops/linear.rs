@@ -13,10 +13,16 @@ use crate::{Result, Tensor, TensorError};
 /// when operand shapes disagree.
 pub fn linear(input: &Tensor, weights: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
     if input.shape().rank() != 1 {
-        return Err(TensorError::RankMismatch { expected: 1, actual: input.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: input.shape().rank(),
+        });
     }
     if weights.shape().rank() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: weights.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: weights.shape().rank(),
+        });
     }
     let in_f = input.len();
     let (out_f, w_in) = (weights.shape().dim(0), weights.shape().dim(1));

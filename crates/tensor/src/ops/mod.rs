@@ -9,10 +9,12 @@ mod activation;
 mod conv;
 mod linear;
 mod norm;
+mod parallel;
 mod pool;
 
 pub use activation::{leaky_relu, relu, sigmoid};
-pub use conv::{conv2d, Conv2dParams};
+pub use conv::{conv2d, conv2d_into, Conv2dParams};
 pub use linear::linear;
 pub use norm::{batch_norm, BatchNormParams};
+pub use parallel::TensorParallel;
 pub use pool::{avg_pool2d, max_pool2d};

@@ -63,7 +63,10 @@ impl BatchNormParams {
 pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor> {
     let shape = input.shape();
     if shape.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: shape.rank(),
+        });
     }
     let (c, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
     if c != params.channels() {

@@ -1,0 +1,46 @@
+//! Process-wide kernel parallelism configuration.
+//!
+//! Kernels are single-threaded by default so determinism tests and
+//! benchmarks measure the serial arithmetic. The streaming runtime (or a
+//! caller that wants intra-op parallelism) opts in by raising the thread
+//! count; kernels that honour it split work into disjoint output regions
+//! with unchanged per-element arithmetic, so results stay bit-identical
+//! at any setting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Global switch for intra-kernel worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct TensorParallel;
+
+impl TensorParallel {
+    /// Sets the worker-thread count used by parallel-capable kernels.
+    /// `0` is treated as `1` (serial).
+    pub fn set_threads(n: usize) {
+        THREADS.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured worker-thread count (default 1: serial).
+    pub fn threads() -> usize {
+        THREADS.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_and_zero_clamps() {
+        // Note: global state — keep this the only test mutating it in this
+        // crate's unit suite (integration tests get their own process).
+        assert_eq!(TensorParallel::threads(), 1);
+        TensorParallel::set_threads(0);
+        assert_eq!(TensorParallel::threads(), 1);
+        TensorParallel::set_threads(4);
+        assert_eq!(TensorParallel::threads(), 4);
+        TensorParallel::set_threads(1);
+    }
+}

@@ -12,13 +12,20 @@ fn pool2d(
 ) -> Result<Tensor> {
     let shape = input.shape();
     if shape.rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: shape.rank(),
+        });
     }
     if shape.dim(0) != 1 {
-        return Err(TensorError::Invalid("pooling supports batch size 1 only".into()));
+        return Err(TensorError::Invalid(
+            "pooling supports batch size 1 only".into(),
+        ));
     }
     if k == 0 || stride == 0 {
-        return Err(TensorError::Invalid("pool kernel and stride must be non-zero".into()));
+        return Err(TensorError::Invalid(
+            "pool kernel and stride must be non-zero".into(),
+        ));
     }
     let (c, h, w) = (shape.dim(1), shape.dim(2), shape.dim(3));
     if h < k || w < k {
@@ -74,11 +81,7 @@ mod tests {
     use super::*;
 
     fn input4() -> Tensor {
-        Tensor::from_vec(
-            Shape::nchw(1, 1, 4, 4),
-            (0..16).map(|i| i as f32).collect(),
-        )
-        .unwrap()
+        Tensor::from_vec(Shape::nchw(1, 1, 4, 4), (0..16).map(|i| i as f32).collect()).unwrap()
     }
 
     #[test]

@@ -70,7 +70,12 @@ impl QuantizedTensor {
             .iter()
             .map(|&x| ((x / scale).round() as i32).clamp(min_q, max_q))
             .collect();
-        Ok(QuantizedTensor { shape: tensor.shape().clone(), values, scale, bits })
+        Ok(QuantizedTensor {
+            shape: tensor.shape().clone(),
+            values,
+            scale,
+            bits,
+        })
     }
 
     /// Reconstructs the floating-point tensor.
@@ -220,7 +225,10 @@ mod tests {
         let (_, s6) = fake_quantize(&t, 6).unwrap();
         let (_, s10) = fake_quantize(&t, 10).unwrap();
         let gain_db = sqnr_db(s10) - sqnr_db(s6);
-        assert!((gain_db - 24.0).abs() < 4.0, "gain {gain_db} dB far from 24 dB");
+        assert!(
+            (gain_db - 24.0).abs() < 4.0,
+            "gain {gain_db} dB far from 24 dB"
+        );
     }
 
     #[test]

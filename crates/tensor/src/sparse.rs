@@ -30,13 +30,19 @@ pub struct KernelMask {
 impl KernelMask {
     /// An all-kept (dense) mask.
     pub fn dense(dim: usize) -> Self {
-        KernelMask { dim, keep: vec![true; dim * dim] }
+        KernelMask {
+            dim,
+            keep: vec![true; dim * dim],
+        }
     }
 
     /// An all-dropped mask (the connectivity-pruning "remove this kernel
     /// entirely" case).
     pub fn empty(dim: usize) -> Self {
-        KernelMask { dim, keep: vec![false; dim * dim] }
+        KernelMask {
+            dim,
+            keep: vec![false; dim * dim],
+        }
     }
 
     /// Builds a mask keeping exactly the listed `(row, col)` positions.
@@ -78,7 +84,10 @@ impl KernelMask {
     ///
     /// Panics when `row` or `col` is `>= dim`.
     pub fn is_kept(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.dim && col < self.dim, "mask position out of range");
+        assert!(
+            row < self.dim && col < self.dim,
+            "mask position out of range"
+        );
         self.keep[row * self.dim + col]
     }
 
@@ -127,7 +136,10 @@ impl KernelMask {
     pub fn apply_to_weights(&self, weights: &Tensor) -> Result<Tensor> {
         let shape = weights.shape();
         if shape.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: shape.rank(),
+            });
         }
         if shape.dim(2) != self.dim || shape.dim(3) != self.dim {
             return Err(TensorError::ShapeMismatch {
@@ -174,7 +186,10 @@ impl SparseKernel {
     /// [`TensorError::Invalid`] when it is not square or wider than 255.
     pub fn from_dense(kernel: &Tensor) -> Result<Self> {
         if kernel.shape().rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: kernel.shape().rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: kernel.shape().rank(),
+            });
         }
         let dim = kernel.shape().dim(0);
         if kernel.shape().dim(1) != dim {
@@ -207,7 +222,9 @@ impl SparseKernel {
 
     /// Iterator over `(row, col, weight)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Reconstructs the dense kernel.
@@ -274,8 +291,12 @@ mod tests {
     #[test]
     fn apply_to_weights_rejects_bad_rank() {
         let m = KernelMask::dense(3);
-        assert!(m.apply_to_weights(&Tensor::zeros(Shape::matrix(3, 3))).is_err());
-        assert!(m.apply_to_weights(&Tensor::zeros(Shape::nchw(1, 1, 2, 2))).is_err());
+        assert!(m
+            .apply_to_weights(&Tensor::zeros(Shape::matrix(3, 3)))
+            .is_err());
+        assert!(m
+            .apply_to_weights(&Tensor::zeros(Shape::nchw(1, 1, 2, 2)))
+            .is_err());
     }
 
     #[test]

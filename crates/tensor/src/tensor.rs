@@ -31,13 +31,19 @@ impl Tensor {
     /// Creates a tensor of zeros.
     pub fn zeros(shape: Shape) -> Self {
         let volume = shape.volume();
-        Tensor { shape, data: vec![0.0; volume] }
+        Tensor {
+            shape,
+            data: vec![0.0; volume],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Shape, value: f32) -> Self {
         let volume = shape.volume();
-        Tensor { shape, data: vec![value; volume] }
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
     }
 
     /// Creates a tensor from a flat row-major data vector.
@@ -212,7 +218,10 @@ impl Tensor {
             return 0.0;
         }
         let mean = self.mean();
-        self.data.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>()
+        self.data
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / self.data.len() as f32
     }
 
@@ -268,7 +277,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Flattens to a rank-1 tensor. Used by the 1×1 kernel transformation
@@ -288,10 +300,16 @@ impl Tensor {
     /// and [`TensorError::ShapeMismatch`] when inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
         if self.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+            });
         }
         if other.shape.rank() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: other.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.shape.rank(),
+            });
         }
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
@@ -315,7 +333,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Tensor { shape: Shape::matrix(m, n), data: out })
+        Ok(Tensor {
+            shape: Shape::matrix(m, n),
+            data: out,
+        })
     }
 
     /// Maximum absolute difference against another tensor of the same shape.
@@ -447,7 +468,8 @@ mod tests {
     #[test]
     fn matmul_known_product() {
         let a = Tensor::from_vec(Shape::matrix(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
-        let b = Tensor::from_vec(Shape::matrix(3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let b =
+            Tensor::from_vec(Shape::matrix(3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
     }

@@ -33,8 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let lidar_boxes = lidar.detect(&data.lidar(test))?;
     let camera_boxes = camera.detect(&data.camera(test))?;
-    let lidar_eval = evaluate_detections(&[lidar_boxes.clone()], &[scene]);
-    let camera_eval = evaluate_detections(&[camera_boxes.clone()], &[scene]);
+    let lidar_eval = evaluate_detections(
+        std::slice::from_ref(&lidar_boxes),
+        std::slice::from_ref(&scene),
+    );
+    let camera_eval = evaluate_detections(
+        std::slice::from_ref(&camera_boxes),
+        std::slice::from_ref(&scene),
+    );
 
     println!(
         "PointPillars (LiDAR):  {} detections, mAP {:.1}",
@@ -46,9 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         camera_boxes.len(),
         camera_eval.map
     );
-    println!(
-        "\nAs in the paper's Fig. 1, the monocular detector localizes worse — depth"
-    );
+    println!("\nAs in the paper's Fig. 1, the monocular detector localizes worse — depth");
     println!("must be inferred photometrically, while LiDAR measures it directly.");
     Ok(())
 }

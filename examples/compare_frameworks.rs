@@ -24,7 +24,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let head = detector.head_layer()?;
     let shapes = detector.input_shapes();
     let costs = upaq_nn::stats::model_costs(&detector.model, &shapes)?;
-    let execs = model_executions(&detector.model, &costs, &BitAllocation::new(), &HashMap::new());
+    let execs = model_executions(
+        &detector.model,
+        &costs,
+        &BitAllocation::new(),
+        &HashMap::new(),
+    );
     let device = calibrate_to(&DeviceProfile::jetson_orin_nano(), &execs, 35.98e-3, 0.863);
     let ctx = CompressionContext::new(device, shapes, 7).with_skip_layers(vec![head]);
 

@@ -19,7 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let detector = PointPillars::build(&PointPillarsConfig::paper())?;
     let shapes = detector.input_shapes();
     let costs = upaq_nn::stats::model_costs(&detector.model, &shapes)?;
-    let execs = model_executions(&detector.model, &costs, &BitAllocation::new(), &HashMap::new());
+    let execs = model_executions(
+        &detector.model,
+        &costs,
+        &BitAllocation::new(),
+        &HashMap::new(),
+    );
 
     for device in [DeviceProfile::jetson_orin_nano(), DeviceProfile::rtx_4080()] {
         let est = estimate(&device, &execs);
@@ -37,9 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             1.0 / trace.dt_s(),
         );
         // Mini ASCII power plot.
-        let max_p = trace.samples().iter().map(|s| s.power_w).fold(0.0, f64::max);
+        let max_p = trace
+            .samples()
+            .iter()
+            .map(|s| s.power_w)
+            .fold(0.0, f64::max);
         let mut plot = String::new();
-        for sample in trace.samples().iter().step_by(trace.samples().len() / 60 + 1) {
+        for sample in trace
+            .samples()
+            .iter()
+            .step_by(trace.samples().len() / 60 + 1)
+        {
             let level = (sample.power_w / max_p * 8.0) as usize;
             plot.push(char::from_u32(0x2581 + level.min(7) as u32).unwrap_or('█'));
         }

@@ -1,0 +1,196 @@
+//! Offline drop-in replacement for the subset of `criterion` this workspace
+//! uses.
+//!
+//! The build environment has no registry access (see the top-level README),
+//! so `cargo bench` runs against this shim: each benchmark is timed with a
+//! short warm-up followed by batched wall-clock measurement, and the median
+//! per-iteration time is printed. No statistical analysis, HTML reports, or
+//! baseline comparisons — just honest timings with the same source API:
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target cumulative measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Measurement batches used to compute the median.
+const BATCHES: usize = 5;
+
+/// Identifier combining a function name and a parameter, mirroring
+/// criterion's `BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only id (inside a named group).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that fills a batch.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch =
+            (TARGET.as_nanos() / BATCHES as u128 / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() * 1e9 / per_batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { last_ns: 0.0 };
+    f(&mut b);
+    println!("{label:<50} {:>12}/iter", human(b.last_ns));
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("── {name} ──");
+        BenchmarkGroup { name }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b));
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the criterion API).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` from `criterion_group!` runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut b = Bencher { last_ns: 0.0 };
+        b.iter(|| black_box((0..100).sum::<u64>()));
+        assert!(b.last_ns > 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("conv", 8).to_string(), "conv/8");
+        assert_eq!(BenchmarkId::from_parameter("dense").to_string(), "dense");
+    }
+
+    #[test]
+    fn human_units_scale() {
+        assert!(human(12.0).contains("ns"));
+        assert!(human(12_000.0).contains("µs"));
+        assert!(human(12_000_000.0).contains("ms"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Offline stub for `serde`'s derive macros.
+//!
+//! The build environment has no registry access (see the top-level README),
+//! and the only part of serde this workspace consumed was the
+//! `#[derive(Serialize, Deserialize)]` annotation — actual serialization
+//! goes through the in-tree `upaq-json` crate, whose `ToJson`/`FromJson`
+//! impls are written by hand for the handful of types that are persisted.
+//!
+//! These derives therefore expand to nothing: the annotation stays legal on
+//! every struct in the workspace, documents which types are
+//! serialization-shaped, and keeps the diff against a registry-backed build
+//! minimal (swapping the real serde back in is a one-line Cargo.toml
+//! change).
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,146 @@
+//! Streaming-runtime benchmark: runs the `upaq-runtime` pipeline through a
+//! nominal and an overload scenario and emits the JSON run reports.
+//!
+//! Both scenarios share one degrade ladder (base / UPAQ LCK / UPAQ HCK
+//! PointPillars variants on the Jetson Orin Nano cost model). The nominal
+//! run paces the source so the deadline is comfortably met; the overload
+//! run injects a slow backbone stage well past the deadline, forcing the
+//! scheduler to degrade down the ladder and shed load — visible in the
+//! drop/degrade counters of the second report.
+//!
+//! Run with `cargo run --release --bin stream`.
+
+use upaq_bench::harness::save_result;
+use upaq_bench::table::print_table;
+use upaq_hwmodel::DeviceProfile;
+use upaq_json::ToJson;
+use upaq_kitti::dataset::DatasetConfig;
+use upaq_kitti::stream::FrameStream;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_runtime::{Pipeline, PipelineConfig, RuntimeReport, SchedulerConfig, VariantLadder};
+
+const SEED: u64 = 2025;
+
+fn frames() -> FrameStream {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 4;
+    FrameStream::generate(&cfg, SEED)
+}
+
+fn ladder() -> Result<VariantLadder, Box<dyn std::error::Error + Send + Sync>> {
+    // The tiny detector keeps a full streaming run in benchmark territory
+    // (the paper-sized backbone is exercised by the Table-2 harness).
+    let det = PointPillars::build(&PointPillarsConfig::tiny())?;
+    VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), SEED)
+}
+
+fn nominal() -> PipelineConfig {
+    PipelineConfig {
+        frames: 60,
+        queue_capacity: 4,
+        backbone_workers: 2,
+        scheduler: SchedulerConfig::default(),
+        // ~30 FPS: inside the pipeline's measured service rate, so frames
+        // meet the 100 ms deadline on the full model.
+        source_interval_s: 0.033,
+        slow_backbone_s: 0.0,
+        deterministic: false,
+        scenario: "nominal".into(),
+    }
+}
+
+fn overload() -> PipelineConfig {
+    PipelineConfig {
+        frames: 40,
+        queue_capacity: 2,
+        backbone_workers: 1,
+        scheduler: SchedulerConfig {
+            deadline_s: 0.050,
+            ..SchedulerConfig::default()
+        },
+        source_interval_s: 0.020,
+        // Injected stall well past the deadline: the scheduler must degrade
+        // and then shed load once even the cheapest variant cannot fit.
+        slow_backbone_s: 0.080,
+        deterministic: false,
+        scenario: "overload".into(),
+    }
+}
+
+fn summarize(r: &RuntimeReport) -> Vec<String> {
+    vec![
+        r.scenario.clone(),
+        format!("{}", r.frames_generated),
+        format!("{}", r.frames_completed),
+        format!("{}", r.dropped_backpressure + r.dropped_deadline),
+        format!("{}", r.degraded),
+        format!("{:.1}", r.fps),
+        format!("{:.2}", r.e2e_latency.p50_s * 1e3),
+        format!("{:.2}", r.e2e_latency.p99_s * 1e3),
+        format!("{:.3}", r.energy_per_frame_j),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Streaming runtime: deadline-aware scheduling over the UPAQ degrade ladder\n");
+
+    let ladder = ladder().map_err(|e| e as Box<dyn std::error::Error>)?;
+    println!("Degrade ladder (Jetson Orin Nano cost model):");
+    print_table(
+        &[
+            "Level",
+            "Variant",
+            "Modeled latency (ms)",
+            "Modeled energy (J)",
+            "Es",
+        ],
+        &ladder
+            .levels()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                vec![
+                    format!("{i}"),
+                    v.name.clone(),
+                    format!("{:.3}", v.estimate.latency_s * 1e3),
+                    format!("{:.4}", v.estimate.energy_j),
+                    format!("{:.3}", v.efficiency_score),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let mut reports = Vec::new();
+    for config in [nominal(), overload()] {
+        let scenario = config.scenario.clone();
+        println!(
+            "\nRunning `{scenario}` scenario ({} frames)…",
+            config.frames
+        );
+        let pipeline = Pipeline::new(ladder.clone(), config);
+        let outcome = pipeline.run(frames());
+        reports.push(outcome.report);
+    }
+
+    println!("\nScenario summary:");
+    print_table(
+        &[
+            "Scenario",
+            "Generated",
+            "Completed",
+            "Dropped",
+            "Degraded",
+            "FPS",
+            "p50 (ms)",
+            "p99 (ms)",
+            "E/frame (J)",
+        ],
+        &reports.iter().map(summarize).collect::<Vec<_>>(),
+    );
+
+    println!("\nFull report (stream.json):");
+    println!("{}", reports.to_json().pretty());
+    save_result("stream", &reports)?;
+    println!("\nSaved to target/upaq-results/stream.json");
+    Ok(())
+}

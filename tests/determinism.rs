@@ -5,8 +5,10 @@ use upaq::compress::{CompressionContext, Compressor, Upaq};
 use upaq::config::UpaqConfig;
 use upaq_hwmodel::DeviceProfile;
 use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_kitti::stream::FrameStream;
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 use upaq_models::pretrain::fit_lidar_head;
+use upaq_runtime::{Pipeline, PipelineConfig, VariantLadder};
 
 #[test]
 fn dataset_and_sensors_reproduce() {
@@ -39,24 +41,57 @@ fn head_fit_reproduces() {
 #[test]
 fn full_compression_reproduces() {
     let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        det.input_shapes(),
-        123,
-    );
-    let a = Upaq::new(UpaqConfig::hck()).compress(&det.model, &ctx).unwrap();
-    let b = Upaq::new(UpaqConfig::hck()).compress(&det.model, &ctx).unwrap();
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), det.input_shapes(), 123);
+    let a = Upaq::new(UpaqConfig::hck())
+        .compress(&det.model, &ctx)
+        .unwrap();
+    let b = Upaq::new(UpaqConfig::hck())
+        .compress(&det.model, &ctx)
+        .unwrap();
     assert_eq!(a.model, b.model);
     assert_eq!(a.report, b.report);
     // Different seed → (almost surely) different pattern draws.
-    let ctx2 = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        det.input_shapes(),
-        124,
-    );
-    let c = Upaq::new(UpaqConfig::hck()).compress(&det.model, &ctx2).unwrap();
+    let ctx2 = CompressionContext::new(DeviceProfile::jetson_orin_nano(), det.input_shapes(), 124);
+    let c = Upaq::new(UpaqConfig::hck())
+        .compress(&det.model, &ctx2)
+        .unwrap();
     // Reports may coincide, but the model weights should differ somewhere.
     assert!(a.model != c.model || a.report != c.report);
+}
+
+#[test]
+fn streaming_detections_match_batch_bitwise() {
+    // The streaming pipeline in deterministic mode (lossless queues, no
+    // scheduler, full model only) must produce exactly the detections a
+    // batch `detect` call produces on the same seeded frames — streaming
+    // shares `preprocess`/`postprocess` and the forward arithmetic with
+    // the batch path by construction.
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 3;
+    let stream = FrameStream::generate(&cfg, 31);
+
+    let base = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ladder =
+        VariantLadder::build(base.clone(), &DeviceProfile::jetson_orin_nano(), 31).unwrap();
+    let frames = 7u64;
+    let pipeline = Pipeline::new(
+        ladder,
+        PipelineConfig {
+            frames,
+            deterministic: true,
+            backbone_workers: 3,
+            queue_capacity: 2,
+            ..PipelineConfig::default()
+        },
+    );
+    let outcome = pipeline.run(stream.clone());
+    assert_eq!(outcome.report.frames_completed, frames);
+    assert_eq!(outcome.detections.len(), frames as usize);
+
+    for (id, streamed) in &outcome.detections {
+        let batch = base.detect(&stream.frame(*id).cloud).unwrap();
+        assert_eq!(streamed, &batch, "frame {id} diverged from batch detection");
+    }
 }
 
 #[test]

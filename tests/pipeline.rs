@@ -20,7 +20,10 @@ fn fitted_detector(data: &Dataset) -> LidarDetector {
 }
 
 fn eval_map(det: &LidarDetector, data: &Dataset, scenes: &[usize]) -> f32 {
-    let dets: Vec<Vec<Box3d>> = scenes.iter().map(|&i| det.detect(&data.lidar(i)).unwrap()).collect();
+    let dets: Vec<Vec<Box3d>> = scenes
+        .iter()
+        .map(|&i| det.detect(&data.lidar(i)).unwrap())
+        .collect();
     let refs: Vec<&upaq_kitti::Scene> = scenes.iter().map(|&i| data.scene(i)).collect();
     evaluate_detections(&dets, &refs).map_dist
 }
@@ -30,7 +33,10 @@ fn end_to_end_detection_beats_chance() {
     let data = Dataset::generate(&DatasetConfig::small(), 31);
     let det = fitted_detector(&data);
     let map = eval_map(&det, &data, &[0, 1, 2]);
-    assert!(map > 10.0, "train-scene mAP {map} too low for a fitted detector");
+    assert!(
+        map > 10.0,
+        "train-scene mAP {map} too low for a fitted detector"
+    );
 }
 
 #[test]
@@ -38,14 +44,12 @@ fn upaq_compression_keeps_detector_functional() {
     let data = Dataset::generate(&DatasetConfig::small(), 32);
     let base = fitted_detector(&data);
     let head = base.head_layer().unwrap();
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        base.input_shapes(),
-        32,
-    )
-    .with_skip_layers(vec![head]);
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), base.input_shapes(), 32)
+        .with_skip_layers(vec![head]);
 
-    let outcome = Upaq::new(UpaqConfig::lck()).compress(&base.model, &ctx).unwrap();
+    let outcome = Upaq::new(UpaqConfig::lck())
+        .compress(&base.model, &ctx)
+        .unwrap();
     assert!(outcome.report.compression_ratio > 2.0);
 
     let mut compressed = base.clone();
@@ -60,12 +64,8 @@ fn every_framework_compresses_the_detector() {
     let data = Dataset::generate(&DatasetConfig::small(), 33);
     let base = fitted_detector(&data);
     let head = base.head_layer().unwrap();
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        base.input_shapes(),
-        33,
-    )
-    .with_skip_layers(vec![head]);
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), base.input_shapes(), 33)
+        .with_skip_layers(vec![head]);
 
     let mut frameworks = all_baselines();
     frameworks.push(Box::new(Upaq::new(UpaqConfig::hck())));
@@ -93,14 +93,14 @@ fn every_framework_compresses_the_detector() {
 fn upaq_orders_hck_above_lck_in_compression() {
     let data = Dataset::generate(&DatasetConfig::small(), 34);
     let base = fitted_detector(&data);
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        base.input_shapes(),
-        34,
-    )
-    .with_skip_layers(vec![base.head_layer().unwrap()]);
-    let hck = Upaq::new(UpaqConfig::hck()).compress(&base.model, &ctx).unwrap();
-    let lck = Upaq::new(UpaqConfig::lck()).compress(&base.model, &ctx).unwrap();
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), base.input_shapes(), 34)
+        .with_skip_layers(vec![base.head_layer().unwrap()]);
+    let hck = Upaq::new(UpaqConfig::hck())
+        .compress(&base.model, &ctx)
+        .unwrap();
+    let lck = Upaq::new(UpaqConfig::lck())
+        .compress(&base.model, &ctx)
+        .unwrap();
     assert!(hck.report.compression_ratio > lck.report.compression_ratio);
     assert!(hck.report.latency_ms <= lck.report.latency_ms + 1e-9);
 }
@@ -114,13 +114,11 @@ fn compression_degrades_gracefully_not_catastrophically() {
     let eval: Vec<usize> = vec![0, 1, 2, 3];
     let base_map = eval_map(&base, &data, &eval);
 
-    let ctx = CompressionContext::new(
-        DeviceProfile::jetson_orin_nano(),
-        base.input_shapes(),
-        35,
-    )
-    .with_skip_layers(vec![base.head_layer().unwrap()]);
-    let outcome = Upaq::new(UpaqConfig::hck()).compress(&base.model, &ctx).unwrap();
+    let ctx = CompressionContext::new(DeviceProfile::jetson_orin_nano(), base.input_shapes(), 35)
+        .with_skip_layers(vec![base.head_layer().unwrap()]);
+    let outcome = Upaq::new(UpaqConfig::hck())
+        .compress(&base.model, &ctx)
+        .unwrap();
     let mut compressed = base.clone();
     compressed.model = outcome.model;
     fit_lidar_head(&mut compressed, &data, &[0, 1, 2, 3, 4, 5], 1e-3).unwrap();
