@@ -62,6 +62,27 @@ pub fn estimate(device: &DeviceProfile, layers: &[LayerExecution]) -> Estimate {
     }
 }
 
+/// One-call modeled cost of a full forward pass: derives per-layer costs
+/// from the model and input shapes, folds in the bit allocation and
+/// sparsity kinds a compression pass produced, and prices the result on
+/// `device`. Both detector modalities' degrade ladders and the deadline
+/// scheduler seed from this.
+///
+/// # Errors
+///
+/// Propagates shape-inference errors from the cost walk.
+pub fn estimate_model(
+    model: &upaq_nn::Model,
+    input_shapes: &std::collections::HashMap<String, upaq_tensor::Shape>,
+    bits: &crate::exec::BitAllocation,
+    kinds: &std::collections::HashMap<upaq_nn::LayerId, crate::exec::SparsityKind>,
+    device: &DeviceProfile,
+) -> upaq_nn::Result<Estimate> {
+    let costs = upaq_nn::stats::model_costs(model, input_shapes)?;
+    let execs = crate::exec::model_executions(model, &costs, bits, kinds);
+    Ok(estimate(device, &execs))
+}
+
 /// Roofline latency of a single layer.
 pub fn layer_latency(device: &DeviceProfile, layer: &LayerExecution) -> f64 {
     let throughput = device.peak_macs_f32 * device.throughput_multiplier(layer.weight_bits);

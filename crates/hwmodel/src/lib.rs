@@ -57,6 +57,6 @@ pub mod size;
 pub use calibrate::calibrate_to;
 pub use device::DeviceProfile;
 pub use exec::{model_executions, BitAllocation, LayerExecution, SparsityKind};
-pub use latency::{estimate, Estimate};
+pub use latency::{estimate, estimate_model, Estimate};
 pub use meter::{EnergyMeter, VariantEnergy};
 pub use size::{compressed_size_bits, compression_ratio};

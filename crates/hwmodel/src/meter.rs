@@ -9,9 +9,14 @@
 use std::collections::BTreeMap;
 
 /// Accumulates modeled per-frame energy, grouped by model variant.
+///
+/// A meter optionally carries the sensor modality it is metering
+/// (`"lidar"`, `"camera"`), so reports from a multi-detector deployment
+/// stay distinguishable even when both ladders use the same variant names.
 #[derive(Debug, Default, Clone)]
 pub struct EnergyMeter {
     per_variant: BTreeMap<String, VariantEnergy>,
+    modality: Option<String>,
 }
 
 /// Energy totals for one model variant.
@@ -38,6 +43,19 @@ impl EnergyMeter {
     /// An empty meter.
     pub fn new() -> Self {
         EnergyMeter::default()
+    }
+
+    /// An empty meter labeled with the sensor modality it meters.
+    pub fn for_modality(modality: &str) -> Self {
+        EnergyMeter {
+            per_variant: BTreeMap::new(),
+            modality: Some(modality.to_string()),
+        }
+    }
+
+    /// The sensor modality this meter was constructed for, when labeled.
+    pub fn modality(&self) -> Option<&str> {
+        self.modality.as_deref()
     }
 
     /// Charges one frame's modeled energy to `variant`.
@@ -97,5 +115,14 @@ mod tests {
         let m = EnergyMeter::new();
         assert_eq!(m.frames(), 0);
         assert_eq!(m.mean_energy_j(), 0.0);
+        assert_eq!(m.modality(), None);
+    }
+
+    #[test]
+    fn modality_label_survives_recording() {
+        let mut m = EnergyMeter::for_modality("camera");
+        m.record("base", 1.0);
+        assert_eq!(m.modality(), Some("camera"));
+        assert_eq!(m.frames(), 1);
     }
 }

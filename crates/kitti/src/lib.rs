@@ -40,4 +40,4 @@ pub use camera::{CameraCalib, CameraImage};
 pub use dataset::{Dataset, DatasetConfig, Split};
 pub use lidar::{LidarConfig, PointCloud};
 pub use scene::{Difficulty, ObjectClass, Scene, SceneConfig, SceneObject};
-pub use stream::{Frame, FrameStream};
+pub use stream::{CameraFrameStream, Frame, FrameStream, SensorData};

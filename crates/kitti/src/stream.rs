@@ -4,30 +4,63 @@
 //! frames, cycling through the dataset's scenes. Frame `i` always carries
 //! scene `i % len`, so any two consumers constructed from the same config
 //! and seed observe byte-identical frame sequences — the property the
-//! streaming-vs-batch determinism test relies on.
+//! streaming-vs-batch determinism tests rely on.
+//!
+//! The stream is generic over the sensor modality: [`FrameStream`]
+//! defaults to LiDAR sweeps ([`PointCloud`]), and
+//! `FrameStream<CameraImage>` (aliased as [`CameraFrameStream`]) yields
+//! the same scenes rendered through the dataset's camera instead, feeding
+//! the SMOKE-style monocular path.
 
+use crate::camera::CameraImage;
 use crate::dataset::{Dataset, DatasetConfig};
 use crate::lidar::PointCloud;
+use std::marker::PhantomData;
+
+/// A sensor sample that a [`Dataset`] can synthesize per scene.
+///
+/// Implementations must be deterministic in `(dataset, scene_index)` so
+/// two streams over the same dataset observe identical frames.
+pub trait SensorData: Clone + Send + 'static {
+    /// Synthesizes this modality's sample for a dataset scene.
+    fn sample(dataset: &Dataset, scene_index: usize) -> Self;
+}
+
+impl SensorData for PointCloud {
+    fn sample(dataset: &Dataset, scene_index: usize) -> Self {
+        dataset.lidar(scene_index)
+    }
+}
+
+impl SensorData for CameraImage {
+    fn sample(dataset: &Dataset, scene_index: usize) -> Self {
+        dataset.camera(scene_index)
+    }
+}
 
 /// One frame drawn from the stream.
 #[derive(Debug, Clone)]
-pub struct Frame {
+pub struct Frame<T = PointCloud> {
     /// Monotone frame number (0, 1, 2, …).
     pub id: u64,
     /// Index of the backing scene in the dataset.
     pub scene_index: usize,
-    /// The frame's LiDAR return.
-    pub cloud: PointCloud,
+    /// The frame's sensor sample (LiDAR sweep or rendered camera image).
+    pub data: T,
 }
 
-/// Endless deterministic iterator over a dataset's LiDAR frames.
+/// Endless deterministic iterator over one sensor modality of a dataset.
 #[derive(Debug, Clone)]
-pub struct FrameStream {
+pub struct FrameStream<T: SensorData = PointCloud> {
     dataset: Dataset,
     next_id: u64,
+    _modality: PhantomData<T>,
 }
 
-impl FrameStream {
+/// The camera-modality stream feeding the SMOKE detector.
+pub type CameraFrameStream = FrameStream<CameraImage>;
+
+impl<T: SensorData> FrameStream<T> {
     /// Generates the backing dataset from `config` and `seed` and starts
     /// the stream at frame 0.
     pub fn generate(config: &DatasetConfig, seed: u64) -> Self {
@@ -45,6 +78,7 @@ impl FrameStream {
         FrameStream {
             dataset,
             next_id: 0,
+            _modality: PhantomData,
         }
     }
 
@@ -53,22 +87,21 @@ impl FrameStream {
         &self.dataset
     }
 
-    /// The frame that [`next`][Iterator::next] would return, without
-    /// advancing the stream.
-    pub fn frame(&self, id: u64) -> Frame {
+    /// The frame with the given id, without advancing the stream.
+    pub fn frame(&self, id: u64) -> Frame<T> {
         let scene_index = (id % self.dataset.len() as u64) as usize;
         Frame {
             id,
             scene_index,
-            cloud: self.dataset.lidar(scene_index),
+            data: T::sample(&self.dataset, scene_index),
         }
     }
 }
 
-impl Iterator for FrameStream {
-    type Item = Frame;
+impl<T: SensorData> Iterator for FrameStream<T> {
+    type Item = Frame<T>;
 
-    fn next(&mut self) -> Option<Frame> {
+    fn next(&mut self) -> Option<Frame<T>> {
         let frame = self.frame(self.next_id);
         self.next_id += 1;
         Some(frame)
@@ -99,7 +132,7 @@ mod tests {
     fn two_streams_from_same_seed_are_identical() {
         for (a, b) in stream().zip(stream()).take(5) {
             assert_eq!(a.id, b.id);
-            assert_eq!(a.cloud.points(), b.cloud.points());
+            assert_eq!(a.data.points(), b.data.points());
         }
     }
 
@@ -109,6 +142,33 @@ mod tests {
         let first = s.next().unwrap();
         let repeat = s.nth(2).unwrap(); // frame 3 → scene 0 again
         assert_eq!(repeat.scene_index, first.scene_index);
-        assert_eq!(repeat.cloud.points(), first.cloud.points());
+        assert_eq!(repeat.data.points(), first.data.points());
+    }
+
+    #[test]
+    fn camera_stream_yields_rendered_frames_deterministically() {
+        let mut cfg = DatasetConfig::small();
+        cfg.scenes = 2;
+        let a: Vec<Frame<CameraImage>> = CameraFrameStream::generate(&cfg, 11).take(4).collect();
+        let b: Vec<Frame<CameraImage>> = CameraFrameStream::generate(&cfg, 11).take(4).collect();
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.id, fb.id);
+            assert_eq!(fa.data.tensor(), fb.data.tensor());
+        }
+        // Frame 2 cycles back to scene 0's rendering.
+        assert_eq!(a[2].scene_index, 0);
+        assert_eq!(a[2].data.tensor(), a[0].data.tensor());
+    }
+
+    #[test]
+    fn lidar_and_camera_streams_share_scene_schedule() {
+        let mut cfg = DatasetConfig::small();
+        cfg.scenes = 3;
+        let lidar: FrameStream = FrameStream::generate(&cfg, 5);
+        let camera: CameraFrameStream = FrameStream::generate(&cfg, 5);
+        for (l, c) in lidar.zip(camera).take(6) {
+            assert_eq!(l.id, c.id);
+            assert_eq!(l.scene_index, c.scene_index);
+        }
     }
 }

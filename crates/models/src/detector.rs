@@ -1,4 +1,9 @@
 //! End-to-end detector wrappers: sensor data in, 3D boxes out.
+//!
+//! Both concrete detectors implement [`StreamingDetector`], the
+//! modality-agnostic contract a streaming runtime needs: split the
+//! pipeline into `preprocess → backbone forward → postprocess` stages
+//! that, chained, are bit-identical to the one-shot `detect` call.
 
 use std::collections::HashMap;
 use upaq_det3d::camera_head::{decode_camera, CameraHeadSpec};
@@ -12,6 +17,73 @@ use upaq_kitti::lidar::PointCloud;
 use upaq_nn::exec::forward;
 use upaq_nn::{LayerId, Model, NnError, Result};
 use upaq_tensor::{Shape, Tensor};
+
+/// The detector contract a modality-agnostic streaming runtime consumes.
+///
+/// A streaming engine splits one `detect` call into pipeline stages and
+/// swaps compressed model variants in and out between frames; this trait
+/// names exactly the pieces it needs:
+///
+/// * the sensor [`Input`][Self::Input] type its frame source yields;
+/// * [`preprocess`][Self::preprocess] / [`postprocess`][Self::postprocess]
+///   stage bodies that bracket the backbone forward pass;
+/// * model access ([`model`][Self::model] / [`set_model`][Self::set_model])
+///   plus the wiring metadata ([`input_name`][Self::input_name],
+///   [`input_shapes`][Self::input_shapes], [`head_layer`][Self::head_layer])
+///   that variant-ladder construction and the hardware cost model consume.
+///
+/// Implementations must keep `detect == postprocess ∘ forward ∘ preprocess`
+/// bit-identical — the streaming-vs-batch determinism tests assert it for
+/// both modalities.
+pub trait StreamingDetector: Clone + Send + Sync + 'static {
+    /// The sensor sample one frame carries (point cloud, camera image).
+    type Input: Clone + Send + 'static;
+
+    /// Short modality label for reports (`"lidar"`, `"camera"`).
+    fn modality(&self) -> &'static str;
+
+    /// The network.
+    fn model(&self) -> &Model;
+
+    /// Replaces the network — how a compression framework's output becomes
+    /// a degrade-ladder variant of this detector.
+    fn set_model(&mut self, model: Model);
+
+    /// Name of the model's input node.
+    fn input_name(&self) -> &str;
+
+    /// Named input shapes for cost/latency modelling.
+    fn input_shapes(&self) -> HashMap<String, Shape>;
+
+    /// Id of the head (output) layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWiring`] when the model has no unique sink.
+    fn head_layer(&self) -> Result<LayerId>;
+
+    /// Stage 1: sensor sample → network input tensor.
+    fn preprocess(&self, input: &Self::Input) -> Tensor;
+
+    /// Stage 3: raw head output (+ the original sample, for refinement) →
+    /// final 3D boxes.
+    fn postprocess(&self, output: &Tensor, input: &Self::Input) -> Vec<Box3d>;
+
+    /// The one-shot pipeline, by construction identical to running the
+    /// three stages in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors.
+    fn detect(&self, input: &Self::Input) -> Result<Vec<Box3d>> {
+        let tensor = self.preprocess(input);
+        let mut inputs = HashMap::new();
+        inputs.insert(self.input_name().to_string(), tensor);
+        let acts = forward(self.model(), &inputs)?;
+        let output = &acts[&self.head_layer()?];
+        Ok(self.postprocess(output, input))
+    }
+}
 
 /// A LiDAR (PointPillars-style) detector: pillar encoder + BEV network +
 /// BEV head decoder.
@@ -135,6 +207,42 @@ impl LidarDetector {
     }
 }
 
+impl StreamingDetector for LidarDetector {
+    type Input = PointCloud;
+
+    fn modality(&self) -> &'static str {
+        "lidar"
+    }
+
+    fn model(&self) -> &Model {
+        &self.model
+    }
+
+    fn set_model(&mut self, model: Model) {
+        self.model = model;
+    }
+
+    fn input_name(&self) -> &str {
+        &self.input_name
+    }
+
+    fn input_shapes(&self) -> HashMap<String, Shape> {
+        LidarDetector::input_shapes(self)
+    }
+
+    fn head_layer(&self) -> Result<LayerId> {
+        LidarDetector::head_layer(self)
+    }
+
+    fn preprocess(&self, input: &PointCloud) -> Tensor {
+        LidarDetector::preprocess(self, input)
+    }
+
+    fn postprocess(&self, output: &Tensor, input: &PointCloud) -> Vec<Box3d> {
+        LidarDetector::postprocess(self, output, input)
+    }
+}
+
 /// A camera (SMOKE-style) detector: rendered image in, lifted 3D boxes out.
 #[derive(Debug, Clone)]
 pub struct CameraDetector {
@@ -154,7 +262,21 @@ impl CameraDetector {
     /// Propagates network-execution errors.
     pub fn detect(&self, image: &CameraImage) -> Result<Vec<Box3d>> {
         let output = self.head_output(image)?;
-        Ok(decode_camera(&output, &self.head_spec))
+        Ok(self.postprocess(&output, image))
+    }
+
+    /// Stage 1 of the pipeline: rendered image → network input tensor.
+    /// The render already is the `[1, 4, H, W]` tensor, so this is a copy —
+    /// exposed so the streaming runtime treats both modalities uniformly.
+    pub fn preprocess(&self, image: &CameraImage) -> Tensor {
+        image.tensor().clone()
+    }
+
+    /// Stage 3 of the pipeline: raw head output → lifted 3D boxes.
+    /// `detect` delegates here, so streaming and batch detections are
+    /// bit-identical by construction (mirroring [`LidarDetector`]).
+    pub fn postprocess(&self, output: &Tensor, _image: &CameraImage) -> Vec<Box3d> {
+        decode_camera(output, &self.head_spec)
     }
 
     /// The raw head-output tensor for an image.
@@ -221,5 +343,41 @@ impl CameraDetector {
         let mut inputs = HashMap::new();
         inputs.insert(self.input_name.clone(), input.clone());
         forward(&self.model, &inputs)
+    }
+}
+
+impl StreamingDetector for CameraDetector {
+    type Input = CameraImage;
+
+    fn modality(&self) -> &'static str {
+        "camera"
+    }
+
+    fn model(&self) -> &Model {
+        &self.model
+    }
+
+    fn set_model(&mut self, model: Model) {
+        self.model = model;
+    }
+
+    fn input_name(&self) -> &str {
+        &self.input_name
+    }
+
+    fn input_shapes(&self) -> HashMap<String, Shape> {
+        CameraDetector::input_shapes(self)
+    }
+
+    fn head_layer(&self) -> Result<LayerId> {
+        CameraDetector::head_layer(self)
+    }
+
+    fn preprocess(&self, input: &CameraImage) -> Tensor {
+        CameraDetector::preprocess(self, input)
+    }
+
+    fn postprocess(&self, output: &Tensor, input: &CameraImage) -> Vec<Box3d> {
+        CameraDetector::postprocess(self, output, input)
     }
 }

@@ -51,5 +51,5 @@ pub mod smoke;
 pub mod vsc;
 pub mod zoo;
 
-pub use detector::{CameraDetector, LidarDetector};
+pub use detector::{CameraDetector, LidarDetector, StreamingDetector};
 pub use zoo::{ModelKind, ModelSummary};

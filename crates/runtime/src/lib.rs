@@ -2,12 +2,15 @@
 //! scheduling and backpressure.
 //!
 //! Pulls endless seeded frames from `upaq-kitti` through a staged
-//! pipeline (pillarize → backbone forward → head decode + NMS) over a
-//! fixed worker pool with bounded channels. A deadline scheduler decides
-//! per frame whether to run the full model, degrade to a cheaper
-//! UPAQ-compressed variant (picked by the paper's efficiency score), or
-//! drop the frame; the hardware model acts as the cost oracle for both
-//! the schedule and the modeled energy report.
+//! pipeline (preprocess → backbone forward → head decode) over a fixed
+//! worker pool with bounded channels. The engine is generic over
+//! `upaq_models::StreamingDetector`, so the same pipeline serves the
+//! PointPillars/LiDAR path (pillarize → BEV head + refinement + NMS) and
+//! the SMOKE/camera path (rendered image → camera-head lifting). A
+//! deadline scheduler decides per frame whether to run the full model,
+//! degrade to a cheaper UPAQ-compressed variant (picked by the paper's
+//! efficiency score), or drop the frame; the hardware model acts as the
+//! cost oracle for both the schedule and the modeled energy report.
 //!
 //! Module map:
 //!

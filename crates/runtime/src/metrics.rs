@@ -98,13 +98,16 @@ pub struct Counters {
     pub dropped_backpressure: AtomicU64,
     /// Frames the deadline scheduler refused (past their deadline).
     pub dropped_deadline: AtomicU64,
-    /// Frames the scheduler degraded to a cheaper variant (level > 0).
+    /// Frames run on a cheaper variant (level > 0) *and* handed to
+    /// postprocess — a degraded frame whose forward pass fails counts only
+    /// as `failed`, keeping the classes disjoint.
     pub degraded: AtomicU64,
     /// Frames that produced final detections.
     pub completed: AtomicU64,
     /// Completed frames that still missed their deadline end-to-end.
     pub deadline_misses: AtomicU64,
-    /// Frames whose forward pass returned an execution error.
+    /// Frames whose forward pass returned an execution error, or whose
+    /// hand-off to postprocess was refused by a closed queue.
     pub failed: AtomicU64,
 }
 
@@ -187,6 +190,8 @@ impl ToJson for VariantReport {
 pub struct RuntimeReport {
     /// Scenario label (`"nominal"`, `"overload"`, …).
     pub scenario: String,
+    /// Detector modality the run served (`"lidar"`, `"camera"`).
+    pub detector: String,
     /// Wall-clock duration of the run, seconds.
     pub duration_s: f64,
     /// Frames emitted by the source.
@@ -195,9 +200,14 @@ pub struct RuntimeReport {
     pub frames_completed: u64,
     /// Frames evicted under backpressure.
     pub dropped_backpressure: u64,
-    /// Frames refused by the deadline scheduler.
+    /// Frames refused by the deadline scheduler. Deliberate load shedding
+    /// only — execution failures are reported separately in [`failed`][Self::failed].
     pub dropped_deadline: u64,
-    /// Frames run on a degraded (cheaper) variant.
+    /// Frames whose forward pass errored (or whose hand-off to postprocess
+    /// was refused). Disjoint from every drop class.
+    pub failed: u64,
+    /// Frames run on a degraded (cheaper) variant and delivered to
+    /// postprocess.
     pub degraded: u64,
     /// Completed frames that missed the deadline anyway.
     pub deadline_misses: u64,
@@ -219,11 +229,13 @@ impl ToJson for RuntimeReport {
     fn to_json(&self) -> Value {
         json!({
             "scenario": self.scenario,
+            "detector": self.detector,
             "duration_s": self.duration_s,
             "frames_generated": self.frames_generated,
             "frames_completed": self.frames_completed,
             "dropped_backpressure": self.dropped_backpressure,
             "dropped_deadline": self.dropped_deadline,
+            "failed": self.failed,
             "degraded": self.degraded,
             "deadline_misses": self.deadline_misses,
             "fps": self.fps,
@@ -282,11 +294,13 @@ mod tests {
     fn report_serializes_with_expected_keys() {
         let report = RuntimeReport {
             scenario: "nominal".into(),
+            detector: "lidar".into(),
             duration_s: 1.0,
             frames_generated: 10,
             frames_completed: 9,
             dropped_backpressure: 1,
             dropped_deadline: 0,
+            failed: 0,
             degraded: 2,
             deadline_misses: 0,
             fps: 9.0,
@@ -317,5 +331,12 @@ mod tests {
         let text = v.pretty();
         assert!(text.contains("p99_ms"));
         assert!(text.contains("efficiency_score"));
+        // Failures and deadline drops are separate keys, never folded.
+        assert_eq!(v.get("failed").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(
+            v.get("dropped_deadline").and_then(|x| x.as_f64()),
+            Some(0.0)
+        );
+        assert_eq!(v.get("detector").and_then(|x| x.as_str()), Some("lidar"));
     }
 }

@@ -8,18 +8,25 @@
 //!
 //! * **source** paces frames out of a [`FrameStream`] and applies
 //!   drop-oldest backpressure when the pipeline cannot keep up;
-//! * **preprocess** pillarizes the point cloud (variant-independent);
+//! * **preprocess** turns the sensor sample into the network input tensor
+//!   (pillarization for LiDAR, the rendered image for the camera path —
+//!   variant-independent either way);
 //! * **backbone** workers consult the [`DeadlineScheduler`] per frame —
 //!   run the chosen ladder level through [`forward_into`] with a
 //!   per-worker reusable [`Workspace`], or drop the frame;
-//! * **postprocess** decodes the head output, applies refinement + NMS,
-//!   charges modeled energy and records end-to-end latency.
+//! * **postprocess** decodes the head output (refinement + NMS for LiDAR,
+//!   camera-head lifting for SMOKE), charges modeled energy and records
+//!   end-to-end latency.
+//!
+//! The engine is generic over [`StreamingDetector`], so the same code
+//! serves the PointPillars/LiDAR and SMOKE/camera paths; only the
+//! detector's `preprocess`/`postprocess` and its `Input` type differ.
 //!
 //! In `deterministic` mode every queue becomes lossless (blocking push),
 //! the scheduler is bypassed (always level 0), and the source is unpaced:
-//! the run then produces detections bit-identical to calling
-//! [`LidarDetector::detect`] on the same frames, which the determinism
-//! integration test asserts.
+//! the run then produces detections bit-identical to calling the
+//! detector's batch `detect` on the same frames, which the determinism
+//! integration tests assert for both modalities.
 
 use crate::metrics::{Counters, LatencyRecorder, RuntimeReport, StageReport, VariantReport};
 use crate::queue::{BoundedQueue, PushOutcome};
@@ -30,7 +37,8 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use upaq_det3d::Box3d;
 use upaq_hwmodel::EnergyMeter;
-use upaq_kitti::stream::{Frame, FrameStream};
+use upaq_kitti::stream::{Frame, FrameStream, SensorData};
+use upaq_models::StreamingDetector;
 use upaq_nn::exec::{forward_into, Workspace};
 use upaq_tensor::Tensor;
 
@@ -82,38 +90,41 @@ pub struct StreamOutcome {
     pub detections: Vec<(u64, Vec<Box3d>)>,
 }
 
-struct PreJob {
-    frame: Frame,
+struct PreJob<T> {
+    frame: Frame<T>,
     arrived: Instant,
 }
 
-struct BackboneJob {
-    frame: Frame,
-    pillars: Tensor,
+struct BackboneJob<T> {
+    frame: Frame<T>,
+    input: Tensor,
     arrived: Instant,
 }
 
-struct PostJob {
-    frame: Frame,
+struct PostJob<T> {
+    frame: Frame<T>,
     level: usize,
     head_out: Tensor,
     arrived: Instant,
 }
 
 /// The streaming engine: a variant ladder plus run configuration.
-pub struct Pipeline {
-    ladder: VariantLadder,
+pub struct Pipeline<D> {
+    ladder: VariantLadder<D>,
     config: PipelineConfig,
 }
 
-impl Pipeline {
+impl<D: StreamingDetector> Pipeline<D>
+where
+    D::Input: SensorData,
+{
     /// A pipeline over a prebuilt degrade ladder.
-    pub fn new(ladder: VariantLadder, config: PipelineConfig) -> Self {
+    pub fn new(ladder: VariantLadder<D>, config: PipelineConfig) -> Self {
         Pipeline { ladder, config }
     }
 
     /// The degrade ladder in use.
-    pub fn ladder(&self) -> &VariantLadder {
+    pub fn ladder(&self) -> &VariantLadder<D> {
         &self.ladder
     }
 
@@ -123,14 +134,15 @@ impl Pipeline {
     }
 
     /// Runs the stream to completion and returns the report + detections.
-    pub fn run(&self, stream: FrameStream) -> StreamOutcome {
+    pub fn run(&self, stream: FrameStream<D::Input>) -> StreamOutcome {
         let cfg = &self.config;
         let ladder = &self.ladder;
         let deterministic = cfg.deterministic;
+        let modality = ladder.level(0).detector.modality();
 
-        let q_pre: BoundedQueue<PreJob> = BoundedQueue::new(cfg.queue_capacity);
-        let q_bb: BoundedQueue<BackboneJob> = BoundedQueue::new(cfg.queue_capacity);
-        let q_post: BoundedQueue<PostJob> = BoundedQueue::new(cfg.queue_capacity);
+        let q_pre: BoundedQueue<PreJob<D::Input>> = BoundedQueue::new(cfg.queue_capacity);
+        let q_bb: BoundedQueue<BackboneJob<D::Input>> = BoundedQueue::new(cfg.queue_capacity);
+        let q_post: BoundedQueue<PostJob<D::Input>> = BoundedQueue::new(cfg.queue_capacity);
 
         let counters = Counters::default();
         let pre_timer = LatencyRecorder::new();
@@ -138,7 +150,7 @@ impl Pipeline {
         let post_timer = LatencyRecorder::new();
         let e2e_timer = LatencyRecorder::new();
         let scheduler = DeadlineScheduler::new(ladder, cfg.scheduler);
-        let meter = Mutex::new(EnergyMeter::new());
+        let meter = Mutex::new(EnergyMeter::for_modality(modality));
         let results: Mutex<Vec<(u64, Vec<Box3d>)>> = Mutex::new(Vec::new());
 
         let started = Instant::now();
@@ -164,19 +176,19 @@ impl Pipeline {
                 })
             };
 
-            // Preprocess: pillarize. Variant-independent, so level 0's
-            // detector serves every frame.
+            // Preprocess: sensor sample → input tensor. Variant-independent,
+            // so level 0's detector serves every frame.
             let pre = {
                 let (q_pre, q_bb, counters) = (&q_pre, &q_bb, &counters);
                 let (base, pre_timer) = (&ladder.level(0).detector, &pre_timer);
                 s.spawn(move || {
                     while let Some(job) = q_pre.pop() {
                         let t0 = Instant::now();
-                        let pillars = base.preprocess(&job.frame.cloud);
+                        let input = base.preprocess(&job.frame.data);
                         pre_timer.record(t0.elapsed().as_secs_f64());
                         let next = BackboneJob {
                             frame: job.frame,
-                            pillars,
+                            input,
                             arrived: job.arrived,
                         };
                         push_stage(q_bb, next, deterministic, counters);
@@ -205,14 +217,11 @@ impl Pipeline {
                                 Counters::bump(&counters.dropped_deadline);
                                 continue;
                             };
-                            if level > 0 {
-                                Counters::bump(&counters.degraded);
-                            }
                             let variant = ladder.level(level);
                             let t0 = Instant::now();
                             let mut inputs = HashMap::new();
-                            inputs.insert(variant.detector.input_name.clone(), job.pillars);
-                            if forward_into(&variant.detector.model, &inputs, &mut ws).is_err() {
+                            inputs.insert(variant.detector.input_name().to_string(), job.input);
+                            if forward_into(variant.detector.model(), &inputs, &mut ws).is_err() {
                                 Counters::bump(&counters.failed);
                                 continue;
                             }
@@ -225,23 +234,21 @@ impl Pipeline {
                             if !deterministic {
                                 scheduler.observe(level, dt);
                             }
-                            // Lossless from here: an admitted frame always
-                            // completes, so accounting stays exact.
                             let next = PostJob {
                                 frame: job.frame,
                                 level,
                                 head_out,
                                 arrived: job.arrived,
                             };
-                            let _ = q_post.push_wait(next);
+                            hand_to_post(q_post, next, counters);
                         }
                     })
                 })
                 .collect();
 
-            // Postprocess: decode + refine + NMS, then bookkeeping.
+            // Postprocess: decode, then bookkeeping.
             let post = {
-                let (q_post, counters) = (&q_post, &counters);
+                let (q_post, counters, scheduler) = (&q_post, &counters, &scheduler);
                 let (post_timer, e2e_timer) = (&post_timer, &e2e_timer);
                 let (meter, results) = (&meter, &results);
                 let deadline_s = cfg.scheduler.deadline_s;
@@ -249,10 +256,14 @@ impl Pipeline {
                     while let Some(job) = q_post.pop() {
                         let variant = ladder.level(job.level);
                         let t0 = Instant::now();
-                        let dets = variant
-                            .detector
-                            .postprocess(&job.head_out, &job.frame.cloud);
-                        post_timer.record(t0.elapsed().as_secs_f64());
+                        let dets = variant.detector.postprocess(&job.head_out, &job.frame.data);
+                        let dt = t0.elapsed().as_secs_f64();
+                        post_timer.record(dt);
+                        if !deterministic {
+                            // Close the admission loop: future budgets cover
+                            // the frame's remaining work past the backbone.
+                            scheduler.observe_post(dt);
+                        }
                         let e2e = job.arrived.elapsed().as_secs_f64();
                         e2e_timer.record(e2e);
                         if !deterministic && e2e > deadline_s {
@@ -310,12 +321,13 @@ impl Pipeline {
 
         let report = RuntimeReport {
             scenario: cfg.scenario.clone(),
+            detector: modality.to_string(),
             duration_s,
             frames_generated: Counters::get(&counters.generated),
             frames_completed: completed,
             dropped_backpressure: Counters::get(&counters.dropped_backpressure),
-            dropped_deadline: Counters::get(&counters.dropped_deadline)
-                + Counters::get(&counters.failed),
+            dropped_deadline: Counters::get(&counters.dropped_deadline),
+            failed: Counters::get(&counters.failed),
             degraded: Counters::get(&counters.degraded),
             deadline_misses: Counters::get(&counters.deadline_misses),
             fps: if duration_s > 0.0 {
@@ -331,6 +343,22 @@ impl Pipeline {
         };
         debug_assert!(counters.accounted(), "pipeline lost track of a frame");
         StreamOutcome { report, detections }
+    }
+}
+
+/// Hands a finished backbone job to postprocess. Only a frame that
+/// actually reaches postprocess counts as `degraded`; if the post queue
+/// was closed early the frame is charged to `failed` instead of silently
+/// vanishing, keeping `Counters::accounted()` exact.
+fn hand_to_post<T>(q_post: &BoundedQueue<PostJob<T>>, job: PostJob<T>, counters: &Counters) {
+    let level = job.level;
+    match q_post.push_wait(job) {
+        Ok(()) => {
+            if level > 0 {
+                Counters::bump(&counters.degraded);
+            }
+        }
+        Err(_) => Counters::bump(&counters.failed),
     }
 }
 
@@ -368,11 +396,15 @@ mod tests {
     use upaq_hwmodel::DeviceProfile;
     use upaq_kitti::dataset::DatasetConfig;
     use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+    use upaq_models::LidarDetector;
 
-    fn pipeline(config: PipelineConfig) -> Pipeline {
+    fn ladder() -> VariantLadder<LidarDetector> {
         let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
-        let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 5).unwrap();
-        Pipeline::new(ladder, config)
+        VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 5).unwrap()
+    }
+
+    fn pipeline(config: PipelineConfig) -> Pipeline<LidarDetector> {
+        Pipeline::new(ladder(), config)
     }
 
     fn stream() -> FrameStream {
@@ -392,10 +424,12 @@ mod tests {
         });
         let outcome = p.run(stream());
         let r = &outcome.report;
+        assert_eq!(r.detector, "lidar");
         assert_eq!(r.frames_generated, 6);
         assert_eq!(r.frames_completed, 6);
         assert_eq!(r.dropped_backpressure, 0);
         assert_eq!(r.dropped_deadline, 0);
+        assert_eq!(r.failed, 0);
         assert_eq!(r.degraded, 0);
         let ids: Vec<u64> = outcome.detections.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
@@ -423,14 +457,106 @@ mod tests {
         let r = &outcome.report;
         assert_eq!(r.frames_generated, 12);
         assert_eq!(
-            r.frames_completed + r.dropped_backpressure + r.dropped_deadline,
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed,
             r.frames_generated
         );
+        // A healthy forward path never fails — drops must not be misfiled.
+        assert_eq!(r.failed, 0);
         // Overload must show up as shed load, not unbounded queues.
         assert!(r.dropped_backpressure + r.dropped_deadline + r.degraded > 0);
         for stage in &r.stages {
             assert!(stage.queue_max_depth <= stage.queue_capacity);
         }
         assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+    }
+
+    /// Regression for the degraded/failed double-count: a ladder whose
+    /// degraded rungs cannot execute (their input node is renamed, so
+    /// `forward_into` errors) must report those frames as `failed` only —
+    /// never `degraded`, never folded into `dropped_deadline`.
+    #[test]
+    fn failing_forward_keeps_degraded_failed_and_dropped_disjoint() {
+        let good = ladder();
+        let mut levels = good.levels().to_vec();
+        // Price the base rung far beyond any reachable deadline so the
+        // scheduler always degrades, and rename the degraded rungs' input
+        // so their forward pass errors out.
+        levels[0].estimate.latency_s = 1e3;
+        for spec in &mut levels[1..] {
+            let mut det = (*spec.detector).clone();
+            det.input_name = "no-such-input".into();
+            spec.detector = std::sync::Arc::new(det);
+        }
+        let sabotaged = VariantLadder::from_levels(levels).unwrap();
+        let p = Pipeline::new(
+            sabotaged,
+            PipelineConfig {
+                frames: 6,
+                backbone_workers: 1,
+                // Generous real-time deadline: every frame is admitted, and
+                // every admission degrades onto a rung whose forward fails.
+                scheduler: SchedulerConfig {
+                    deadline_s: 10.0,
+                    ema_alpha: 0.0,
+                    headroom: 1.0,
+                },
+                scenario: "failing-forward".into(),
+                ..PipelineConfig::default()
+            },
+        );
+        let outcome = p.run(stream());
+        let r = &outcome.report;
+        assert_eq!(r.frames_generated, 6);
+        assert!(r.failed > 0, "sabotaged rungs must surface as failures");
+        // Disjoint classes: a failed frame is neither degraded (it never
+        // reached postprocess) nor a deadline drop.
+        assert_eq!(r.degraded, 0);
+        assert_eq!(r.frames_completed, 0);
+        assert_eq!(
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed,
+            r.frames_generated,
+            "failure accounting went non-exact"
+        );
+    }
+
+    /// Regression for the silent `let _ = q_post.push_wait(...)` loss: a
+    /// frame that cannot be handed to postprocess is charged to `failed`,
+    /// and never to `degraded`.
+    #[test]
+    fn closed_post_queue_charges_frame_to_failed() {
+        let counters = Counters::default();
+        Counters::bump(&counters.generated);
+        let q: BoundedQueue<PostJob<upaq_kitti::lidar::PointCloud>> = BoundedQueue::new(1);
+        q.close();
+        let frame = stream().next().unwrap();
+        let job = PostJob {
+            frame,
+            level: 2,
+            head_out: Tensor::zeros(upaq_tensor::Shape::nchw(1, 1, 1, 1)),
+            arrived: Instant::now(),
+        };
+        hand_to_post(&q, job, &counters);
+        assert_eq!(Counters::get(&counters.failed), 1);
+        assert_eq!(Counters::get(&counters.degraded), 0);
+        assert!(counters.accounted(), "lost frame broke exact accounting");
+    }
+
+    /// The happy-path counterpart: a delivered degraded frame counts as
+    /// degraded exactly once, after the hand-off.
+    #[test]
+    fn delivered_degraded_frame_counts_once() {
+        let counters = Counters::default();
+        let q: BoundedQueue<PostJob<upaq_kitti::lidar::PointCloud>> = BoundedQueue::new(1);
+        let frame = stream().next().unwrap();
+        let job = PostJob {
+            frame,
+            level: 1,
+            head_out: Tensor::zeros(upaq_tensor::Shape::nchw(1, 1, 1, 1)),
+            arrived: Instant::now(),
+        };
+        hand_to_post(&q, job, &counters);
+        assert_eq!(Counters::get(&counters.degraded), 1);
+        assert_eq!(Counters::get(&counters.failed), 0);
+        assert_eq!(q.len(), 1);
     }
 }

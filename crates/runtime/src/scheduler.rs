@@ -7,10 +7,14 @@
 //! estimates and are corrected online by an exponential moving average of
 //! measured stage latencies, so the policy adapts to the machine it is
 //! actually running on (including injected slow stages in the overload
-//! tests).
+//! tests). The admission budget covers the frame's *remaining* work —
+//! predicted backbone latency plus the observed postprocess EMA — so a
+//! frame admitted with an exactly-fitting budget does not then miss its
+//! deadline inside postprocess.
 
 use crate::variant::VariantLadder;
 use std::sync::Mutex;
+use upaq_models::StreamingDetector;
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -49,15 +53,19 @@ pub enum Admission {
 /// Deadline-aware variant scheduler over a [`VariantLadder`].
 pub struct DeadlineScheduler {
     config: SchedulerConfig,
-    /// Predicted per-variant processing latency, seconds. Seeded from the
+    /// Predicted per-variant backbone latency, seconds. Seeded from the
     /// hardware model, corrected by measurement.
     predicted_s: Mutex<Vec<f64>>,
+    /// Observed postprocess latency EMA, seconds. Variant-independent
+    /// (decode + NMS cost does not depend on the backbone variant); starts
+    /// at zero and takes the first observation verbatim.
+    post_s: Mutex<Option<f64>>,
 }
 
 impl DeadlineScheduler {
     /// Seeds per-variant latency predictions from the ladder's hardware
     /// estimates.
-    pub fn new(ladder: &VariantLadder, config: SchedulerConfig) -> Self {
+    pub fn new<D: StreamingDetector>(ladder: &VariantLadder<D>, config: SchedulerConfig) -> Self {
         let predicted = ladder
             .levels()
             .iter()
@@ -66,6 +74,7 @@ impl DeadlineScheduler {
         DeadlineScheduler {
             config,
             predicted_s: Mutex::new(predicted),
+            post_s: Mutex::new(None),
         }
     }
 
@@ -74,36 +83,69 @@ impl DeadlineScheduler {
         self.config
     }
 
-    /// Current latency prediction for a ladder level, seconds.
+    /// Current backbone latency prediction for a ladder level, seconds.
+    /// A level outside the ladder predicts `f64::INFINITY`: an unknown
+    /// variant can never fit a deadline budget.
     pub fn predicted_s(&self, level: usize) -> f64 {
-        self.predicted_s.lock().unwrap()[level]
+        self.predicted_s
+            .lock()
+            .unwrap()
+            .get(level)
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Current postprocess latency estimate, seconds (0 until observed).
+    pub fn predicted_post_s(&self) -> f64 {
+        self.post_s.lock().unwrap().unwrap_or(0.0)
     }
 
     /// Decides what to do with a frame that has already waited `age_s`
-    /// seconds since source arrival.
+    /// seconds since source arrival. The budget must cover the frame's
+    /// remaining work: the level's predicted backbone latency *plus* the
+    /// observed postprocess cost.
     pub fn admit(&self, age_s: f64) -> Admission {
         let remaining = self.config.deadline_s - age_s;
         if remaining <= 0.0 {
             return Admission::Drop;
         }
+        let post = self.predicted_post_s();
         let predicted = self.predicted_s.lock().unwrap();
         for (level, &p) in predicted.iter().enumerate() {
-            if p * self.config.headroom <= remaining {
+            if (p + post) * self.config.headroom <= remaining {
                 return Admission::Run { level };
             }
         }
         Admission::Drop
     }
 
-    /// Feeds back a measured processing latency for `level`.
+    /// Feeds back a measured backbone latency for `level`. Out-of-range
+    /// levels are ignored — a racing report must never poison the table.
     pub fn observe(&self, level: usize, measured_s: f64) {
         let a = self.config.ema_alpha;
         if a <= 0.0 {
             return;
         }
         let mut predicted = self.predicted_s.lock().unwrap();
-        let p = &mut predicted[level];
+        let Some(p) = predicted.get_mut(level) else {
+            return;
+        };
         *p = (1.0 - a) * *p + a * measured_s;
+    }
+
+    /// Feeds back a measured postprocess latency. The first observation is
+    /// taken verbatim (the hardware model does not price postprocess);
+    /// later ones blend by the configured EMA weight.
+    pub fn observe_post(&self, measured_s: f64) {
+        let a = self.config.ema_alpha;
+        if a <= 0.0 {
+            return;
+        }
+        let mut post = self.post_s.lock().unwrap();
+        *post = Some(match *post {
+            None => measured_s,
+            Some(p) => (1.0 - a) * p + a * measured_s,
+        });
     }
 }
 
@@ -113,8 +155,9 @@ mod tests {
     use crate::variant::VariantLadder;
     use upaq_hwmodel::DeviceProfile;
     use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+    use upaq_models::LidarDetector;
 
-    fn ladder() -> VariantLadder {
+    fn ladder() -> VariantLadder<LidarDetector> {
         let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
         VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 3).unwrap()
     }
@@ -176,6 +219,48 @@ mod tests {
         assert!(after > before);
         // EMA, not replacement.
         assert!(after < before * 10.0);
+    }
+
+    #[test]
+    fn out_of_range_level_is_graceful() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        // Pre-fix both of these panicked on the out-of-bounds index.
+        assert_eq!(s.predicted_s(l.len() + 5), f64::INFINITY);
+        let before = s.predicted_s(0);
+        s.observe(l.len() + 5, 123.0);
+        // In-range predictions are untouched by the ignored observation.
+        assert_eq!(s.predicted_s(0), before);
+        assert_eq!(s.admit(0.0), Admission::Run { level: 0 });
+    }
+
+    #[test]
+    fn admission_budgets_postprocess_cost_too() {
+        let l = ladder();
+        let base = l.level(0).estimate.latency_s;
+        let cheapest = l.level(l.len() - 1).estimate.latency_s;
+        // Deadline fits the full backbone exactly (with margin smaller than
+        // the postprocess cost we are about to observe).
+        let post = (base - cheapest) / 2.0;
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                deadline_s: base + post / 4.0,
+                ema_alpha: 0.5,
+                headroom: 1.0,
+            },
+        );
+        // Without postprocess knowledge the full model fits…
+        assert_eq!(s.admit(0.0), Admission::Run { level: 0 });
+        // …but once postprocess is observed, the *remaining work* no longer
+        // does: the scheduler must degrade instead of admitting a frame
+        // that is guaranteed to miss its deadline in postprocess.
+        s.observe_post(post);
+        assert!((s.predicted_post_s() - post).abs() < 1e-12);
+        match s.admit(0.0) {
+            Admission::Run { level } => assert!(level > 0, "must degrade once post cost is known"),
+            Admission::Drop => panic!("cheaper variants still fit"),
+        }
     }
 
     #[test]

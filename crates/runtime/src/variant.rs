@@ -7,16 +7,21 @@
 //! `Es` (quality vs. latency vs. energy against the uncompressed
 //! baseline) so reports can show *why* the scheduler considers a variant
 //! cheaper, not just that it is.
+//!
+//! The ladder is generic over [`StreamingDetector`], so the same
+//! construction serves the PointPillars/LiDAR path and the SMOKE/camera
+//! path: compression always skips the detection head, and the hardware
+//! model prices each rung from the detector's own input shapes.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use upaq::compress::{CompressionContext, Compressor, Upaq};
 use upaq::config::UpaqConfig;
 use upaq::score::ScoreContext;
-use upaq_hwmodel::exec::{model_executions, BitAllocation, SparsityKind};
-use upaq_hwmodel::latency::{estimate, Estimate};
+use upaq_hwmodel::exec::BitAllocation;
+use upaq_hwmodel::latency::{estimate_model, Estimate};
 use upaq_hwmodel::DeviceProfile;
-use upaq_models::LidarDetector;
+use upaq_models::StreamingDetector;
 use upaq_nn::{LayerId, Model, NnError};
 use upaq_tensor::quant::sqnr;
 
@@ -25,13 +30,13 @@ pub type Result<T> = std::result::Result<T, Box<dyn std::error::Error + Send + S
 
 /// One rung of the degrade ladder.
 #[derive(Clone)]
-pub struct VariantSpec {
+pub struct VariantSpec<D> {
     /// Display name (`"base"`, `"UPAQ (LCK)"`, `"UPAQ (HCK)"`).
     pub name: String,
-    /// The detector to run for this variant. All variants share the pillar
-    /// configuration and head spec of the base detector, so preprocessing
-    /// is variant-independent.
-    pub detector: Arc<LidarDetector>,
+    /// The detector to run for this variant. All variants share the
+    /// preprocessing configuration and head spec of the base detector, so
+    /// preprocessing is variant-independent.
+    pub detector: Arc<D>,
     /// Id of the detector's head (output) layer.
     pub head: LayerId,
     /// Modeled cost of one forward pass on the configured device.
@@ -45,8 +50,8 @@ pub struct VariantSpec {
 
 /// The ordered set of variants available to the scheduler.
 #[derive(Clone)]
-pub struct VariantLadder {
-    levels: Vec<VariantSpec>,
+pub struct VariantLadder<D> {
+    levels: Vec<VariantSpec<D>>,
 }
 
 /// Aggregate weight SQNR (linear ratio) of `compressed` against `base`:
@@ -87,19 +92,23 @@ fn model_sqnr(base: &Model, compressed: &Model) -> Result<f32> {
     Ok((signal / noise) as f32)
 }
 
-fn estimate_for(
-    model: &Model,
-    shapes: &HashMap<String, upaq_tensor::Shape>,
-    bits: &BitAllocation,
-    kinds: &HashMap<LayerId, SparsityKind>,
-    device: &DeviceProfile,
-) -> Result<Estimate> {
-    let costs = upaq_nn::stats::model_costs(model, shapes)?;
-    let execs = model_executions(model, &costs, bits, kinds);
-    Ok(estimate(device, &execs))
+/// Fails unless modeled latency strictly decreases down the ladder.
+fn check_monotone<D>(levels: &[VariantSpec<D>]) -> Result<()> {
+    for pair in levels.windows(2) {
+        if pair[1].estimate.latency_s >= pair[0].estimate.latency_s {
+            return Err(Box::new(NnError::BadWiring(format!(
+                "degrade ladder not monotone: `{}` ({:.3} ms) is not cheaper than `{}` ({:.3} ms)",
+                pair[1].name,
+                pair[1].estimate.latency_s * 1e3,
+                pair[0].name,
+                pair[0].estimate.latency_s * 1e3,
+            ))));
+        }
+    }
+    Ok(())
 }
 
-impl VariantLadder {
+impl<D: StreamingDetector> VariantLadder<D> {
     /// Builds the three-rung ladder (base, UPAQ LCK, UPAQ HCK) for a base
     /// detector on `device`.
     ///
@@ -113,18 +122,18 @@ impl VariantLadder {
     /// Propagates compression and cost-model errors, and fails when the
     /// compressed variants do not come out cheaper than base (a modeling
     /// regression worth failing loudly on).
-    pub fn build(base: LidarDetector, device: &DeviceProfile, seed: u64) -> Result<Self> {
+    pub fn build(base: D, device: &DeviceProfile, seed: u64) -> Result<Self> {
         let shapes = base.input_shapes();
         let head = base.head_layer()?;
         let empty_bits = BitAllocation::new();
         let empty_kinds = HashMap::new();
-        let base_est = estimate_for(&base.model, &shapes, &empty_bits, &empty_kinds, device)?;
+        let base_est = estimate_model(base.model(), &shapes, &empty_bits, &empty_kinds, device)?;
 
         let lck = UpaqConfig::lck();
         let score_ctx = ScoreContext::new(
             device.clone(),
             shapes.clone(),
-            &base.model,
+            base.model(),
             lck.alpha,
             lck.beta,
             lck.gamma,
@@ -144,18 +153,18 @@ impl VariantLadder {
             .with_skip_layers(vec![head]);
         for config in [UpaqConfig::lck(), UpaqConfig::hck()] {
             let compressor = Upaq::new(config);
-            let outcome = compressor.compress(&base.model, &ctx)?;
-            let est = estimate_for(
+            let outcome = compressor.compress(base.model(), &ctx)?;
+            let est = estimate_model(
                 &outcome.model,
                 &shapes,
                 &outcome.bits,
                 &outcome.kinds,
                 device,
             )?;
-            let ratio = model_sqnr(&base.model, &outcome.model)?;
+            let ratio = model_sqnr(base.model(), &outcome.model)?;
             let score = score_ctx.efficiency_score(ratio, &est);
             let mut det = base.clone();
-            det.model = outcome.model;
+            det.set_model(outcome.model);
             levels.push(VariantSpec {
                 name: compressor.name().to_string(),
                 head,
@@ -166,17 +175,24 @@ impl VariantLadder {
             });
         }
 
-        for pair in levels.windows(2) {
-            if pair[1].estimate.latency_s >= pair[0].estimate.latency_s {
-                return Err(Box::new(NnError::BadWiring(format!(
-                    "degrade ladder not monotone: `{}` ({:.3} ms) is not cheaper than `{}` ({:.3} ms)",
-                    pair[1].name,
-                    pair[1].estimate.latency_s * 1e3,
-                    pair[0].name,
-                    pair[0].estimate.latency_s * 1e3,
-                ))));
-            }
+        check_monotone(&levels)?;
+        Ok(VariantLadder { levels })
+    }
+
+    /// Assembles a ladder from prebuilt rungs — the hook tests and custom
+    /// deployments use to compose variants outside the UPAQ search.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty rung list or when modeled latency is not strictly
+    /// decreasing down the ladder (the invariant the scheduler relies on).
+    pub fn from_levels(levels: Vec<VariantSpec<D>>) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(Box::new(NnError::BadWiring(
+                "degrade ladder needs at least one level".into(),
+            )));
         }
+        check_monotone(&levels)?;
         Ok(VariantLadder { levels })
     }
 
@@ -191,12 +207,12 @@ impl VariantLadder {
     }
 
     /// The variant at `level` (0 = most accurate, last = cheapest).
-    pub fn level(&self, level: usize) -> &VariantSpec {
+    pub fn level(&self, level: usize) -> &VariantSpec<D> {
         &self.levels[level]
     }
 
     /// All levels in degrade order.
-    pub fn levels(&self) -> &[VariantSpec] {
+    pub fn levels(&self) -> &[VariantSpec<D>] {
         &self.levels
     }
 }
@@ -205,6 +221,7 @@ impl VariantLadder {
 mod tests {
     use super::*;
     use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+    use upaq_models::smoke::{Smoke, SmokeConfig};
 
     #[test]
     fn ladder_orders_variants_by_decreasing_cost() {
@@ -223,6 +240,38 @@ mod tests {
             assert!(spec.sqnr.is_finite() && spec.sqnr > 0.0);
             assert!(spec.efficiency_score > 0.0);
         }
+    }
+
+    #[test]
+    fn camera_ladder_builds_three_monotone_rungs() {
+        let det = Smoke::build(&SmokeConfig::tiny()).unwrap();
+        let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 7).unwrap();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(ladder.level(0).name, "base");
+        for pair in ladder.levels().windows(2) {
+            assert!(pair[1].estimate.latency_s < pair[0].estimate.latency_s);
+        }
+        // Compression skipped the camera head: its weights are untouched.
+        let head = ladder.level(0).head;
+        let base_head = ladder.level(0).detector.model.layer(head).unwrap();
+        for spec in &ladder.levels()[1..] {
+            let rung_head = spec.detector.model.layer(head).unwrap();
+            assert_eq!(base_head.weights(), rung_head.weights());
+            assert!(spec.sqnr.is_finite());
+        }
+    }
+
+    #[test]
+    fn from_levels_rejects_non_monotone_ladders() {
+        let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+        let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 7).unwrap();
+        let mut levels = ladder.levels().to_vec();
+        levels.reverse(); // cheapest first: violates the invariant
+        assert!(VariantLadder::from_levels(levels).is_err());
+        assert!(VariantLadder::<upaq_models::LidarDetector>::from_levels(Vec::new()).is_err());
+        // The original ordering round-trips.
+        let rebuilt = VariantLadder::from_levels(ladder.levels().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), 3);
     }
 
     #[test]

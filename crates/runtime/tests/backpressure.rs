@@ -8,6 +8,7 @@ use upaq_hwmodel::DeviceProfile;
 use upaq_kitti::dataset::DatasetConfig;
 use upaq_kitti::stream::FrameStream;
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::LidarDetector;
 use upaq_runtime::{
     BoundedQueue, Pipeline, PipelineConfig, PushOutcome, SchedulerConfig, VariantLadder,
 };
@@ -18,7 +19,7 @@ fn stream() -> FrameStream {
     FrameStream::generate(&cfg, 13)
 }
 
-fn pipeline(config: PipelineConfig) -> Pipeline {
+fn pipeline(config: PipelineConfig) -> Pipeline<LidarDetector> {
     let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
     let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 13).unwrap();
     Pipeline::new(ladder, config)
@@ -45,12 +46,15 @@ fn queues_never_exceed_capacity_and_drops_account_for_every_frame() {
 
     let r = &outcome.report;
     assert_eq!(r.frames_generated, 20);
-    // Every generated frame is either completed or counted in a drop class.
+    // Every generated frame is accounted exactly once across the disjoint
+    // terminal classes (failures are their own class, never folded into
+    // deadline drops).
     assert_eq!(
-        r.frames_completed + r.dropped_backpressure + r.dropped_deadline,
+        r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed,
         r.frames_generated,
         "a frame went unaccounted"
     );
+    assert_eq!(r.failed, 0, "no stage should fail in this scenario");
     // Overload must surface as shed/degraded load…
     assert!(r.dropped_backpressure + r.dropped_deadline + r.degraded > 0);
     // …while memory stays bounded: no queue ever held more than capacity.

@@ -1,0 +1,91 @@
+//! Camera-path integration coverage: the generic streaming engine drives
+//! the SMOKE detector through its degrade ladder under overload exactly as
+//! it drives the LiDAR path.
+
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::DatasetConfig;
+use upaq_kitti::stream::CameraFrameStream;
+use upaq_models::smoke::{Smoke, SmokeConfig};
+use upaq_models::CameraDetector;
+use upaq_runtime::{Pipeline, PipelineConfig, SchedulerConfig, VariantLadder};
+
+fn camera_stream(smoke_cfg: &SmokeConfig) -> CameraFrameStream {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 2;
+    cfg.camera = smoke_cfg.calib.clone();
+    CameraFrameStream::generate(&cfg, 7)
+}
+
+fn camera_pipeline(config: PipelineConfig) -> (Pipeline<CameraDetector>, CameraFrameStream) {
+    let smoke_cfg = SmokeConfig::tiny();
+    let det = Smoke::build(&smoke_cfg).unwrap();
+    let ladder = VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 7).unwrap();
+    (Pipeline::new(ladder, config), camera_stream(&smoke_cfg))
+}
+
+#[test]
+fn camera_overload_degrades_and_accounts_for_every_frame() {
+    // Fast camera source against one stalled backbone worker: the scheduler
+    // must degrade down the SMOKE ladder and/or shed load, while the frame
+    // accounting identity holds over the disjoint terminal classes.
+    let (pipeline, stream) = camera_pipeline(PipelineConfig {
+        frames: 20,
+        queue_capacity: 3,
+        backbone_workers: 1,
+        source_interval_s: 0.001,
+        slow_backbone_s: 0.030,
+        scheduler: SchedulerConfig {
+            deadline_s: 0.025,
+            ..SchedulerConfig::default()
+        },
+        scenario: "camera-overload".into(),
+        ..PipelineConfig::default()
+    });
+    let outcome = pipeline.run(stream);
+
+    let r = &outcome.report;
+    assert_eq!(r.detector, "camera");
+    assert_eq!(r.frames_generated, 20);
+    assert_eq!(
+        r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed,
+        r.frames_generated,
+        "a camera frame went unaccounted"
+    );
+    assert_eq!(r.failed, 0, "forward passes should not fail under overload");
+    // Overload must surface as shed or degraded load on the camera ladder.
+    assert!(r.dropped_backpressure + r.dropped_deadline + r.degraded > 0);
+    // Memory stays bounded.
+    for stage in &r.stages {
+        assert!(
+            stage.queue_max_depth <= stage.queue_capacity,
+            "stage `{}` exceeded its queue capacity",
+            stage.name
+        );
+    }
+    assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+}
+
+#[test]
+fn camera_nominal_run_reports_full_ladder() {
+    let (pipeline, stream) = camera_pipeline(PipelineConfig {
+        frames: 6,
+        deterministic: true,
+        scenario: "camera-nominal".into(),
+        ..PipelineConfig::default()
+    });
+    let outcome = pipeline.run(stream);
+
+    let r = &outcome.report;
+    assert_eq!(r.detector, "camera");
+    assert_eq!(r.frames_completed, 6);
+    assert_eq!(r.failed, 0);
+    // Three rungs (base, LCK, HCK), each with modeled cost, even when only
+    // the base variant ran.
+    assert_eq!(r.variants.len(), 3);
+    assert_eq!(r.variants[0].frames, 6);
+    for v in &r.variants {
+        assert!(v.energy_per_frame_j > 0.0);
+        assert!(v.modeled_latency_ms > 0.0);
+    }
+    assert!(r.total_energy_j > 0.0);
+}

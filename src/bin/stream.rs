@@ -1,42 +1,43 @@
 //! Streaming-runtime benchmark: runs the `upaq-runtime` pipeline through a
-//! nominal and an overload scenario and emits the JSON run reports.
+//! nominal and an overload scenario per detector and emits the JSON run
+//! reports.
 //!
-//! Both scenarios share one degrade ladder (base / UPAQ LCK / UPAQ HCK
-//! PointPillars variants on the Jetson Orin Nano cost model). The nominal
-//! run paces the source so the deadline is comfortably met; the overload
-//! run injects a slow backbone stage well past the deadline, forcing the
-//! scheduler to degrade down the ladder and shed load — visible in the
-//! drop/degrade counters of the second report.
+//! Each detector shares one degrade ladder (base / UPAQ LCK / UPAQ HCK
+//! variants on the Jetson Orin Nano cost model) — PointPillars over LiDAR
+//! sweeps, SMOKE over rendered camera frames. The nominal run paces the
+//! source so the deadline is comfortably met; the overload run injects a
+//! slow backbone stage well past the deadline, forcing the scheduler to
+//! degrade down the ladder and shed load — visible in the drop/degrade
+//! counters of the second report.
 //!
-//! Run with `cargo run --release --bin stream`.
+//! Run with `cargo run --release --bin stream -- [--detector lidar|camera|both]
+//! [--frames N]`.
 
 use upaq_bench::harness::save_result;
 use upaq_bench::table::print_table;
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::ToJson;
 use upaq_kitti::dataset::DatasetConfig;
-use upaq_kitti::stream::FrameStream;
+use upaq_kitti::stream::{FrameStream, SensorData};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::smoke::{Smoke, SmokeConfig};
+use upaq_models::StreamingDetector;
 use upaq_runtime::{Pipeline, PipelineConfig, RuntimeReport, SchedulerConfig, VariantLadder};
 
 const SEED: u64 = 2025;
 
-fn frames() -> FrameStream {
+fn dataset_config(camera: Option<&SmokeConfig>) -> DatasetConfig {
     let mut cfg = DatasetConfig::small();
     cfg.scenes = 4;
-    FrameStream::generate(&cfg, SEED)
+    if let Some(smoke) = camera {
+        cfg.camera = smoke.calib.clone();
+    }
+    cfg
 }
 
-fn ladder() -> Result<VariantLadder, Box<dyn std::error::Error + Send + Sync>> {
-    // The tiny detector keeps a full streaming run in benchmark territory
-    // (the paper-sized backbone is exercised by the Table-2 harness).
-    let det = PointPillars::build(&PointPillarsConfig::tiny())?;
-    VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), SEED)
-}
-
-fn nominal() -> PipelineConfig {
+fn nominal(frames: u64) -> PipelineConfig {
     PipelineConfig {
-        frames: 60,
+        frames,
         queue_capacity: 4,
         backbone_workers: 2,
         scheduler: SchedulerConfig::default(),
@@ -49,9 +50,9 @@ fn nominal() -> PipelineConfig {
     }
 }
 
-fn overload() -> PipelineConfig {
+fn overload(frames: u64) -> PipelineConfig {
     PipelineConfig {
-        frames: 40,
+        frames: (frames * 2 / 3).max(1),
         queue_capacity: 2,
         backbone_workers: 1,
         scheduler: SchedulerConfig {
@@ -69,10 +70,12 @@ fn overload() -> PipelineConfig {
 
 fn summarize(r: &RuntimeReport) -> Vec<String> {
     vec![
+        r.detector.clone(),
         r.scenario.clone(),
         format!("{}", r.frames_generated),
         format!("{}", r.frames_completed),
         format!("{}", r.dropped_backpressure + r.dropped_deadline),
+        format!("{}", r.failed),
         format!("{}", r.degraded),
         format!("{:.1}", r.fps),
         format!("{:.2}", r.e2e_latency.p50_s * 1e3),
@@ -81,11 +84,7 @@ fn summarize(r: &RuntimeReport) -> Vec<String> {
     ]
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Streaming runtime: deadline-aware scheduling over the UPAQ degrade ladder\n");
-
-    let ladder = ladder().map_err(|e| e as Box<dyn std::error::Error>)?;
-    println!("Degrade ladder (Jetson Orin Nano cost model):");
+fn print_ladder<D: StreamingDetector>(ladder: &VariantLadder<D>) {
     print_table(
         &[
             "Level",
@@ -109,26 +108,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect::<Vec<_>>(),
     );
+}
 
-    let mut reports = Vec::new();
-    for config in [nominal(), overload()] {
+fn run_scenarios<D: StreamingDetector>(
+    ladder: VariantLadder<D>,
+    data_cfg: &DatasetConfig,
+    frames: u64,
+    reports: &mut Vec<RuntimeReport>,
+) where
+    D::Input: SensorData,
+{
+    let modality = ladder.level(0).detector.modality();
+    println!("\nDegrade ladder for `{modality}` (Jetson Orin Nano cost model):");
+    print_ladder(&ladder);
+    for config in [nominal(frames), overload(frames)] {
         let scenario = config.scenario.clone();
         println!(
-            "\nRunning `{scenario}` scenario ({} frames)…",
+            "Running `{modality}/{scenario}` scenario ({} frames)…",
             config.frames
         );
         let pipeline = Pipeline::new(ladder.clone(), config);
-        let outcome = pipeline.run(frames());
+        let outcome = pipeline.run(FrameStream::<D::Input>::generate(data_cfg, SEED));
         reports.push(outcome.report);
+    }
+}
+
+fn parse_args() -> Result<(String, u64), String> {
+    let mut detector = "both".to_string();
+    let mut frames = 60u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--detector" => {
+                detector = args
+                    .next()
+                    .ok_or_else(|| "--detector needs a value".to_string())?;
+                if !matches!(detector.as_str(), "lidar" | "camera" | "both") {
+                    return Err(format!(
+                        "unknown detector `{detector}` (expected lidar|camera|both)"
+                    ));
+                }
+            }
+            "--frames" => {
+                frames = args
+                    .next()
+                    .ok_or_else(|| "--frames needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("bad --frames value: {e}"))?;
+                if frames == 0 {
+                    return Err("--frames must be positive".into());
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok((detector, frames))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let (detector, frames) = parse_args()
+        .map_err(|e| format!("{e}\nusage: stream [--detector lidar|camera|both] [--frames N]"))?;
+    println!("Streaming runtime: deadline-aware scheduling over the UPAQ degrade ladder");
+
+    let device = DeviceProfile::jetson_orin_nano();
+    let mut reports = Vec::new();
+
+    if detector == "lidar" || detector == "both" {
+        // The tiny detectors keep a full streaming run in benchmark
+        // territory (the paper-sized backbones are exercised by the
+        // Table-2 harness).
+        let det = PointPillars::build(&PointPillarsConfig::tiny())?;
+        let ladder = VariantLadder::build(det, &device, SEED)?;
+        run_scenarios(ladder, &dataset_config(None), frames, &mut reports);
+    }
+    if detector == "camera" || detector == "both" {
+        let smoke_cfg = SmokeConfig::tiny();
+        let det = Smoke::build(&smoke_cfg)?;
+        let ladder = VariantLadder::build(det, &device, SEED)?;
+        run_scenarios(
+            ladder,
+            &dataset_config(Some(&smoke_cfg)),
+            frames,
+            &mut reports,
+        );
     }
 
     println!("\nScenario summary:");
     print_table(
         &[
+            "Detector",
             "Scenario",
             "Generated",
             "Completed",
             "Dropped",
+            "Failed",
             "Degraded",
             "FPS",
             "p50 (ms)",
@@ -140,7 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nFull report (stream.json):");
     println!("{}", reports.to_json().pretty());
-    save_result("stream", &reports)?;
+    save_result("stream", &reports).map_err(|e| e.to_string())?;
     println!("\nSaved to target/upaq-results/stream.json");
     Ok(())
 }

@@ -5,9 +5,10 @@ use upaq::compress::{CompressionContext, Compressor, Upaq};
 use upaq::config::UpaqConfig;
 use upaq_hwmodel::DeviceProfile;
 use upaq_kitti::dataset::{Dataset, DatasetConfig};
-use upaq_kitti::stream::FrameStream;
+use upaq_kitti::stream::{CameraFrameStream, FrameStream};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 use upaq_models::pretrain::fit_lidar_head;
+use upaq_models::smoke::{Smoke, SmokeConfig};
 use upaq_runtime::{Pipeline, PipelineConfig, VariantLadder};
 
 #[test]
@@ -89,7 +90,43 @@ fn streaming_detections_match_batch_bitwise() {
     assert_eq!(outcome.detections.len(), frames as usize);
 
     for (id, streamed) in &outcome.detections {
-        let batch = base.detect(&stream.frame(*id).cloud).unwrap();
+        let batch = base.detect(&stream.frame(*id).data).unwrap();
+        assert_eq!(streamed, &batch, "frame {id} diverged from batch detection");
+    }
+}
+
+#[test]
+fn camera_streaming_detections_match_batch_bitwise() {
+    // Same bit-identity guarantee for the SMOKE/camera path: the streaming
+    // engine is generic over the detector, so deterministic mode must be
+    // exactly the batch `detect` on rendered camera frames too.
+    let smoke_cfg = SmokeConfig::tiny();
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 3;
+    cfg.camera = smoke_cfg.calib.clone();
+    let stream = CameraFrameStream::generate(&cfg, 31);
+
+    let base = Smoke::build(&smoke_cfg).unwrap();
+    let ladder =
+        VariantLadder::build(base.clone(), &DeviceProfile::jetson_orin_nano(), 31).unwrap();
+    let frames = 6u64;
+    let pipeline = Pipeline::new(
+        ladder,
+        PipelineConfig {
+            frames,
+            deterministic: true,
+            backbone_workers: 2,
+            queue_capacity: 2,
+            ..PipelineConfig::default()
+        },
+    );
+    let outcome = pipeline.run(stream.clone());
+    assert_eq!(outcome.report.frames_completed, frames);
+    assert_eq!(outcome.report.detector, "camera");
+    assert_eq!(outcome.detections.len(), frames as usize);
+
+    for (id, streamed) in &outcome.detections {
+        let batch = base.detect(&stream.frame(*id).data).unwrap();
         assert_eq!(streamed, &batch, "frame {id} diverged from batch detection");
     }
 }
