@@ -21,7 +21,10 @@
 //! * [`power`] — an `NVPower`-style power-trace sampler;
 //! * [`calibrate`] — one-point calibration so the uncompressed base model
 //!   matches the paper's measured latency/energy, after which every
-//!   compressed variant is *predicted*, not fitted.
+//!   compressed variant is *predicted*, not fitted;
+//! * [`batch`] — per-batch-size latency (`fixed + k·marginal`) seeded from
+//!   an [`Estimate`] and EMA-corrected online, driving the streaming
+//!   runtime's batch-admission policy.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 //! assert!(est.latency_s > 0.0);
 //! ```
 
+pub mod batch;
 pub mod calibrate;
 pub mod device;
 pub mod energy;
@@ -54,6 +58,7 @@ pub mod meter;
 pub mod power;
 pub mod size;
 
+pub use batch::BatchCost;
 pub use calibrate::calibrate_to;
 pub use device::DeviceProfile;
 pub use exec::{model_executions, BitAllocation, LayerExecution, SparsityKind};

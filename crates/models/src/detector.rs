@@ -83,6 +83,55 @@ pub trait StreamingDetector: Clone + Send + Sync + 'static {
         let output = &acts[&self.head_layer()?];
         Ok(self.postprocess(output, input))
     }
+
+    /// Runs a batch of preprocessed frames through one shared backbone pass
+    /// and returns each frame's raw head output.
+    ///
+    /// Per-frame results are bit-identical to calling the single-frame
+    /// forward on each tensor — the batched kernels only amortize fixed
+    /// per-call work (see `upaq_nn::exec::forward_batch`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors; a failure anywhere in the
+    /// batch fails the whole call (no partial results).
+    fn forward_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let maps: Vec<HashMap<String, Tensor>> = inputs
+            .iter()
+            .map(|t| {
+                let mut m = HashMap::new();
+                m.insert(self.input_name().to_string(), t.clone());
+                m
+            })
+            .collect();
+        let acts = upaq_nn::exec::forward_batch(self.model(), &maps)?;
+        let head = self.head_layer()?;
+        acts.into_iter()
+            .map(|mut frame| {
+                frame.remove(&head).ok_or_else(|| {
+                    NnError::BadWiring("head activation missing from batched forward".into())
+                })
+            })
+            .collect::<Result<_>>()
+    }
+
+    /// The batched counterpart of [`detect`][Self::detect]: per-frame
+    /// preprocess, one shared backbone pass, per-frame decode. Bit-identical
+    /// to mapping `detect` over `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network-execution errors; a failure anywhere in the
+    /// batch fails the whole call.
+    fn detect_batch(&self, inputs: &[Self::Input]) -> Result<Vec<Vec<Box3d>>> {
+        let tensors: Vec<Tensor> = inputs.iter().map(|i| self.preprocess(i)).collect();
+        let heads = self.forward_batch(&tensors)?;
+        Ok(heads
+            .iter()
+            .zip(inputs)
+            .map(|(head, input)| self.postprocess(head, input))
+            .collect())
+    }
 }
 
 /// A LiDAR (PointPillars-style) detector: pillar encoder + BEV network +

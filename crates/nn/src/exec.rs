@@ -2,7 +2,9 @@
 
 use crate::{Layer, LayerId, LayerKind, Model, NnError, Result};
 use std::collections::HashMap;
-use upaq_tensor::ops::{batch_norm, conv2d_into, linear, max_pool2d, relu, Conv2dParams};
+use upaq_tensor::ops::{
+    batch_norm, conv2d_batch_into, conv2d_into, linear, max_pool2d, relu, Conv2dParams,
+};
 use upaq_tensor::{Shape, Tensor};
 
 /// Reusable per-stream activation storage.
@@ -90,76 +92,197 @@ pub fn forward_into(
     for id in order {
         let layer = model.layer(id)?;
         let in_ids = graph.inputs_of(id);
-        let value = match layer.kind() {
-            LayerKind::Input { channels } => {
-                let t = inputs.get(layer.name()).ok_or_else(|| {
-                    NnError::BadWiring(format!("missing input tensor `{}`", layer.name()))
-                })?;
-                if t.shape().rank() != 4 || t.shape().dim(1) != *channels {
-                    return Err(NnError::BadWiring(format!(
-                        "input `{}` expects NCHW with {channels} channels, got {}",
-                        layer.name(),
-                        t.shape()
-                    )));
-                }
-                t.clone()
+        let value = eval_layer(layer, in_ids, &acts, inputs, recycled.remove(&id))?;
+        acts.insert(id, value);
+    }
+    ws.acts = acts;
+    Ok(())
+}
+
+/// Evaluates one layer for one frame. `recycled` is an optional buffer
+/// from a previous frame that convolution outputs may reuse when shapes
+/// line up. This is the single arithmetic path shared by [`forward_into`]
+/// and [`forward_batch_into`], which is what makes serial and batched
+/// execution bit-identical per frame.
+fn eval_layer(
+    layer: &Layer,
+    in_ids: &[LayerId],
+    acts: &HashMap<LayerId, Tensor>,
+    inputs: &HashMap<String, Tensor>,
+    recycled: Option<Tensor>,
+) -> Result<Tensor> {
+    Ok(match layer.kind() {
+        LayerKind::Input { channels } => {
+            let t = inputs.get(layer.name()).ok_or_else(|| {
+                NnError::BadWiring(format!("missing input tensor `{}`", layer.name()))
+            })?;
+            if t.shape().rank() != 4 || t.shape().dim(1) != *channels {
+                return Err(NnError::BadWiring(format!(
+                    "input `{}` expects NCHW with {channels} channels, got {}",
+                    layer.name(),
+                    t.shape()
+                )));
             }
-            LayerKind::Conv2d {
+            t.clone()
+        }
+        LayerKind::Conv2d {
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            ..
+        } => {
+            let x = &acts[&in_ids[0]];
+            let weights = layer
+                .weights()
+                .ok_or_else(|| missing(layer, "convolution weights"))?;
+            let params = Conv2dParams {
+                stride: *stride,
+                padding: *padding,
+            };
+            let oh = params.out_size(x.shape().dim(2), *kernel);
+            let ow = params.out_size(x.shape().dim(3), *kernel);
+            let expected = [1, *out_channels, oh, ow];
+            let mut out = match recycled {
+                Some(buf) if buf.shape().dims() == expected => buf,
+                _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
+            };
+            conv2d_into(x, weights, layer.bias(), params, &mut out)?;
+            out
+        }
+        LayerKind::Linear { .. } => {
+            let x = acts[&in_ids[0]].flatten();
+            let weights = layer
+                .weights()
+                .ok_or_else(|| missing(layer, "linear weights"))?;
+            linear(&x, weights, layer.bias())?
+        }
+        LayerKind::BatchNorm { .. } => {
+            let params = layer
+                .batch_norm_params()
+                .ok_or_else(|| missing(layer, "batch-norm parameters"))?;
+            batch_norm(&acts[&in_ids[0]], params)?
+        }
+        LayerKind::ReLU => relu(&acts[&in_ids[0]]),
+        LayerKind::MaxPool { kernel, stride } => max_pool2d(&acts[&in_ids[0]], *kernel, *stride)?,
+        LayerKind::Upsample { factor } => upsample_nearest(&acts[&in_ids[0]], *factor)?,
+        LayerKind::Add => {
+            let a = &acts[&in_ids[0]];
+            let b = &acts[&in_ids[1]];
+            a.add(b)?
+        }
+        LayerKind::Concat => {
+            let tensors: Vec<&Tensor> = in_ids.iter().map(|i| &acts[i]).collect();
+            concat_channels(&tensors)?
+        }
+    })
+}
+
+/// Runs a batch of frames through the model in one graph traversal and
+/// returns every layer's activation per frame.
+///
+/// Convolutions — the dominant cost — execute through the batched kernel
+/// (weight taps extracted once per batch) when the frames' activations
+/// share a shape, and fall back to the per-frame path otherwise. All other
+/// layers evaluate per frame through the same code as [`forward`]. Either
+/// way the per-frame arithmetic is identical to a serial [`forward`] call,
+/// so outputs are bit-identical frame by frame.
+///
+/// # Errors
+///
+/// All [`forward`] error conditions, applied per frame.
+pub fn forward_batch(
+    model: &Model,
+    inputs: &[HashMap<String, Tensor>],
+) -> Result<Vec<HashMap<LayerId, Tensor>>> {
+    let mut wss = Vec::new();
+    forward_batch_into(model, inputs, &mut wss)?;
+    Ok(wss.iter_mut().map(Workspace::take).collect())
+}
+
+/// [`forward_batch`] into reusable per-frame [`Workspace`]s.
+///
+/// `wss` is grown to at least `inputs.len()` workspaces; on return
+/// `wss[i].activations()` holds frame `i`'s activations. Convolution
+/// outputs reuse each workspace's buffers from the previous call exactly
+/// as [`forward_into`] does.
+///
+/// # Errors
+///
+/// All [`forward`] error conditions, applied per frame.
+pub fn forward_batch_into(
+    model: &Model,
+    inputs: &[HashMap<String, Tensor>],
+    wss: &mut Vec<Workspace>,
+) -> Result<()> {
+    let n = inputs.len();
+    if n == 0 {
+        return Ok(());
+    }
+    let graph = model.compute_graph();
+    let order = graph.topo_order()?;
+    while wss.len() < n {
+        wss.push(Workspace::new());
+    }
+    let mut recycled: Vec<HashMap<LayerId, Tensor>> = wss[..n]
+        .iter_mut()
+        .map(|w| std::mem::take(&mut w.acts))
+        .collect();
+    let mut frame_acts: Vec<HashMap<LayerId, Tensor>> = (0..n)
+        .map(|_| HashMap::with_capacity(model.len()))
+        .collect();
+
+    for id in order {
+        let layer = model.layer(id)?;
+        let in_ids = graph.inputs_of(id);
+        let mut batched = false;
+        if n > 1 {
+            if let LayerKind::Conv2d {
                 out_channels,
                 kernel,
                 stride,
                 padding,
                 ..
-            } => {
-                let x = &acts[&in_ids[0]];
-                let weights = layer
-                    .weights()
-                    .ok_or_else(|| missing(layer, "convolution weights"))?;
-                let params = Conv2dParams {
-                    stride: *stride,
-                    padding: *padding,
-                };
-                let oh = params.out_size(x.shape().dim(2), *kernel);
-                let ow = params.out_size(x.shape().dim(3), *kernel);
-                let expected = [1, *out_channels, oh, ow];
-                let mut out = match recycled.remove(&id) {
-                    Some(buf) if buf.shape().dims() == expected => buf,
-                    _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
-                };
-                conv2d_into(x, weights, layer.bias(), params, &mut out)?;
-                out
+            } = layer.kind()
+            {
+                let xs: Vec<&Tensor> = frame_acts.iter().map(|a| &a[&in_ids[0]]).collect();
+                if xs.iter().all(|x| x.shape() == xs[0].shape()) {
+                    let weights = layer
+                        .weights()
+                        .ok_or_else(|| missing(layer, "convolution weights"))?;
+                    let params = Conv2dParams {
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let oh = params.out_size(xs[0].shape().dim(2), *kernel);
+                    let ow = params.out_size(xs[0].shape().dim(3), *kernel);
+                    let expected = [1, *out_channels, oh, ow];
+                    let mut outs: Vec<Tensor> = recycled
+                        .iter_mut()
+                        .map(|r| match r.remove(&id) {
+                            Some(buf) if buf.shape().dims() == expected => buf,
+                            _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
+                        })
+                        .collect();
+                    conv2d_batch_into(&xs, weights, layer.bias(), params, &mut outs)?;
+                    drop(xs);
+                    for (acts, out) in frame_acts.iter_mut().zip(outs) {
+                        acts.insert(id, out);
+                    }
+                    batched = true;
+                }
             }
-            LayerKind::Linear { .. } => {
-                let x = acts[&in_ids[0]].flatten();
-                let weights = layer
-                    .weights()
-                    .ok_or_else(|| missing(layer, "linear weights"))?;
-                linear(&x, weights, layer.bias())?
+        }
+        if !batched {
+            for (i, acts) in frame_acts.iter_mut().enumerate() {
+                let value = eval_layer(layer, in_ids, acts, &inputs[i], recycled[i].remove(&id))?;
+                acts.insert(id, value);
             }
-            LayerKind::BatchNorm { .. } => {
-                let params = layer
-                    .batch_norm_params()
-                    .ok_or_else(|| missing(layer, "batch-norm parameters"))?;
-                batch_norm(&acts[&in_ids[0]], params)?
-            }
-            LayerKind::ReLU => relu(&acts[&in_ids[0]]),
-            LayerKind::MaxPool { kernel, stride } => {
-                max_pool2d(&acts[&in_ids[0]], *kernel, *stride)?
-            }
-            LayerKind::Upsample { factor } => upsample_nearest(&acts[&in_ids[0]], *factor)?,
-            LayerKind::Add => {
-                let a = &acts[&in_ids[0]];
-                let b = &acts[&in_ids[1]];
-                a.add(b)?
-            }
-            LayerKind::Concat => {
-                let tensors: Vec<&Tensor> = in_ids.iter().map(|i| &acts[i]).collect();
-                concat_channels(&tensors)?
-            }
-        };
-        acts.insert(id, value);
+        }
     }
-    ws.acts = acts;
+    for (ws, acts) in wss.iter_mut().zip(frame_acts) {
+        ws.acts = acts;
+    }
     Ok(())
 }
 

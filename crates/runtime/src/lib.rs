@@ -26,8 +26,10 @@ pub mod queue;
 pub mod scheduler;
 pub mod variant;
 
-pub use metrics::{Counters, LatencyRecorder, LatencySummary, RuntimeReport, StageReport};
+pub use metrics::{
+    BatchBucket, BatchStats, Counters, LatencyRecorder, LatencySummary, RuntimeReport, StageReport,
+};
 pub use pipeline::{Pipeline, PipelineConfig, StreamOutcome};
 pub use queue::{BoundedQueue, PushOutcome};
-pub use scheduler::{Admission, DeadlineScheduler, SchedulerConfig};
+pub use scheduler::{Admission, DeadlineScheduler, GroupAdmission, SchedulerConfig};
 pub use variant::{VariantLadder, VariantSpec};

@@ -1,6 +1,7 @@
 //! Observability for the streaming pipeline: per-stage timers, counters,
 //! latency percentiles and the JSON run report.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use upaq_json::{json, ToJson, Value};
@@ -134,6 +135,98 @@ impl Counters {
     }
 }
 
+/// Batched-execution statistics for the backbone stage: how many
+/// invocations ran at each batch size and how much backbone busy time the
+/// admitted frames cost in total — the inputs to the amortized per-frame
+/// latency and batched-vs-serial throughput numbers in the run report.
+#[derive(Debug, Default)]
+pub struct BatchStats {
+    /// Invocation count per batch size.
+    sizes: Mutex<BTreeMap<usize, u64>>,
+    /// Total backbone busy time across invocations, seconds.
+    busy_s: Mutex<f64>,
+}
+
+impl BatchStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        BatchStats::default()
+    }
+
+    /// Records one backbone invocation covering `size` frames that took
+    /// `busy_s` seconds of wall time.
+    pub fn record(&self, size: usize, busy_s: f64) {
+        if size == 0 {
+            return;
+        }
+        *self.sizes.lock().unwrap().entry(size).or_insert(0) += 1;
+        *self.busy_s.lock().unwrap() += busy_s;
+    }
+
+    /// Invocation counts by batch size, ascending.
+    pub fn histogram(&self) -> Vec<BatchBucket> {
+        self.sizes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&size, &batches)| BatchBucket { size, batches })
+            .collect()
+    }
+
+    /// Total backbone invocations.
+    pub fn batches(&self) -> u64 {
+        self.sizes.lock().unwrap().values().sum()
+    }
+
+    /// Total frames that went through the backbone.
+    pub fn frames(&self) -> u64 {
+        self.sizes
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&size, &batches)| size as u64 * batches)
+            .sum()
+    }
+
+    /// Mean frames per backbone invocation (0 when nothing ran).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.frames() as f64 / batches as f64
+    }
+
+    /// Amortized backbone busy time per frame, seconds (0 when nothing
+    /// ran). Under batching this drops below the serial per-invocation
+    /// latency — the throughput win the report surfaces.
+    pub fn amortized_backbone_s(&self) -> f64 {
+        let frames = self.frames();
+        if frames == 0 {
+            return 0.0;
+        }
+        *self.busy_s.lock().unwrap() / frames as f64
+    }
+}
+
+/// One row of the batch-size histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchBucket {
+    /// Frames per invocation.
+    pub size: usize,
+    /// Invocations observed at this size.
+    pub batches: u64,
+}
+
+impl ToJson for BatchBucket {
+    fn to_json(&self) -> Value {
+        json!({
+            "size": self.size,
+            "batches": self.batches,
+        })
+    }
+}
+
 /// Per-stage section of the run report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageReport {
@@ -215,6 +308,15 @@ pub struct RuntimeReport {
     pub fps: f64,
     /// End-to-end latency (source arrival → detections ready).
     pub e2e_latency: LatencySummary,
+    /// Largest batch the scheduler was allowed to admit this run.
+    pub max_batch: usize,
+    /// Backbone invocations by batch size.
+    pub batch_histogram: Vec<BatchBucket>,
+    /// Mean frames per backbone invocation.
+    pub mean_batch_size: f64,
+    /// Amortized backbone busy time per frame, milliseconds — the
+    /// batching win relative to the per-invocation backbone latency.
+    pub amortized_backbone_ms: f64,
     /// Per-stage breakdown.
     pub stages: Vec<StageReport>,
     /// Per-variant execution counts and modeled energy.
@@ -240,6 +342,10 @@ impl ToJson for RuntimeReport {
             "deadline_misses": self.deadline_misses,
             "fps": self.fps,
             "e2e_latency": self.e2e_latency,
+            "max_batch": self.max_batch,
+            "batch_histogram": self.batch_histogram,
+            "mean_batch_size": self.mean_batch_size,
+            "amortized_backbone_ms": self.amortized_backbone_ms,
             "stages": self.stages,
             "variants": self.variants,
             "total_energy_j": self.total_energy_j,
@@ -305,6 +411,13 @@ mod tests {
             deadline_misses: 0,
             fps: 9.0,
             e2e_latency: LatencySummary::default(),
+            max_batch: 4,
+            batch_histogram: vec![BatchBucket {
+                size: 2,
+                batches: 3,
+            }],
+            mean_batch_size: 2.0,
+            amortized_backbone_ms: 10.0,
             stages: vec![StageReport {
                 name: "backbone".into(),
                 latency: LatencySummary::default(),
@@ -338,5 +451,45 @@ mod tests {
             Some(0.0)
         );
         assert_eq!(v.get("detector").and_then(|x| x.as_str()), Some("lidar"));
+        // Batch reporting keys the CI batch-accounting job consumes.
+        assert_eq!(v.get("max_batch").and_then(|x| x.as_f64()), Some(4.0));
+        let hist = v.get("batch_histogram").and_then(|h| h.as_arr()).unwrap();
+        assert_eq!(hist[0].get("size").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(hist[0].get("batches").and_then(|x| x.as_f64()), Some(3.0));
+        assert!(text.contains("mean_batch_size"));
+        assert!(text.contains("amortized_backbone_ms"));
+    }
+
+    #[test]
+    fn batch_stats_aggregate_sizes_and_amortized_cost() {
+        let b = BatchStats::new();
+        assert_eq!(b.mean_batch_size(), 0.0);
+        assert_eq!(b.amortized_backbone_s(), 0.0);
+        // Two singles at 40 ms, one batch of 4 at 60 ms.
+        b.record(1, 0.040);
+        b.record(1, 0.040);
+        b.record(4, 0.060);
+        b.record(0, 9.9); // ignored
+        assert_eq!(b.batches(), 3);
+        assert_eq!(b.frames(), 6);
+        assert!((b.mean_batch_size() - 2.0).abs() < 1e-12);
+        // 140 ms over 6 frames ≈ 23.3 ms/frame, well under the serial 40 ms.
+        assert!((b.amortized_backbone_s() - 0.140 / 6.0).abs() < 1e-12);
+        let hist = b.histogram();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(
+            hist[0],
+            BatchBucket {
+                size: 1,
+                batches: 2
+            }
+        );
+        assert_eq!(
+            hist[1],
+            BatchBucket {
+                size: 4,
+                batches: 1
+            }
+        );
     }
 }

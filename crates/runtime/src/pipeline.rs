@@ -11,9 +11,12 @@
 //! * **preprocess** turns the sensor sample into the network input tensor
 //!   (pillarization for LiDAR, the rendered image for the camera path —
 //!   variant-independent either way);
-//! * **backbone** workers consult the [`DeadlineScheduler`] per frame —
-//!   run the chosen ladder level through [`forward_into`] with a
-//!   per-worker reusable [`Workspace`], or drop the frame;
+//! * **backbone** workers drain up to `max_batch` queued frames per tick
+//!   and consult the [`DeadlineScheduler`] for the whole group — run it as
+//!   one batched forward pass at a shared ladder level when the predicted
+//!   batched latency fits the group's earliest deadline, else fall back to
+//!   per-frame admission through [`forward_into`] with a per-worker
+//!   reusable [`Workspace`], or drop the head frame;
 //! * **postprocess** decodes the head output (refinement + NMS for LiDAR,
 //!   camera-head lifting for SMOKE), charges modeled energy and records
 //!   end-to-end latency.
@@ -28,18 +31,20 @@
 //! detector's batch `detect` on the same frames, which the determinism
 //! integration tests assert for both modalities.
 
-use crate::metrics::{Counters, LatencyRecorder, RuntimeReport, StageReport, VariantReport};
+use crate::metrics::{
+    BatchStats, Counters, LatencyRecorder, RuntimeReport, StageReport, VariantReport,
+};
 use crate::queue::{BoundedQueue, PushOutcome};
-use crate::scheduler::{Admission, DeadlineScheduler, SchedulerConfig};
-use crate::variant::VariantLadder;
-use std::collections::HashMap;
+use crate::scheduler::{DeadlineScheduler, GroupAdmission, SchedulerConfig};
+use crate::variant::{VariantLadder, VariantSpec};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use upaq_det3d::Box3d;
 use upaq_hwmodel::EnergyMeter;
 use upaq_kitti::stream::{Frame, FrameStream, SensorData};
 use upaq_models::StreamingDetector;
-use upaq_nn::exec::{forward_into, Workspace};
+use upaq_nn::exec::{forward_batch_into, forward_into, Workspace};
 use upaq_tensor::Tensor;
 
 /// Streaming-run configuration.
@@ -57,8 +62,12 @@ pub struct PipelineConfig {
     /// first queue accepts).
     pub source_interval_s: f64,
     /// Extra latency injected into every backbone execution — the overload
-    /// tests use this to force degradation and drops.
+    /// tests use this to force degradation and drops. Charged once per
+    /// *invocation*, so batching genuinely amortizes it.
     pub slow_backbone_s: f64,
+    /// Largest frame group a backbone worker may admit as one batched
+    /// forward pass (1 = per-frame scheduling, the historical behaviour).
+    pub max_batch: usize,
     /// Lossless mode: blocking queues, no pacing, no scheduler — every
     /// frame runs the full model. Detections become bit-identical to
     /// batch `detect` calls.
@@ -76,6 +85,7 @@ impl Default for PipelineConfig {
             scheduler: SchedulerConfig::default(),
             source_interval_s: 0.0,
             slow_backbone_s: 0.0,
+            max_batch: 1,
             deterministic: false,
             scenario: "nominal".into(),
         }
@@ -147,6 +157,7 @@ where
         let counters = Counters::default();
         let pre_timer = LatencyRecorder::new();
         let bb_timer = LatencyRecorder::new();
+        let batch_stats = BatchStats::new();
         let post_timer = LatencyRecorder::new();
         let e2e_timer = LatencyRecorder::new();
         let scheduler = DeadlineScheduler::new(ladder, cfg.scheduler);
@@ -197,50 +208,106 @@ where
                 })
             };
 
-            // Backbone pool: admission decision, then the network forward
-            // pass on the chosen variant.
+            // Backbone pool: drain up to `max_batch` queued frames per
+            // tick, ask the scheduler for a group verdict, and run either
+            // one batched forward pass or the per-frame fallback.
+            let max_batch = cfg.max_batch.max(1);
             let workers: Vec<_> = (0..cfg.backbone_workers.max(1))
                 .map(|_| {
                     let (q_bb, q_post, counters) = (&q_bb, &q_post, &counters);
-                    let (scheduler, bb_timer) = (&scheduler, &bb_timer);
+                    let (scheduler, bb_timer, batch_stats) = (&scheduler, &bb_timer, &batch_stats);
                     let slow_s = cfg.slow_backbone_s;
                     s.spawn(move || {
                         let mut ws = Workspace::new();
-                        while let Some(job) = q_bb.pop() {
-                            let age = job.arrived.elapsed().as_secs_f64();
-                            let admission = if deterministic {
-                                Admission::Run { level: 0 }
-                            } else {
-                                scheduler.admit(age)
-                            };
-                            let Admission::Run { level } = admission else {
-                                Counters::bump(&counters.dropped_deadline);
-                                continue;
-                            };
-                            let variant = ladder.level(level);
-                            let t0 = Instant::now();
-                            let mut inputs = HashMap::new();
-                            inputs.insert(variant.detector.input_name().to_string(), job.input);
-                            if forward_into(variant.detector.model(), &inputs, &mut ws).is_err() {
-                                Counters::bump(&counters.failed);
-                                continue;
+                        let mut wss: Vec<Workspace> = Vec::new();
+                        while let Some(first) = q_bb.pop() {
+                            let mut group = VecDeque::with_capacity(max_batch);
+                            group.push_back(first);
+                            while group.len() < max_batch {
+                                match q_bb.try_pop() {
+                                    Some(job) => group.push_back(job),
+                                    None => break,
+                                }
                             }
-                            let head_out = ws.activations()[&variant.head].clone();
-                            if slow_s > 0.0 {
-                                std::thread::sleep(Duration::from_secs_f64(slow_s));
+                            // Re-offer the group until it empties: a batch
+                            // takes all of it at once; the fallbacks peel
+                            // off the head frame and the remainder is
+                            // offered again as a smaller group — this is
+                            // how mixed-deadline groups split.
+                            while !group.is_empty() {
+                                let ages: Vec<f64> = group
+                                    .iter()
+                                    .map(|j| j.arrived.elapsed().as_secs_f64())
+                                    .collect();
+                                let admission = if deterministic {
+                                    if group.len() > 1 {
+                                        GroupAdmission::Batch { level: 0 }
+                                    } else {
+                                        GroupAdmission::Single { level: 0 }
+                                    }
+                                } else {
+                                    scheduler.admit_group(&ages)
+                                };
+                                match admission {
+                                    GroupAdmission::Drop => {
+                                        group.pop_front();
+                                        Counters::bump(&counters.dropped_deadline);
+                                    }
+                                    GroupAdmission::Single { level } => {
+                                        let job = group.pop_front().expect("group is non-empty");
+                                        let variant = ladder.level(level);
+                                        let t0 = Instant::now();
+                                        let mut inputs = HashMap::new();
+                                        inputs.insert(
+                                            variant.detector.input_name().to_string(),
+                                            job.input,
+                                        );
+                                        if forward_into(variant.detector.model(), &inputs, &mut ws)
+                                            .is_err()
+                                        {
+                                            Counters::bump(&counters.failed);
+                                            continue;
+                                        }
+                                        let head_out = ws.activations()[&variant.head].clone();
+                                        if slow_s > 0.0 {
+                                            std::thread::sleep(Duration::from_secs_f64(slow_s));
+                                        }
+                                        let dt = t0.elapsed().as_secs_f64();
+                                        bb_timer.record(dt);
+                                        batch_stats.record(1, dt);
+                                        if !deterministic {
+                                            scheduler.observe(level, dt);
+                                        }
+                                        let next = PostJob {
+                                            frame: job.frame,
+                                            level,
+                                            head_out,
+                                            arrived: job.arrived,
+                                        };
+                                        hand_to_post(q_post, next, counters);
+                                    }
+                                    GroupAdmission::Batch { level } => {
+                                        let jobs: Vec<_> = group.drain(..).collect();
+                                        let k = jobs.len();
+                                        let dt = run_batch(
+                                            ladder.level(level),
+                                            level,
+                                            jobs,
+                                            &mut wss,
+                                            slow_s,
+                                            q_post,
+                                            counters,
+                                        );
+                                        if let Some(dt) = dt {
+                                            bb_timer.record(dt);
+                                            batch_stats.record(k, dt);
+                                            if !deterministic {
+                                                scheduler.observe_batch(level, k, dt);
+                                            }
+                                        }
+                                    }
+                                }
                             }
-                            let dt = t0.elapsed().as_secs_f64();
-                            bb_timer.record(dt);
-                            if !deterministic {
-                                scheduler.observe(level, dt);
-                            }
-                            let next = PostJob {
-                                frame: job.frame,
-                                level,
-                                head_out,
-                                arrived: job.arrived,
-                            };
-                            hand_to_post(q_post, next, counters);
                         }
                     })
                 })
@@ -336,6 +403,10 @@ where
                 0.0
             },
             e2e_latency: e2e_timer.summary(),
+            max_batch: cfg.max_batch.max(1),
+            batch_histogram: batch_stats.histogram(),
+            mean_batch_size: batch_stats.mean_batch_size(),
+            amortized_backbone_ms: batch_stats.amortized_backbone_s() * 1e3,
             stages,
             variants,
             total_energy_j: meter.total_energy_j(),
@@ -344,6 +415,57 @@ where
         debug_assert!(counters.accounted(), "pipeline lost track of a frame");
         StreamOutcome { report, detections }
     }
+}
+
+/// Runs one batched forward pass over `jobs` at ladder `level` and hands
+/// every member to postprocess. Returns the invocation wall time, or
+/// `None` when the batched forward failed — in which case *all* member
+/// frames are charged to `failed` exactly once, keeping
+/// [`Counters::accounted`] exact even for multi-frame failures.
+fn run_batch<D: StreamingDetector>(
+    variant: &VariantSpec<D>,
+    level: usize,
+    jobs: Vec<BackboneJob<D::Input>>,
+    wss: &mut Vec<Workspace>,
+    slow_s: f64,
+    q_post: &BoundedQueue<PostJob<D::Input>>,
+    counters: &Counters,
+) -> Option<f64> {
+    let t0 = Instant::now();
+    let k = jobs.len();
+    let mut frames = Vec::with_capacity(k);
+    let mut arrivals = Vec::with_capacity(k);
+    let mut inputs = Vec::with_capacity(k);
+    for job in jobs {
+        frames.push(job.frame);
+        arrivals.push(job.arrived);
+        let mut map = HashMap::new();
+        map.insert(variant.detector.input_name().to_string(), job.input);
+        inputs.push(map);
+    }
+    if forward_batch_into(variant.detector.model(), &inputs, wss).is_err() {
+        // One failed invocation covers the whole group: every member frame
+        // failed, none reached postprocess, none is degraded or dropped.
+        for _ in 0..k {
+            Counters::bump(&counters.failed);
+        }
+        return None;
+    }
+    if slow_s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(slow_s));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    for ((frame, arrived), ws) in frames.into_iter().zip(arrivals).zip(wss.iter()) {
+        let head_out = ws.activations()[&variant.head].clone();
+        let next = PostJob {
+            frame,
+            level,
+            head_out,
+            arrived,
+        };
+        hand_to_post(q_post, next, counters);
+    }
+    Some(dt)
 }
 
 /// Hands a finished backbone job to postprocess. Only a frame that
@@ -539,6 +661,106 @@ mod tests {
         assert_eq!(Counters::get(&counters.failed), 1);
         assert_eq!(Counters::get(&counters.degraded), 0);
         assert!(counters.accounted(), "lost frame broke exact accounting");
+    }
+
+    /// Accounting identity under batched execution: a poisoned frame
+    /// (wrong input shape) inside a batch fails the *whole* batched
+    /// forward, and every member frame must be charged to `failed`
+    /// exactly once — no frame reaches postprocess, none is double
+    /// counted, and `Counters::accounted()` stays exact.
+    #[test]
+    fn poisoned_frame_in_batch_charges_every_member_to_failed_once() {
+        let good = ladder();
+        let variant = &good.levels()[0];
+        let counters = Counters::default();
+        let q_post: BoundedQueue<PostJob<upaq_kitti::lidar::PointCloud>> = BoundedQueue::new(8);
+        let mut wss = Vec::new();
+
+        let mut src = stream();
+        let frames: Vec<_> = src.by_ref().take(3).collect();
+        let mut jobs: Vec<BackboneJob<upaq_kitti::lidar::PointCloud>> = frames
+            .into_iter()
+            .map(|frame| {
+                Counters::bump(&counters.generated);
+                let input = variant.detector.preprocess(&frame.data);
+                BackboneJob {
+                    frame,
+                    input,
+                    arrived: Instant::now(),
+                }
+            })
+            .collect();
+        // Poison the middle frame: a 1×1×1×1 tensor cannot feed the
+        // pillar backbone, so the batched forward pass errors out.
+        jobs[1].input = Tensor::zeros(upaq_tensor::Shape::nchw(1, 1, 1, 1));
+
+        let dt = run_batch(variant, 0, jobs, &mut wss, 0.0, &q_post, &counters);
+        assert!(dt.is_none(), "poisoned batch must report failure");
+        assert_eq!(Counters::get(&counters.failed), 3);
+        assert_eq!(Counters::get(&counters.degraded), 0);
+        assert_eq!(q_post.len(), 0, "no poisoned-batch member may reach post");
+        assert!(counters.accounted(), "batched failure broke accounting");
+    }
+
+    /// A healthy batch hands every member to postprocess and reports its
+    /// wall time; degraded bookkeeping matches the per-frame path.
+    #[test]
+    fn healthy_batch_delivers_every_member() {
+        let good = ladder();
+        let variant = &good.levels()[1];
+        let counters = Counters::default();
+        let q_post: BoundedQueue<PostJob<upaq_kitti::lidar::PointCloud>> = BoundedQueue::new(8);
+        let mut wss = Vec::new();
+
+        let mut src = stream();
+        let jobs: Vec<_> = src
+            .by_ref()
+            .take(3)
+            .map(|frame| {
+                Counters::bump(&counters.generated);
+                let input = variant.detector.preprocess(&frame.data);
+                BackboneJob {
+                    frame,
+                    input,
+                    arrived: Instant::now(),
+                }
+            })
+            .collect();
+
+        let dt = run_batch(variant, 1, jobs, &mut wss, 0.0, &q_post, &counters);
+        assert!(dt.is_some());
+        assert_eq!(q_post.len(), 3);
+        assert_eq!(Counters::get(&counters.degraded), 3);
+        assert_eq!(Counters::get(&counters.failed), 0);
+    }
+
+    /// A batched deterministic run completes every frame, and the report's
+    /// batch histogram shows multi-frame groups actually formed.
+    #[test]
+    fn deterministic_batched_run_completes_and_reports_batches() {
+        let p = pipeline(PipelineConfig {
+            frames: 8,
+            deterministic: true,
+            backbone_workers: 1,
+            max_batch: 4,
+            scenario: "deterministic-batched".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream());
+        let r = &outcome.report;
+        assert_eq!(r.frames_generated, 8);
+        assert_eq!(r.frames_completed, 8);
+        assert_eq!(r.failed + r.dropped_backpressure + r.dropped_deadline, 0);
+        assert_eq!(r.max_batch, 4);
+        let batched_frames: u64 = r
+            .batch_histogram
+            .iter()
+            .map(|b| b.size as u64 * b.batches)
+            .sum();
+        assert_eq!(batched_frames, 8, "histogram must cover every frame");
+        assert!(r.mean_batch_size >= 1.0);
+        let ids: Vec<u64> = outcome.detections.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 
     /// The happy-path counterpart: a delivered degraded frame counts as

@@ -14,6 +14,7 @@
 
 use crate::variant::VariantLadder;
 use std::sync::Mutex;
+use upaq_hwmodel::BatchCost;
 use upaq_models::StreamingDetector;
 
 /// Scheduler knobs.
@@ -50,12 +51,33 @@ pub enum Admission {
     Drop,
 }
 
+/// The scheduler's verdict for a group of queued frames offered together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupAdmission {
+    /// Run the whole group as one batched forward pass on ladder level
+    /// `level`. Guaranteed to fit the *earliest* deadline in the group.
+    Batch {
+        /// Chosen degrade-ladder level, shared by every member.
+        level: usize,
+    },
+    /// Batching does not fit, but the group's head frame can run alone on
+    /// `level` (today's per-frame path). The caller re-offers the rest.
+    Single {
+        /// Chosen degrade-ladder level for the head frame.
+        level: usize,
+    },
+    /// The head frame cannot meet its deadline on any variant; drop it
+    /// and re-offer the rest.
+    Drop,
+}
+
 /// Deadline-aware variant scheduler over a [`VariantLadder`].
 pub struct DeadlineScheduler {
     config: SchedulerConfig,
-    /// Predicted per-variant backbone latency, seconds. Seeded from the
-    /// hardware model, corrected by measurement.
-    predicted_s: Mutex<Vec<f64>>,
+    /// Per-variant batched-latency model (`fixed + k·marginal`), seconds.
+    /// Seeded from the hardware model, corrected by measurement; the
+    /// batch-1 prediction plays the role the scalar prediction table did.
+    costs: Mutex<Vec<BatchCost>>,
     /// Observed postprocess latency EMA, seconds. Variant-independent
     /// (decode + NMS cost does not depend on the backbone variant); starts
     /// at zero and takes the first observation verbatim.
@@ -66,14 +88,14 @@ impl DeadlineScheduler {
     /// Seeds per-variant latency predictions from the ladder's hardware
     /// estimates.
     pub fn new<D: StreamingDetector>(ladder: &VariantLadder<D>, config: SchedulerConfig) -> Self {
-        let predicted = ladder
+        let costs = ladder
             .levels()
             .iter()
-            .map(|v| v.estimate.latency_s)
+            .map(|v| BatchCost::from_estimate(&v.estimate))
             .collect();
         DeadlineScheduler {
             config,
-            predicted_s: Mutex::new(predicted),
+            costs: Mutex::new(costs),
             post_s: Mutex::new(None),
         }
     }
@@ -87,12 +109,18 @@ impl DeadlineScheduler {
     /// A level outside the ladder predicts `f64::INFINITY`: an unknown
     /// variant can never fit a deadline budget.
     pub fn predicted_s(&self, level: usize) -> f64 {
-        self.predicted_s
+        self.predicted_batch_s(level, 1)
+    }
+
+    /// Current backbone latency prediction for one batched invocation of
+    /// `k` frames on a ladder level, seconds. Out-of-ladder levels predict
+    /// `f64::INFINITY`.
+    pub fn predicted_batch_s(&self, level: usize, k: usize) -> f64 {
+        self.costs
             .lock()
             .unwrap()
             .get(level)
-            .copied()
-            .unwrap_or(f64::INFINITY)
+            .map_or(f64::INFINITY, |c| c.predict_s(k))
     }
 
     /// Current postprocess latency estimate, seconds (0 until observed).
@@ -110,27 +138,72 @@ impl DeadlineScheduler {
             return Admission::Drop;
         }
         let post = self.predicted_post_s();
-        let predicted = self.predicted_s.lock().unwrap();
-        for (level, &p) in predicted.iter().enumerate() {
-            if (p + post) * self.config.headroom <= remaining {
+        let costs = self.costs.lock().unwrap();
+        for (level, c) in costs.iter().enumerate() {
+            if (c.predict_s(1) + post) * self.config.headroom <= remaining {
                 return Admission::Run { level };
             }
         }
         Admission::Drop
     }
 
-    /// Feeds back a measured backbone latency for `level`. Out-of-range
-    /// levels are ignored — a racing report must never poison the table.
+    /// Decides what to do with a group of queued frames whose waits so far
+    /// are `ages_s` (head of the queue first).
+    ///
+    /// A batch is admitted only when one invocation covering the *whole*
+    /// group — predicted batched backbone latency plus the per-frame
+    /// postprocess cost — fits the group's **earliest** deadline, i.e. the
+    /// budget left for its oldest member. Batching must never sacrifice the
+    /// most urgent frame for amortization. Otherwise the verdict falls back
+    /// to per-frame admission of the head frame ([`GroupAdmission::Single`]
+    /// / [`GroupAdmission::Drop`]) and the caller re-offers the remainder
+    /// as a smaller group — which is how mixed-deadline queues split.
+    ///
+    /// A single-frame group degenerates exactly to [`admit`][Self::admit]:
+    /// `predict(1)` is the per-frame prediction.
+    pub fn admit_group(&self, ages_s: &[f64]) -> GroupAdmission {
+        let k = ages_s.len();
+        if k > 1 {
+            // Oldest member = largest age = earliest deadline.
+            let oldest = ages_s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let remaining = self.config.deadline_s - oldest;
+            if remaining > 0.0 {
+                let post = self.predicted_post_s();
+                let costs = self.costs.lock().unwrap();
+                for (level, c) in costs.iter().enumerate() {
+                    if (c.predict_s(k) + post) * self.config.headroom <= remaining {
+                        return GroupAdmission::Batch { level };
+                    }
+                }
+            }
+        }
+        match self.admit(ages_s.first().copied().unwrap_or(f64::INFINITY)) {
+            Admission::Run { level } => GroupAdmission::Single { level },
+            Admission::Drop => GroupAdmission::Drop,
+        }
+    }
+
+    /// Feeds back a measured backbone latency for a single-frame run of
+    /// `level`. Out-of-range levels are ignored — a racing report must
+    /// never poison the table.
     pub fn observe(&self, level: usize, measured_s: f64) {
+        self.observe_batch(level, 1, measured_s);
+    }
+
+    /// Feeds back one measured batched invocation: `k` frames through
+    /// `level` in `measured_s` seconds wall time. At `k = 1` this is
+    /// exactly the historical scalar EMA update (see
+    /// [`BatchCost::observe`]). Out-of-range levels are ignored.
+    pub fn observe_batch(&self, level: usize, k: usize, measured_s: f64) {
         let a = self.config.ema_alpha;
         if a <= 0.0 {
             return;
         }
-        let mut predicted = self.predicted_s.lock().unwrap();
-        let Some(p) = predicted.get_mut(level) else {
+        let mut costs = self.costs.lock().unwrap();
+        let Some(c) = costs.get_mut(level) else {
             return;
         };
-        *p = (1.0 - a) * *p + a * measured_s;
+        c.observe(k, measured_s, a);
     }
 
     /// Feeds back a measured postprocess latency. The first observation is
@@ -261,6 +334,124 @@ mod tests {
             Admission::Run { level } => assert!(level > 0, "must degrade once post cost is known"),
             Admission::Drop => panic!("cheaper variants still fit"),
         }
+    }
+
+    #[test]
+    fn group_of_one_degenerates_exactly_to_per_frame_admission() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        // Across fresh, mid-life, and stale ages, K=1 group admission must
+        // agree with the per-frame policy verdict-for-verdict.
+        for age in [0.0, 0.02, 0.05, 0.09, 0.099, 0.15, 1.0] {
+            let single = s.admit(age);
+            let group = s.admit_group(&[age]);
+            match (single, group) {
+                (Admission::Run { level: a }, GroupAdmission::Single { level: b }) => {
+                    assert_eq!(a, b, "age {age}")
+                }
+                (Admission::Drop, GroupAdmission::Drop) => {}
+                other => panic!("age {age}: K=1 diverged from per-frame policy: {other:?}"),
+            }
+        }
+        // An empty group has no head frame to admit.
+        assert_eq!(s.admit_group(&[]), GroupAdmission::Drop);
+    }
+
+    #[test]
+    fn batch_admission_never_violates_earliest_deadline() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        s.observe_post(0.001);
+        let cfg = s.config();
+        // Sweep group shapes, oldest frame in any position; every admitted
+        // batch must fit the budget left for its oldest member.
+        let groups: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![0.01, 0.03, 0.02],
+            vec![0.08, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.09],
+            vec![0.02; 7],
+        ];
+        for ages in groups {
+            if let GroupAdmission::Batch { level } = s.admit_group(&ages) {
+                let oldest = ages.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let total = s.predicted_batch_s(level, ages.len()) + s.predicted_post_s();
+                assert!(
+                    total * cfg.headroom <= cfg.deadline_s - oldest,
+                    "ages {ages:?}: batch at level {level} overruns the earliest deadline"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_deadline_group_splits_instead_of_batching() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        // Make the learned cost concrete: batch-1 at 30 ms, so a batch of 3
+        // (~90 ms) cannot fit a near-expired member but singles can run.
+        for _ in 0..200 {
+            for level in 0..l.len() {
+                s.observe_batch(level, 1, 0.030);
+            }
+        }
+        // One member is 95 ms old (5 ms budget left) — the whole group must
+        // not batch on its deadline.
+        let verdict = s.admit_group(&[0.095, 0.0, 0.0]);
+        assert!(
+            !matches!(verdict, GroupAdmission::Batch { .. }),
+            "batching would blow the 5 ms budget of the oldest member"
+        );
+        // The stale head itself cannot run anywhere → dropped, and the
+        // caller re-offers the two fresh frames, which then do batch.
+        assert_eq!(s.admit_group(&[0.095]), GroupAdmission::Drop);
+        let fresh = s.admit_group(&[0.0, 0.0]);
+        assert!(
+            matches!(fresh, GroupAdmission::Batch { .. }),
+            "two fresh frames fit one batched pass (got {fresh:?})"
+        );
+    }
+
+    #[test]
+    fn batch_admission_degrades_to_a_cheaper_rung_when_full_model_overruns() {
+        let l = ladder();
+        assert!(l.len() >= 2, "ladder must have degrade rungs");
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        // Teach the scheduler with batch-4 measurements: the full model
+        // takes 360 ms per 4-frame invocation, the degraded rungs 4 ms.
+        for _ in 0..200 {
+            s.observe_batch(0, 4, 0.360);
+            for level in 1..l.len() {
+                s.observe_batch(level, 4, 0.004);
+            }
+        }
+        // A batch of 4 on the full model misses the 100 ms deadline, but a
+        // degraded rung fits: the group batches at a shared cheaper level
+        // rather than splitting.
+        match s.admit_group(&[0.0; 4]) {
+            GroupAdmission::Batch { level } => assert!(level > 0, "expected a degraded rung"),
+            other => panic!("expected a degraded batched admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batched_observations_shift_batch_predictions() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(
+            &l,
+            SchedulerConfig {
+                ema_alpha: 0.5,
+                ..SchedulerConfig::default()
+            },
+        );
+        let before = s.predicted_batch_s(0, 4);
+        s.observe_batch(0, 4, before * 10.0);
+        let after = s.predicted_batch_s(0, 4);
+        assert!(after > before);
+        assert!(after < before * 10.0, "EMA, not replacement");
+        // Out-of-range levels stay inert, batched or not.
+        s.observe_batch(l.len() + 3, 4, 42.0);
+        assert_eq!(s.predicted_batch_s(l.len() + 3, 4), f64::INFINITY);
     }
 
     #[test]

@@ -1,20 +1,31 @@
 //! Neural-network compute kernels over [`crate::Tensor`].
 //!
-//! Each operation takes NCHW activations (batch is always 1 in this
-//! workspace — single-frame AV inference) and reports enough cost metadata
-//! for the hardware model: multiply-accumulate counts that honour weight
-//! sparsity, mirroring how a structured-sparsity runtime skips zero weights.
+//! Each operation takes NCHW activations (batch 1 per frame — single-frame
+//! AV inference) and reports enough cost metadata for the hardware model:
+//! multiply-accumulate counts that honour weight sparsity, mirroring how a
+//! structured-sparsity runtime skips zero weights. The `*_batch` variants
+//! run a slice of same-shaped frames through one kernel invocation,
+//! amortizing per-call fixed work while staying bit-identical per frame;
+//! the `quantized_*` variants execute pruned-and-quantized kernels in the
+//! integer domain.
 
 mod activation;
+mod batch;
 mod conv;
 mod linear;
 mod norm;
 mod parallel;
 mod pool;
+mod quantized;
 
 pub use activation::{leaky_relu, relu, sigmoid};
+pub use batch::{
+    avg_pool2d_batch, conv2d_batch, conv2d_batch_into, linear_batch, max_pool2d_batch,
+    quantized_conv2d_batch, quantized_linear_batch,
+};
 pub use conv::{conv2d, conv2d_into, Conv2dParams};
 pub use linear::linear;
 pub use norm::{batch_norm, BatchNormParams};
 pub use parallel::TensorParallel;
 pub use pool::{avg_pool2d, max_pool2d};
+pub use quantized::{quantized_conv2d, quantized_linear};

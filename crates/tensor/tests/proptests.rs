@@ -1,12 +1,43 @@
 //! Property-based tests for the tensor substrate.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use upaq_tensor::ops::{
+    avg_pool2d, avg_pool2d_batch, conv2d, conv2d_batch, linear, linear_batch, max_pool2d,
+    max_pool2d_batch, quantized_conv2d, quantized_conv2d_batch, quantized_linear,
+    quantized_linear_batch, Conv2dParams,
+};
 use upaq_tensor::quant::{fake_quantize, QuantizedTensor};
 use upaq_tensor::sparse::{KernelMask, SparseKernel};
 use upaq_tensor::{Shape, Tensor};
 
 fn small_vec() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-10.0f32..10.0, 1..64)
+}
+
+/// A batch of `n` random same-shaped frames drawn from a seeded generator —
+/// dependent shapes are awkward to express as strategies, so the strategy
+/// supplies dimensions plus a seed and the data comes from `StdRng`.
+fn random_frames(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tensor::uniform(Shape::nchw(1, c, h, w), -1.0, 1.0, &mut rng))
+        .collect()
+}
+
+/// Random `[oc, ic, k, k]` weights with roughly half the taps pruned by a
+/// seeded [`KernelMask`] — the sparse, mask-aware execution path.
+fn masked_weights(oc: usize, ic: usize, k: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let dense = Tensor::uniform(Shape::nchw(oc, ic, k, k), -0.8, 0.8, &mut rng);
+    let positions: Vec<(usize, usize)> = (0..k * k)
+        .filter(|i| (seed >> (i % 61)) & 1 == 1)
+        .map(|i| (i / k, i % k))
+        .collect();
+    KernelMask::from_positions(k, &positions)
+        .apply_to_weights(&dense)
+        .unwrap()
 }
 
 proptest! {
@@ -88,6 +119,116 @@ proptest! {
         let t = Tensor::from_vec(Shape::vector(data.len()), data).unwrap();
         let s = t.sparsity();
         prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn batched_conv2d_matches_serial_loop(
+        n in 1usize..6,
+        ic in 1usize..4,
+        oc in 1usize..4,
+        h in 3usize..8,
+        w in 3usize..8,
+        pad in 0usize..2,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let inputs = random_frames(n, ic, h, w, seed);
+        let weights = masked_weights(oc, ic, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let bias = Tensor::uniform(Shape::vector(oc), -0.3, 0.3, &mut rng);
+        let params = Conv2dParams { stride, padding: pad };
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let batched = conv2d_batch(&refs, &weights, Some(&bias), params).unwrap();
+        for (got, x) in batched.iter().zip(&inputs) {
+            let serial = conv2d(x, &weights, Some(&bias), params).unwrap();
+            prop_assert_eq!(got.as_slice(), serial.as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_linear_matches_serial_loop(
+        n in 1usize..6,
+        in_f in 1usize..10,
+        out_f in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::uniform(Shape::vector(in_f), -2.0, 2.0, &mut rng))
+            .collect();
+        let weights = Tensor::uniform(Shape::matrix(out_f, in_f), -1.0, 1.0, &mut rng);
+        let bias = Tensor::uniform(Shape::vector(out_f), -0.5, 0.5, &mut rng);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let batched = linear_batch(&refs, &weights, Some(&bias)).unwrap();
+        for (got, x) in batched.iter().zip(&inputs) {
+            let serial = linear(x, &weights, Some(&bias)).unwrap();
+            prop_assert_eq!(got.as_slice(), serial.as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_pooling_matches_serial_loop(
+        n in 1usize..6,
+        c in 1usize..4,
+        h in 2usize..8,
+        w in 2usize..8,
+        k in 1usize..3,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h >= k && w >= k);
+        let inputs = random_frames(n, c, h, w, seed);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let max_b = max_pool2d_batch(&refs, k, stride).unwrap();
+        let avg_b = avg_pool2d_batch(&refs, k, stride).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            prop_assert_eq!(max_b[i].as_slice(), max_pool2d(x, k, stride).unwrap().as_slice());
+            prop_assert_eq!(avg_b[i].as_slice(), avg_pool2d(x, k, stride).unwrap().as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_quantized_conv2d_matches_serial_loop(
+        n in 1usize..5,
+        ic in 1usize..3,
+        oc in 1usize..3,
+        h in 3usize..7,
+        w in 3usize..7,
+        wbits in 4u8..=8,
+        abits in 6u8..=12,
+        seed in any::<u64>(),
+    ) {
+        let inputs = random_frames(n, ic, h, w, seed);
+        let weights = QuantizedTensor::quantize(&masked_weights(oc, ic, 3, seed), wbits).unwrap();
+        let params = Conv2dParams::same(3);
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let batched = quantized_conv2d_batch(&refs, &weights, None, abits, params).unwrap();
+        for (got, x) in batched.iter().zip(&inputs) {
+            let serial = quantized_conv2d(x, &weights, None, abits, params).unwrap();
+            prop_assert_eq!(got.as_slice(), serial.as_slice());
+        }
+    }
+
+    #[test]
+    fn batched_quantized_linear_matches_serial_loop(
+        n in 1usize..5,
+        in_f in 1usize..9,
+        out_f in 1usize..5,
+        bits in 4u8..=10,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|_| Tensor::uniform(Shape::vector(in_f), -2.0, 2.0, &mut rng))
+            .collect();
+        let wf = Tensor::uniform(Shape::matrix(out_f, in_f), -1.0, 1.0, &mut rng);
+        let weights = QuantizedTensor::quantize(&wf, bits).unwrap();
+        let refs: Vec<&Tensor> = inputs.iter().collect();
+        let batched = quantized_linear_batch(&refs, &weights, None, bits).unwrap();
+        for (got, x) in batched.iter().zip(&inputs) {
+            let serial = quantized_linear(x, &weights, None, bits).unwrap();
+            prop_assert_eq!(got.as_slice(), serial.as_slice());
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use upaq_kitti::stream::{CameraFrameStream, FrameStream};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 use upaq_models::pretrain::fit_lidar_head;
 use upaq_models::smoke::{Smoke, SmokeConfig};
+use upaq_models::StreamingDetector;
 use upaq_runtime::{Pipeline, PipelineConfig, VariantLadder};
 
 #[test]
@@ -123,6 +124,117 @@ fn camera_streaming_detections_match_batch_bitwise() {
     let outcome = pipeline.run(stream.clone());
     assert_eq!(outcome.report.frames_completed, frames);
     assert_eq!(outcome.report.detector, "camera");
+    assert_eq!(outcome.detections.len(), frames as usize);
+
+    for (id, streamed) in &outcome.detections {
+        let batch = base.detect(&stream.frame(*id).data).unwrap();
+        assert_eq!(streamed, &batch, "frame {id} diverged from batch detection");
+    }
+}
+
+/// Batched execution is bit-identical to the serial path for every ladder
+/// rung (base / UPAQ LCK / UPAQ HCK) and every tested batch size. The
+/// batched kernels only hoist per-call setup across frames; the per-frame
+/// arithmetic order is untouched, so this must hold exactly — no epsilon.
+#[test]
+fn lidar_batched_detection_is_bit_identical_across_rungs() {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 3;
+    let stream = FrameStream::generate(&cfg, 47);
+    let clouds: Vec<_> = (0..7).map(|id| stream.frame(id).data).collect();
+
+    let base = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ladder = VariantLadder::build(base, &DeviceProfile::jetson_orin_nano(), 47).unwrap();
+    assert!(ladder.levels().len() >= 3, "ladder lost its rungs");
+
+    for (level, spec) in ladder.levels().iter().enumerate() {
+        let serial: Vec<_> = clouds
+            .iter()
+            .map(|c| spec.detector.detect(c).unwrap())
+            .collect();
+        for &k in &[1usize, 2, 4, 7] {
+            let mut done = 0;
+            for chunk in clouds.chunks(k) {
+                let batched = spec.detector.detect_batch(chunk).unwrap();
+                for (i, dets) in batched.iter().enumerate() {
+                    assert_eq!(
+                        dets,
+                        &serial[done + i],
+                        "rung {level} `{}` diverged at frame {} with batch size {k}",
+                        spec.name,
+                        done + i
+                    );
+                }
+                done += chunk.len();
+            }
+        }
+    }
+}
+
+/// The camera/SMOKE analogue of the batched bit-identity guarantee.
+#[test]
+fn camera_batched_detection_is_bit_identical_across_rungs() {
+    let smoke_cfg = SmokeConfig::tiny();
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 3;
+    cfg.camera = smoke_cfg.calib.clone();
+    let stream = CameraFrameStream::generate(&cfg, 47);
+    let images: Vec<_> = (0..7).map(|id| stream.frame(id).data).collect();
+
+    let base = Smoke::build(&smoke_cfg).unwrap();
+    let ladder = VariantLadder::build(base, &DeviceProfile::jetson_orin_nano(), 47).unwrap();
+    assert!(ladder.levels().len() >= 3, "ladder lost its rungs");
+
+    for (level, spec) in ladder.levels().iter().enumerate() {
+        let serial: Vec<_> = images
+            .iter()
+            .map(|c| spec.detector.detect(c).unwrap())
+            .collect();
+        for &k in &[1usize, 2, 4, 7] {
+            let mut done = 0;
+            for chunk in images.chunks(k) {
+                let batched = spec.detector.detect_batch(chunk).unwrap();
+                for (i, dets) in batched.iter().enumerate() {
+                    assert_eq!(
+                        dets,
+                        &serial[done + i],
+                        "rung {level} `{}` diverged at frame {} with batch size {k}",
+                        spec.name,
+                        done + i
+                    );
+                }
+                done += chunk.len();
+            }
+        }
+    }
+}
+
+/// A *batched* deterministic streaming run must still be bit-identical to
+/// per-frame batch `detect` — batching changes the execution grouping, not
+/// the arithmetic.
+#[test]
+fn batched_streaming_detections_match_batch_bitwise() {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 3;
+    let stream = FrameStream::generate(&cfg, 31);
+
+    let base = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+    let ladder =
+        VariantLadder::build(base.clone(), &DeviceProfile::jetson_orin_nano(), 31).unwrap();
+    let frames = 7u64;
+    let pipeline = Pipeline::new(
+        ladder,
+        PipelineConfig {
+            frames,
+            deterministic: true,
+            backbone_workers: 1,
+            queue_capacity: 4,
+            max_batch: 4,
+            ..PipelineConfig::default()
+        },
+    );
+    let outcome = pipeline.run(stream.clone());
+    assert_eq!(outcome.report.frames_completed, frames);
     assert_eq!(outcome.detections.len(), frames as usize);
 
     for (id, streamed) in &outcome.detections {
