@@ -1,22 +1,48 @@
 //! Forward execution of a [`Model`] over its computation graph.
 
-use crate::{Layer, LayerId, LayerKind, Model, NnError, Result};
+use crate::{Graph, Layer, LayerId, LayerKind, Model, NnError, Result};
 use std::collections::HashMap;
 use upaq_tensor::ops::{
-    batch_norm, conv2d_batch_into, conv2d_into, linear, max_pool2d, relu, Conv2dParams,
+    batch_norm_into, conv2d_batch_into, conv2d_into, conv2d_packed_batch_into, conv2d_packed_into,
+    linear_into, max_pool2d, max_pool2d_into, relu_into, Conv2dParams,
 };
 use upaq_tensor::{Shape, Tensor};
+
+/// The cached execution order for one model wiring: the derived graph and
+/// its topological order, keyed by [`Model::wiring_fingerprint`].
+#[derive(Debug)]
+struct Plan {
+    fingerprint: u64,
+    graph: Graph,
+    order: Vec<LayerId>,
+}
+
+impl Plan {
+    fn build(model: &Model, fingerprint: u64) -> Result<Plan> {
+        let graph = model.compute_graph();
+        let order = graph.topo_order()?;
+        Ok(Plan {
+            fingerprint,
+            graph,
+            order,
+        })
+    }
+}
 
 /// Reusable per-stream activation storage.
 ///
 /// A streaming runtime calls [`forward_into`] with the same workspace for
-/// every frame; convolution outputs (the dominant allocations) are then
-/// written into the previous frame's buffers instead of freshly allocated
-/// tensors. Results are bit-identical to [`forward`] — the buffers are
-/// fully overwritten and the arithmetic path is shared.
+/// every frame. Every layer's output is then written into the previous
+/// frame's buffer instead of a freshly allocated tensor, and the graph's
+/// topological order is computed once and cached — so the steady state
+/// performs no allocation at all (the first frame warms the buffers up).
+/// Results are bit-identical to [`forward`]: the buffers are fully
+/// overwritten and the arithmetic path is shared.
 #[derive(Debug, Default)]
 pub struct Workspace {
     acts: HashMap<LayerId, Tensor>,
+    plan: Option<Plan>,
+    last_fp: Option<u64>,
 }
 
 impl Workspace {
@@ -34,6 +60,25 @@ impl Workspace {
     /// frame reallocates).
     pub fn take(&mut self) -> HashMap<LayerId, Tensor> {
         std::mem::take(&mut self.acts)
+    }
+
+    /// Drops buffers recycled from a different wiring — layer ids would
+    /// otherwise alias across models and stale entries would linger in
+    /// [`Workspace::activations`].
+    fn reset_if_rewired(&mut self, fingerprint: u64) {
+        if self.last_fp != Some(fingerprint) {
+            self.acts.clear();
+            self.last_fp = Some(fingerprint);
+        }
+    }
+
+    /// The cached plan for `fingerprint`, moved out of the workspace so the
+    /// caller can hold it while mutating `acts`. Put it back when done.
+    fn plan_for(&mut self, model: &Model, fingerprint: u64) -> Result<Plan> {
+        match self.plan.take() {
+            Some(p) if p.fingerprint == fingerprint => Ok(p),
+            _ => Plan::build(model, fingerprint),
+        }
     }
 }
 
@@ -84,25 +129,41 @@ pub fn forward_into(
     inputs: &HashMap<String, Tensor>,
     ws: &mut Workspace,
 ) -> Result<()> {
-    let graph = model.compute_graph();
-    let order = graph.topo_order()?;
-    let mut recycled = std::mem::take(&mut ws.acts);
-    let mut acts: HashMap<LayerId, Tensor> = HashMap::with_capacity(model.len());
+    let fp = model.wiring_fingerprint();
+    ws.reset_if_rewired(fp);
+    let plan = ws.plan_for(model, fp)?;
+    // Evaluate in place: each layer's previous-frame buffer is removed,
+    // overwritten, and re-inserted. Topological order guarantees every
+    // predecessor read sees this frame's value.
+    let result = (|| {
+        for &id in &plan.order {
+            let layer = model.layer(id)?;
+            let in_ids = plan.graph.inputs_of(id);
+            let recycled = ws.acts.remove(&id);
+            let value = eval_layer(layer, in_ids, &ws.acts, inputs, recycled)?;
+            ws.acts.insert(id, value);
+        }
+        Ok(())
+    })();
+    ws.plan = Some(plan);
+    result
+}
 
-    for id in order {
-        let layer = model.layer(id)?;
-        let in_ids = graph.inputs_of(id);
-        let value = eval_layer(layer, in_ids, &acts, inputs, recycled.remove(&id))?;
-        acts.insert(id, value);
+/// Reuses `recycled` when its shape matches, otherwise allocates zeros.
+/// Only the reuse arm is exercised in the steady state; every caller fully
+/// overwrites the returned buffer.
+fn reuse_or_zeros(recycled: Option<Tensor>, shape: &Shape) -> Tensor {
+    match recycled {
+        Some(buf) if buf.shape() == shape => buf,
+        _ => Tensor::zeros(shape.clone()),
     }
-    ws.acts = acts;
-    Ok(())
 }
 
 /// Evaluates one layer for one frame. `recycled` is an optional buffer
-/// from a previous frame that convolution outputs may reuse when shapes
-/// line up. This is the single arithmetic path shared by [`forward_into`]
-/// and [`forward_batch_into`], which is what makes serial and batched
+/// from a previous frame that the layer's output reuses when shapes line
+/// up — in the steady state every branch runs allocation-free. This is
+/// the single arithmetic path shared by [`forward_into`] and
+/// [`forward_batch_into`], which is what makes serial and batched
 /// execution bit-identical per frame.
 fn eval_layer(
     layer: &Layer,
@@ -123,7 +184,13 @@ fn eval_layer(
                     t.shape()
                 )));
             }
-            t.clone()
+            match recycled {
+                Some(mut buf) if buf.shape() == t.shape() => {
+                    buf.as_mut_slice().copy_from_slice(t.as_slice());
+                    buf
+                }
+                _ => t.clone(),
+            }
         }
         LayerKind::Conv2d {
             out_channels,
@@ -133,9 +200,6 @@ fn eval_layer(
             ..
         } => {
             let x = &acts[&in_ids[0]];
-            let weights = layer
-                .weights()
-                .ok_or_else(|| missing(layer, "convolution weights"))?;
             let params = Conv2dParams {
                 stride: *stride,
                 padding: *padding,
@@ -147,33 +211,118 @@ fn eval_layer(
                 Some(buf) if buf.shape().dims() == expected => buf,
                 _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
             };
-            conv2d_into(x, weights, layer.bias(), params, &mut out)?;
+            if let Some(packed) = layer.packed() {
+                conv2d_packed_into(x, packed, layer.bias(), params, &mut out)?;
+            } else {
+                let weights = layer
+                    .weights()
+                    .ok_or_else(|| missing(layer, "convolution weights"))?;
+                conv2d_into(x, weights, layer.bias(), params, &mut out)?;
+            }
             out
         }
-        LayerKind::Linear { .. } => {
-            let x = acts[&in_ids[0]].flatten();
+        LayerKind::Linear { out_features, .. } => {
+            let x = &acts[&in_ids[0]];
             let weights = layer
                 .weights()
                 .ok_or_else(|| missing(layer, "linear weights"))?;
-            linear(&x, weights, layer.bias())?
+            let mut out = match recycled {
+                Some(buf) if buf.shape().rank() == 1 && buf.len() == *out_features => buf,
+                _ => Tensor::zeros(Shape::vector(*out_features)),
+            };
+            // The flat activation slice is what `flatten()` would produce;
+            // feeding it directly skips that copy.
+            linear_into(x.as_slice(), weights, layer.bias(), &mut out)?;
+            out
         }
         LayerKind::BatchNorm { .. } => {
+            let x = &acts[&in_ids[0]];
             let params = layer
                 .batch_norm_params()
                 .ok_or_else(|| missing(layer, "batch-norm parameters"))?;
-            batch_norm(&acts[&in_ids[0]], params)?
+            let mut out = reuse_or_zeros(recycled, x.shape());
+            batch_norm_into(x, params, &mut out)?;
+            out
         }
-        LayerKind::ReLU => relu(&acts[&in_ids[0]]),
-        LayerKind::MaxPool { kernel, stride } => max_pool2d(&acts[&in_ids[0]], *kernel, *stride)?,
-        LayerKind::Upsample { factor } => upsample_nearest(&acts[&in_ids[0]], *factor)?,
+        LayerKind::ReLU => {
+            let x = &acts[&in_ids[0]];
+            let mut out = reuse_or_zeros(recycled, x.shape());
+            relu_into(x, &mut out)?;
+            out
+        }
+        LayerKind::MaxPool { kernel, stride } => {
+            let x = &acts[&in_ids[0]];
+            let s = x.shape();
+            let well_formed = *kernel > 0
+                && *stride > 0
+                && s.rank() == 4
+                && s.dim(2) >= *kernel
+                && s.dim(3) >= *kernel;
+            if well_formed {
+                let oh = (s.dim(2) - *kernel) / *stride + 1;
+                let ow = (s.dim(3) - *kernel) / *stride + 1;
+                let expected = [1, s.dim(1), oh, ow];
+                let mut out = match recycled {
+                    Some(buf) if buf.shape().dims() == expected => buf,
+                    _ => Tensor::zeros(Shape::nchw(1, s.dim(1), oh, ow)),
+                };
+                max_pool2d_into(x, *kernel, *stride, &mut out)?;
+                out
+            } else {
+                // Let the allocating kernel produce its canonical error.
+                max_pool2d(x, *kernel, *stride)?
+            }
+        }
+        LayerKind::Upsample { factor } => {
+            upsample_nearest_eval(&acts[&in_ids[0]], *factor, recycled)?
+        }
         LayerKind::Add => {
             let a = &acts[&in_ids[0]];
             let b = &acts[&in_ids[1]];
-            a.add(b)?
+            if a.shape() == b.shape() {
+                let mut out = reuse_or_zeros(recycled, a.shape());
+                let (ad, bd) = (a.as_slice(), b.as_slice());
+                for (o, (x, y)) in out.as_mut_slice().iter_mut().zip(ad.iter().zip(bd)) {
+                    *o = x + y;
+                }
+                out
+            } else {
+                a.add(b)?
+            }
         }
         LayerKind::Concat => {
-            let tensors: Vec<&Tensor> = in_ids.iter().map(|i| &acts[i]).collect();
-            concat_channels(&tensors)?
+            let first = &acts[&in_ids[0]];
+            if first.shape().rank() != 4 {
+                return Err(NnError::BadWiring(format!(
+                    "concat expects NCHW, got {}",
+                    first.shape()
+                )));
+            }
+            let (h, w) = (first.shape().dim(2), first.shape().dim(3));
+            let mut total_c = 0;
+            for i in in_ids {
+                let s = acts[i].shape();
+                if s.rank() != 4 || s.dim(2) != h || s.dim(3) != w {
+                    return Err(NnError::BadWiring(format!(
+                        "concat spatial mismatch: {} vs {}×{}",
+                        s, h, w
+                    )));
+                }
+                total_c += s.dim(1);
+            }
+            let expected = [1, total_c, h, w];
+            let mut out = match recycled {
+                Some(buf) if buf.shape().dims() == expected => buf,
+                _ => Tensor::zeros(Shape::nchw(1, total_c, h, w)),
+            };
+            let odata = out.as_mut_slice();
+            let mut offset = 0;
+            for i in in_ids {
+                let src = acts[i].as_slice();
+                odata[offset..offset + src.len()].copy_from_slice(src);
+                offset += src.len();
+            }
+            out
         }
     })
 }
@@ -219,71 +368,77 @@ pub fn forward_batch_into(
     if n == 0 {
         return Ok(());
     }
-    let graph = model.compute_graph();
-    let order = graph.topo_order()?;
     while wss.len() < n {
         wss.push(Workspace::new());
     }
-    let mut recycled: Vec<HashMap<LayerId, Tensor>> = wss[..n]
-        .iter_mut()
-        .map(|w| std::mem::take(&mut w.acts))
-        .collect();
-    let mut frame_acts: Vec<HashMap<LayerId, Tensor>> = (0..n)
-        .map(|_| HashMap::with_capacity(model.len()))
-        .collect();
+    let fp = model.wiring_fingerprint();
+    for ws in wss[..n].iter_mut() {
+        ws.reset_if_rewired(fp);
+    }
+    // The plan cache lives in the first workspace; the frames share one
+    // graph traversal.
+    let plan = wss[0].plan_for(model, fp)?;
 
-    for id in order {
-        let layer = model.layer(id)?;
-        let in_ids = graph.inputs_of(id);
-        let mut batched = false;
-        if n > 1 {
-            if let LayerKind::Conv2d {
-                out_channels,
-                kernel,
-                stride,
-                padding,
-                ..
-            } = layer.kind()
-            {
-                let xs: Vec<&Tensor> = frame_acts.iter().map(|a| &a[&in_ids[0]]).collect();
-                if xs.iter().all(|x| x.shape() == xs[0].shape()) {
-                    let weights = layer
-                        .weights()
-                        .ok_or_else(|| missing(layer, "convolution weights"))?;
-                    let params = Conv2dParams {
-                        stride: *stride,
-                        padding: *padding,
-                    };
-                    let oh = params.out_size(xs[0].shape().dim(2), *kernel);
-                    let ow = params.out_size(xs[0].shape().dim(3), *kernel);
-                    let expected = [1, *out_channels, oh, ow];
-                    let mut outs: Vec<Tensor> = recycled
-                        .iter_mut()
-                        .map(|r| match r.remove(&id) {
-                            Some(buf) if buf.shape().dims() == expected => buf,
-                            _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
-                        })
-                        .collect();
-                    conv2d_batch_into(&xs, weights, layer.bias(), params, &mut outs)?;
-                    drop(xs);
-                    for (acts, out) in frame_acts.iter_mut().zip(outs) {
-                        acts.insert(id, out);
+    let result = (|| {
+        for &id in &plan.order {
+            let layer = model.layer(id)?;
+            let in_ids = plan.graph.inputs_of(id);
+            let mut batched = false;
+            if n > 1 {
+                if let LayerKind::Conv2d {
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    ..
+                } = layer.kind()
+                {
+                    let s0 = wss[0].acts[&in_ids[0]].shape();
+                    if wss[1..n].iter().all(|w| w.acts[&in_ids[0]].shape() == s0) {
+                        let params = Conv2dParams {
+                            stride: *stride,
+                            padding: *padding,
+                        };
+                        let oh = params.out_size(s0.dim(2), *kernel);
+                        let ow = params.out_size(s0.dim(3), *kernel);
+                        let expected = [1, *out_channels, oh, ow];
+                        let mut outs: Vec<Tensor> = wss[..n]
+                            .iter_mut()
+                            .map(|w| match w.acts.remove(&id) {
+                                Some(buf) if buf.shape().dims() == expected => buf,
+                                _ => Tensor::zeros(Shape::nchw(1, *out_channels, oh, ow)),
+                            })
+                            .collect();
+                        let xs: Vec<&Tensor> =
+                            wss[..n].iter().map(|w| &w.acts[&in_ids[0]]).collect();
+                        if let Some(packed) = layer.packed() {
+                            conv2d_packed_batch_into(&xs, packed, layer.bias(), params, &mut outs)?;
+                        } else {
+                            let weights = layer
+                                .weights()
+                                .ok_or_else(|| missing(layer, "convolution weights"))?;
+                            conv2d_batch_into(&xs, weights, layer.bias(), params, &mut outs)?;
+                        }
+                        drop(xs);
+                        for (w, out) in wss[..n].iter_mut().zip(outs) {
+                            w.acts.insert(id, out);
+                        }
+                        batched = true;
                     }
-                    batched = true;
+                }
+            }
+            if !batched {
+                for (i, w) in wss[..n].iter_mut().enumerate() {
+                    let recycled = w.acts.remove(&id);
+                    let value = eval_layer(layer, in_ids, &w.acts, &inputs[i], recycled)?;
+                    w.acts.insert(id, value);
                 }
             }
         }
-        if !batched {
-            for (i, acts) in frame_acts.iter_mut().enumerate() {
-                let value = eval_layer(layer, in_ids, acts, &inputs[i], recycled[i].remove(&id))?;
-                acts.insert(id, value);
-            }
-        }
-    }
-    for (ws, acts) in wss.iter_mut().zip(frame_acts) {
-        ws.acts = acts;
-    }
-    Ok(())
+        Ok(())
+    })();
+    wss[0].plan = Some(plan);
+    result
 }
 
 /// Convenience wrapper for single-input models: runs [`forward`] and returns
@@ -313,6 +468,16 @@ pub fn forward_single(model: &Model, input_name: &str, input: &Tensor) -> Result
 ///
 /// Returns [`NnError::BadWiring`] for zero factors or non-NCHW input.
 pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
+    upsample_nearest_eval(input, factor, None)
+}
+
+/// [`upsample_nearest`] with an optional recycled output buffer (reused
+/// when its shape matches).
+fn upsample_nearest_eval(
+    input: &Tensor,
+    factor: usize,
+    recycled: Option<Tensor>,
+) -> Result<Tensor> {
     if factor == 0 {
         return Err(NnError::BadWiring(
             "upsample factor must be non-zero".into(),
@@ -326,8 +491,12 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
     }
     let (c, h, w) = (s.dim(1), s.dim(2), s.dim(3));
     let (oh, ow) = (h * factor, w * factor);
+    let expected = [1, c, oh, ow];
     let idata = input.as_slice();
-    let mut out = Tensor::zeros(Shape::nchw(1, c, oh, ow));
+    let mut out = match recycled {
+        Some(buf) if buf.shape().dims() == expected => buf,
+        _ => Tensor::zeros(Shape::nchw(1, c, oh, ow)),
+    };
     let odata = out.as_mut_slice();
     for ch in 0..c {
         for y in 0..oh {

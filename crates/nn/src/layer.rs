@@ -2,7 +2,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 use upaq_tensor::ops::BatchNormParams;
+use upaq_tensor::packed::PackedConv;
 use upaq_tensor::{Shape, Tensor};
 
 /// Identifier of a layer inside one [`crate::Model`] — an index into the
@@ -90,13 +92,30 @@ impl LayerKind {
 ///
 /// Convolution weights use the `[out_c, in_c, kh, kw]` layout; linear
 /// weights use `[out_f, in_f]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Layer {
     name: String,
     kind: LayerKind,
     weights: Option<Tensor>,
     bias: Option<Tensor>,
     bn: Option<BatchNormParams>,
+    /// Cached sparse-tap form of `weights` for convolution layers, built by
+    /// [`Layer::pack`] and invalidated by every mutable weight access. An
+    /// `Arc` so cloned models (ladder rungs share the base) reuse one copy.
+    packed: Option<Arc<PackedConv>>,
+}
+
+/// `packed` is a derived cache, not part of the layer's identity — two
+/// layers with equal parameters are equal whether or not either has been
+/// packed.
+impl PartialEq for Layer {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.kind == other.kind
+            && self.weights == other.weights
+            && self.bias == other.bias
+            && self.bn == other.bn
+    }
 }
 
 impl Layer {
@@ -135,6 +154,7 @@ impl Layer {
             weights: Some(weights),
             bias: Some(bias),
             bn: None,
+            packed: None,
         }
     }
 
@@ -168,6 +188,7 @@ impl Layer {
             weights: Some(weights),
             bias: Some(bias),
             bn: None,
+            packed: None,
         }
     }
 
@@ -196,6 +217,7 @@ impl Layer {
             weights: Some(weights),
             bias: Some(bias),
             bn: None,
+            packed: None,
         }
     }
 
@@ -207,6 +229,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: Some(BatchNormParams::identity(channels)),
+            packed: None,
         }
     }
 
@@ -218,6 +241,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -229,6 +253,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -240,6 +265,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -251,6 +277,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -262,6 +289,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -272,6 +300,7 @@ impl Layer {
             weights: None,
             bias: None,
             bn: None,
+            packed: None,
         }
     }
 
@@ -291,8 +320,10 @@ impl Layer {
     }
 
     /// Mutable access to the weight tensor — the hook every compression
-    /// framework uses to write pruned/quantized kernels back.
+    /// framework uses to write pruned/quantized kernels back. Invalidates
+    /// the packed-tap cache: the caller may change any weight.
     pub fn weights_mut(&mut self) -> Option<&mut Tensor> {
+        self.packed = None;
         self.weights.as_mut()
     }
 
@@ -313,6 +344,25 @@ impl Layer {
             "replacement weights must preserve shape"
         );
         self.weights = Some(weights);
+        self.packed = None;
+    }
+
+    /// Builds (or rebuilds) the packed sparse-tap form of a convolution
+    /// layer's weights. A no-op for every other operator. Execution falls
+    /// back to the scan-per-call kernel when a layer is unpacked, so calling
+    /// this is purely a steady-state performance lever.
+    pub fn pack(&mut self) {
+        if matches!(self.kind, LayerKind::Conv2d { .. }) {
+            if let Some(w) = &self.weights {
+                self.packed = PackedConv::pack(w).ok().map(Arc::new);
+            }
+        }
+    }
+
+    /// The packed sparse-tap weights, when [`Layer::pack`] has run since the
+    /// last weight mutation.
+    pub fn packed(&self) -> Option<&PackedConv> {
+        self.packed.as_deref()
     }
 
     /// The bias vector, when present.
@@ -413,6 +463,35 @@ mod tests {
     fn set_weights_rejects_shape_change() {
         let mut l = Layer::conv2d("c", 1, 1, 3, 1, 1, 0);
         l.set_weights(Tensor::zeros(Shape::nchw(1, 1, 5, 5)));
+    }
+
+    #[test]
+    fn pack_builds_taps_and_mutation_invalidates() {
+        let mut l = Layer::conv2d("c", 2, 2, 3, 1, 1, 5);
+        assert!(l.packed().is_none());
+        l.pack();
+        let packed = l.packed().expect("conv layer packs");
+        assert_eq!(packed.nonzeros(), l.weights().unwrap().count_nonzero());
+
+        let shape = l.weights().unwrap().shape().clone();
+        l.set_weights(Tensor::zeros(shape));
+        assert!(l.packed().is_none(), "set_weights must invalidate");
+        l.pack();
+        assert!(l.packed().is_some());
+        let _ = l.weights_mut();
+        assert!(l.packed().is_none(), "weights_mut must invalidate");
+
+        let mut r = Layer::relu("r");
+        r.pack();
+        assert!(r.packed().is_none(), "pack is a conv-only operation");
+    }
+
+    #[test]
+    fn equality_ignores_packed_cache() {
+        let a = Layer::conv2d("c", 1, 1, 3, 1, 1, 9);
+        let mut b = a.clone();
+        b.pack();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -147,6 +147,33 @@ impl Model {
             .expect("model edges are validated at construction")
     }
 
+    /// FNV-1a hash of the wiring (layer count plus the ordered edge list).
+    ///
+    /// Execution workspaces key their cached [`Graph`] and topological
+    /// order on this value: layers and edges are append-only, so any two
+    /// models with the same fingerprint execute in the same order even
+    /// when their weights differ.
+    pub fn wiring_fingerprint(&self) -> u64 {
+        let prime: u64 = 0x100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = (h ^ self.layers.len() as u64).wrapping_mul(prime);
+        for &(src, dst) in &self.edges {
+            h = (h ^ src as u64).wrapping_mul(prime);
+            h = (h ^ dst as u64).wrapping_mul(prime);
+        }
+        h
+    }
+
+    /// Packs every convolution layer's weights into the sparse-tap form
+    /// consumed by the packed kernels (see [`Layer::pack`]). Call once
+    /// after compression finalizes weights; forward execution then skips
+    /// the per-call zero re-scan.
+    pub fn pack_weights(&mut self) {
+        for layer in &mut self.layers {
+            layer.pack();
+        }
+    }
+
     /// Total parameter count across all layers.
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(Layer::param_count).sum()
@@ -273,6 +300,31 @@ mod tests {
         let shape = m.layer(1).unwrap().weights().unwrap().shape().clone();
         m.layer_mut(1).unwrap().set_weights(Tensor::zeros(shape));
         assert!(m.sparsity() > 0.0);
+    }
+
+    #[test]
+    fn wiring_fingerprint_tracks_structure_not_weights() {
+        let a = tiny_model();
+        let mut b = tiny_model();
+        let shape = b.layer(1).unwrap().weights().unwrap().shape().clone();
+        b.layer_mut(1).unwrap().set_weights(Tensor::zeros(shape));
+        assert_eq!(a.wiring_fingerprint(), b.wiring_fingerprint());
+
+        let mut c = tiny_model();
+        c.add_layer(Layer::relu("extra"), &[3]).unwrap();
+        assert_ne!(a.wiring_fingerprint(), c.wiring_fingerprint());
+    }
+
+    #[test]
+    fn pack_weights_packs_every_conv() {
+        let mut m = tiny_model();
+        m.pack_weights();
+        for id in m.weighted_layers() {
+            let l = m.layer(id).unwrap();
+            if l.kernel_size().is_some() {
+                assert!(l.packed().is_some(), "conv `{}` unpacked", l.name());
+            }
+        }
     }
 
     #[test]

@@ -140,13 +140,19 @@ impl<D: StreamingDetector> VariantLadder<D> {
         )?;
         let base_score = score_ctx.efficiency_score(f32::INFINITY, &base_est);
 
+        // Every rung's convolution weights are packed once here, so the
+        // runtime's forward passes never re-scan kernels for zeros.
+        let mut base_det = base.clone();
+        let mut base_model = base.model().deep_copy();
+        base_model.pack_weights();
+        base_det.set_model(base_model);
         let mut levels = vec![VariantSpec {
             name: "base".into(),
             head,
             estimate: base_est.clone(),
             sqnr: f32::INFINITY,
             efficiency_score: base_score,
-            detector: Arc::new(base.clone()),
+            detector: Arc::new(base_det),
         }];
 
         let ctx = CompressionContext::new(device.clone(), shapes.clone(), seed)
@@ -164,7 +170,9 @@ impl<D: StreamingDetector> VariantLadder<D> {
             let ratio = model_sqnr(base.model(), &outcome.model)?;
             let score = score_ctx.efficiency_score(ratio, &est);
             let mut det = base.clone();
-            det.set_model(outcome.model);
+            let mut model = outcome.model;
+            model.pack_weights();
+            det.set_model(model);
             levels.push(VariantSpec {
                 name: compressor.name().to_string(),
                 head,

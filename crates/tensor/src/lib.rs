@@ -11,6 +11,9 @@
 //!   UPAQ `mp_quantizer` (Algorithm 6 of the paper);
 //! * [`sparse`] — kernel masks and sparse kernel views used by semi-structured
 //!   pattern pruning;
+//! * [`packed`] — per-kernel non-zero tap lists ([`packed::PackedConv`])
+//!   built once from the pruned weights so steady-state kernels stop
+//!   re-scanning for zeros;
 //! * [`ops`] — convolution, linear, pooling, normalization and activation
 //!   kernels, each with a dense path and a sparsity/bitwidth-aware path.
 //!
@@ -32,6 +35,7 @@ mod shape;
 mod tensor;
 
 pub mod ops;
+pub mod packed;
 pub mod quant;
 pub mod sparse;
 

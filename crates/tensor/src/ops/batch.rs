@@ -13,7 +13,9 @@
 //! for the backbone pass, then splits them again for per-frame decode, so
 //! per-frame buffers avoid a gather/scatter copy on both ends.
 
-use crate::ops::conv::Conv2dParams;
+use crate::ops::conv::{conv2d_channel, conv2d_packed_dims, Conv2dParams};
+use crate::ops::parallel::{parallel_for_chunks, SendPtr};
+use crate::packed::{PackedConv, PackedQuantConv, PackedTaps};
 use crate::quant::QuantizedTensor;
 use crate::{Result, Shape, Tensor, TensorError};
 
@@ -133,8 +135,30 @@ pub fn conv2d_batch_into(
             actual: wshape.rank(),
         });
     }
+    let packed = PackedConv::pack(weights)?;
+    conv2d_packed_batch_into(inputs, &packed, bias, params, outs)
+}
+
+/// [`conv2d_batch_into`] over weights packed once via
+/// [`PackedConv::pack`] — the steady-state batched path: no weight scan,
+/// no allocation, reused per-frame outputs. Frames are distributed over
+/// worker threads; each frame's arithmetic is exactly the single-frame
+/// kernel's, so results stay bit-identical at any thread count.
+///
+/// # Errors
+///
+/// All [`conv2d_batch_into`] error conditions (shapes validated against
+/// the packed dimensions).
+pub fn conv2d_packed_batch_into(
+    inputs: &[&Tensor],
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    outs: &mut [Tensor],
+) -> Result<()> {
     uniform_batch_dims(inputs)?;
-    let (out_c, oh, ow) = conv_dims(inputs[0], wshape.dims(), bias, params)?;
+    let (oh, ow) = conv2d_packed_dims(inputs[0], packed, bias, params)?;
+    let out_c = packed.out_c();
     if outs.len() != inputs.len() {
         return Err(TensorError::Invalid(format!(
             "batched conv2d got {} inputs but {} outputs",
@@ -152,69 +176,24 @@ pub fn conv2d_batch_into(
         }
     }
     let ishape = inputs[0].shape();
-    let (in_c, h, w) = (ishape.dim(1), ishape.dim(2), ishape.dim(3));
-    let (kh, kw) = (wshape.dim(2), wshape.dim(3));
-    let wdata = weights.as_slice();
-    for out in outs.iter_mut() {
-        out.as_mut_slice().fill(0.0);
-    }
-
+    let space = (ishape.dim(2), ishape.dim(3), oh, ow);
+    // No pre-zeroing: `conv2d_channel` writes every output element.
     let chan = oh * ow;
-    let mut taps: Vec<(usize, usize, f32)> = Vec::with_capacity(kh * kw);
-    for oc in 0..out_c {
-        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
-        for ic in 0..in_c {
-            // Fixed per-(oc, ic) work, done once per batch instead of once
-            // per frame: only surviving (non-zero) taps enter the hot loop,
-            // exactly as in the single-frame kernel.
-            let kbase = ((oc * in_c) + ic) * kh * kw;
-            taps.clear();
-            for r in 0..kh {
-                for c in 0..kw {
-                    let v = wdata[kbase + r * kw + c];
-                    if v != 0.0 {
-                        taps.push((r, c, v));
-                    }
-                }
-            }
-            if taps.is_empty() {
-                continue;
-            }
-            let ibase = ic * h * w;
-            for (input, out) in inputs.iter().zip(outs.iter_mut()) {
-                let idata = input.as_slice();
-                let ochan = &mut out.as_mut_slice()[oc * chan..(oc + 1) * chan];
-                for oy in 0..oh {
-                    let iy0 = oy * params.stride;
-                    for ox in 0..ow {
-                        let ix0 = ox * params.stride;
-                        let mut acc = 0.0f32;
-                        for &(r, c, wv) in &taps {
-                            let iy = iy0 + r;
-                            let ix = ix0 + c;
-                            if iy < params.padding || ix < params.padding {
-                                continue;
-                            }
-                            let iy = iy - params.padding;
-                            let ix = ix - params.padding;
-                            if iy >= h || ix >= w {
-                                continue;
-                            }
-                            acc += wv * idata[ibase + iy * w + ix];
-                        }
-                        ochan[oy * ow + ox] += acc;
-                    }
-                }
-            }
-        }
-        if bias_v != 0.0 {
-            for out in outs.iter_mut() {
-                for v in &mut out.as_mut_slice()[oc * chan..(oc + 1) * chan] {
-                    *v += bias_v;
-                }
-            }
-        }
+    if chan == 0 {
+        return Ok(());
     }
+    let base = SendPtr(outs.as_mut_ptr());
+    parallel_for_chunks(inputs.len(), move |f| {
+        // SAFETY: frame `f` exclusively owns `outs[f]`; the slice outlives
+        // the call because `parallel_for_chunks` blocks until done.
+        let out = unsafe { &mut *base.get().add(f) };
+        let idata = inputs[f].as_slice();
+        let odata = out.as_mut_slice();
+        for oc in 0..out_c {
+            let ochan = &mut odata[oc * chan..(oc + 1) * chan];
+            conv2d_channel(oc, idata, packed, bias, params, space, ochan);
+        }
+    });
     Ok(())
 }
 
@@ -334,11 +313,12 @@ pub fn quantized_conv2d_batch(
     uniform_batch_dims(inputs)?;
     let (out_c, oh, ow) = conv_dims(inputs[0], &wdims, bias, params)?;
     let ishape = inputs[0].shape();
-    let (in_c, h, w) = (ishape.dim(1), ishape.dim(2), ishape.dim(3));
-    let (kh, kw) = (wdims[2], wdims[3]);
+    let space = (ishape.dim(2), ishape.dim(3), oh, ow);
 
-    // Per-frame activation quantization: each frame keeps its own symmetric
-    // scale, matching the serial kernel's behaviour exactly.
+    // Integer weight taps packed once per call instead of re-scanned per
+    // (oc, ic) pair; per-frame activation quantization keeps each frame's
+    // own symmetric scale, matching the serial kernel's behaviour exactly.
+    let packed = PackedQuantConv::pack(weights)?;
     let quantized: Vec<QuantizedTensor> = inputs
         .iter()
         .map(|t| QuantizedTensor::quantize(t, act_bits))
@@ -348,63 +328,79 @@ pub fn quantized_conv2d_batch(
         .map(|_| Tensor::zeros(Shape::nchw(1, out_c, oh, ow)))
         .collect();
     let chan = oh * ow;
-    let wcodes = weights.codes();
-    let mut taps: Vec<(usize, usize, i64)> = Vec::with_capacity(kh * kw);
-    for oc in 0..out_c {
-        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
-        for ic in 0..in_c {
-            let kbase = ((oc * in_c) + ic) * kh * kw;
-            taps.clear();
-            for r in 0..kh {
-                for c in 0..kw {
-                    let q = wcodes[kbase + r * kw + c];
-                    if q != 0 {
-                        taps.push((r, c, i64::from(q)));
-                    }
-                }
-            }
-            if taps.is_empty() {
-                continue;
-            }
-            let ibase = ic * h * w;
-            for (qin, out) in quantized.iter().zip(outs.iter_mut()) {
-                let scale = weights.scale() * qin.scale();
-                let icodes = qin.codes();
-                let ochan = &mut out.as_mut_slice()[oc * chan..(oc + 1) * chan];
-                for oy in 0..oh {
-                    let iy0 = oy * params.stride;
-                    for ox in 0..ow {
-                        let ix0 = ox * params.stride;
-                        let mut acc = 0i64;
-                        for &(r, c, qv) in &taps {
-                            let iy = iy0 + r;
-                            let ix = ix0 + c;
-                            if iy < params.padding || ix < params.padding {
-                                continue;
-                            }
-                            let iy = iy - params.padding;
-                            let ix = ix - params.padding;
-                            if iy >= h || ix >= w {
-                                continue;
-                            }
-                            acc += qv * i64::from(icodes[ibase + iy * w + ix]);
-                        }
-                        // Integer accumulation, one rescale into the real
-                        // domain — the TensorRT-style int path.
-                        ochan[oy * ow + ox] += acc as f32 * scale;
-                    }
-                }
-            }
+    if chan == 0 {
+        return Ok(outs);
+    }
+    let packed = &packed;
+    let quantized = &quantized;
+    let base = SendPtr(outs.as_mut_ptr());
+    parallel_for_chunks(inputs.len(), move |f| {
+        // SAFETY: frame `f` exclusively owns `outs[f]`; the vector outlives
+        // the call because `parallel_for_chunks` blocks until done.
+        let out = unsafe { &mut *base.get().add(f) };
+        let qin = &quantized[f];
+        let scale = packed.scale() * qin.scale();
+        let icodes = qin.codes();
+        let odata = out.as_mut_slice();
+        for oc in 0..out_c {
+            let ochan = &mut odata[oc * chan..(oc + 1) * chan];
+            quantized_conv2d_channel(oc, icodes, packed, scale, bias, params, space, ochan);
         }
-        if bias_v != 0.0 {
-            for out in outs.iter_mut() {
-                for v in &mut out.as_mut_slice()[oc * chan..(oc + 1) * chan] {
-                    *v += bias_v;
+    });
+    Ok(outs)
+}
+
+/// One output channel of the int-domain convolution: `i64` accumulation
+/// over packed integer taps, one rescale per output element, bias after —
+/// exactly the serial kernel's per-element arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn quantized_conv2d_channel(
+    oc: usize,
+    icodes: &[i32],
+    packed: &PackedTaps<i64>,
+    scale: f32,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    space: (usize, usize, usize, usize),
+    ochan: &mut [f32],
+) {
+    let (h, w, oh, ow) = space;
+    let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+    for ic in 0..packed.in_c() {
+        let taps = packed.group(oc, ic);
+        if taps.is_empty() {
+            continue;
+        }
+        let ibase = ic * h * w;
+        for oy in 0..oh {
+            let iy0 = oy * params.stride;
+            for ox in 0..ow {
+                let ix0 = ox * params.stride;
+                let mut acc = 0i64;
+                for t in taps {
+                    let iy = iy0 + t.r as usize;
+                    let ix = ix0 + t.c as usize;
+                    if iy < params.padding || ix < params.padding {
+                        continue;
+                    }
+                    let iy = iy - params.padding;
+                    let ix = ix - params.padding;
+                    if iy >= h || ix >= w {
+                        continue;
+                    }
+                    acc += t.v * i64::from(icodes[ibase + iy * w + ix]);
                 }
+                // Integer accumulation, one rescale into the real
+                // domain — the TensorRT-style int path.
+                ochan[oy * ow + ox] += acc as f32 * scale;
             }
         }
     }
-    Ok(outs)
+    if bias_v != 0.0 {
+        for v in ochan {
+            *v += bias_v;
+        }
+    }
 }
 
 /// Batched [`quantized_linear`][crate::ops::quantized_linear]: per-frame

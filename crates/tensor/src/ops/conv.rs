@@ -1,5 +1,7 @@
 //! 2-D convolution with sparsity-aware inner loops.
 
+use super::parallel::{parallel_for_chunks, ExecMode, SendPtr, TensorParallel};
+use crate::packed::PackedConv;
 use crate::{Result, Shape, Tensor, TensorError};
 use serde::{Deserialize, Serialize};
 
@@ -63,8 +65,23 @@ pub fn conv2d(
     params: Conv2dParams,
 ) -> Result<Tensor> {
     let (out_c, oh, ow) = conv2d_out_dims(input, weights, bias, params)?;
+    // The zeroed buffer is load-bearing only for the reference branch,
+    // which accumulates; the packed kernel writes every element.
     let mut out = Tensor::zeros(Shape::nchw(1, out_c, oh, ow));
-    conv2d_into(input, weights, bias, params, &mut out)?;
+    let ishape = input.shape();
+    if TensorParallel::exec_mode() == ExecMode::SpawnPerCall {
+        conv2d_reference_accumulate(input, weights, bias, params, (oh, ow), out.as_mut_slice());
+        return Ok(out);
+    }
+    let packed = PackedConv::pack(weights)?;
+    conv2d_accumulate(
+        input.as_slice(),
+        &packed,
+        bias,
+        params,
+        (ishape.dim(2), ishape.dim(3), oh, ow),
+        out.as_mut_slice(),
+    );
     Ok(out)
 }
 
@@ -114,11 +131,165 @@ fn conv2d_out_dims(
 }
 
 /// One output channel of the convolution, written into its `oh*ow` slice.
-/// The per-element arithmetic (tap extraction, accumulation order, bias
-/// add) is identical whether channels run serially or on worker threads,
-/// so parallel and single-threaded execution are bit-identical.
-#[allow(clippy::too_many_arguments)]
-fn conv2d_channel(
+/// The per-element arithmetic (tap order, accumulation order, bias add)
+/// is identical whether channels run serially or on worker threads, so
+/// parallel and single-threaded execution are bit-identical — and packed
+/// taps replay the dense scan's row-major order exactly, so packed and
+/// dense execution are too.
+pub(super) fn conv2d_channel(
+    oc: usize,
+    idata: &[f32],
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    space: (usize, usize, usize, usize),
+    ochan: &mut [f32],
+) {
+    let (h, w, oh, ow) = space;
+    let (stride, pad) = (params.stride, params.padding);
+    let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+    // Interior output range: every tap of a `kh × kw` kernel lands inside
+    // the unpadded input, so the per-tap boundary checks are provably
+    // dead there and the inner loop drops them. Border pixels take the
+    // checked loop. The pixel-outer traversal writes each output exactly
+    // once (so callers need not pre-zero the buffer) and accumulates in
+    // the same sequence the pre-pool kernel used — per-`ic` local sums
+    // added in channel order, bias last — so no bits change.
+    let (oy_lo, oy_hi) = interior_range(oh, h, packed.kh(), stride, pad);
+    let (ox_lo, ox_hi) = interior_range(ow, w, packed.kw(), stride, pad);
+    let in_c = packed.in_c();
+    // Matching the historical order exactly: bias joins the sum last, and
+    // a zero bias performs no add at all (preserving even the sign of a
+    // negative-zero total).
+    let finish = |total: f32| if bias_v != 0.0 { total + bias_v } else { total };
+    // Boundary-checked fallback for border pixels.
+    let checked = |oy: usize, ox: usize| -> f32 {
+        let (iy0, ix0) = (oy * stride, ox * stride);
+        let mut total = 0.0f32;
+        for ic in 0..in_c {
+            let taps = packed.group(oc, ic);
+            if taps.is_empty() {
+                continue;
+            }
+            let ibase = ic * h * w;
+            let mut acc = 0.0f32;
+            for t in taps {
+                let iy = iy0 + t.r as usize;
+                let ix = ix0 + t.c as usize;
+                // Padding: translate to unpadded coordinates.
+                if iy < pad || ix < pad {
+                    continue;
+                }
+                let iy = iy - pad;
+                let ix = ix - pad;
+                if iy >= h || ix >= w {
+                    continue;
+                }
+                acc += t.v * idata[ibase + iy * w + ix];
+            }
+            total += acc;
+        }
+        total
+    };
+    // Interior pixels are register-blocked `LANES` wide: the per-pixel
+    // accumulators are fully independent, so blocking amortizes group
+    // lookups and loop control without touching any pixel's own
+    // floating-point sequence.
+    const LANES: usize = 4;
+    for oy in 0..oh {
+        let orow = oy * ow;
+        if oy < oy_lo || oy >= oy_hi {
+            for ox in 0..ow {
+                ochan[orow + ox] = finish(checked(oy, ox));
+            }
+            continue;
+        }
+        for ox in 0..ox_lo {
+            ochan[orow + ox] = finish(checked(oy, ox));
+        }
+        let row_in = (oy * stride - pad) * w;
+        let mut ox = ox_lo;
+        while ox + LANES <= ox_hi {
+            let pixel = row_in + ox * stride - pad;
+            let mut total = [0.0f32; LANES];
+            for ic in 0..in_c {
+                let taps = packed.group(oc, ic);
+                if taps.is_empty() {
+                    continue;
+                }
+                let p = ic * h * w + pixel;
+                let mut acc = [0.0f32; LANES];
+                for t in taps {
+                    let off = p + t.r as usize * w + t.c as usize;
+                    for (k, a) in acc.iter_mut().enumerate() {
+                        // SAFETY: all `LANES` pixels lie in the interior
+                        // (`ox + LANES <= ox_hi`), where `interior_range`
+                        // bounds `iy < h`, `ix < w` for every tap (tap
+                        // coords are `< kh × kw` by `PackedConv`
+                        // construction) and the caller validated
+                        // `idata.len() == in_c * h * w`.
+                        *a += t.v * unsafe { *idata.get_unchecked(off + k * stride) };
+                    }
+                }
+                for (t, a) in total.iter_mut().zip(acc) {
+                    *t += a;
+                }
+            }
+            for (k, t) in total.into_iter().enumerate() {
+                ochan[orow + ox + k] = finish(t);
+            }
+            ox += LANES;
+        }
+        while ox < ox_hi {
+            let p = row_in + ox * stride - pad;
+            let mut total = 0.0f32;
+            for ic in 0..in_c {
+                let taps = packed.group(oc, ic);
+                if taps.is_empty() {
+                    continue;
+                }
+                let base = ic * h * w + p;
+                let mut acc = 0.0f32;
+                for t in taps {
+                    // SAFETY: interior pixel — same invariant as the
+                    // blocked loop above.
+                    acc += t.v
+                        * unsafe { *idata.get_unchecked(base + t.r as usize * w + t.c as usize) };
+                }
+                total += acc;
+            }
+            ochan[orow + ox] = finish(total);
+            ox += 1;
+        }
+        for ox in ox_hi..ow {
+            ochan[orow + ox] = finish(checked(oy, ox));
+        }
+    }
+}
+
+/// Half-open output range `[lo, hi)` along one axis where a kernel of
+/// size `k` stays fully inside the unpadded input of size `i` — i.e.
+/// `o * stride - pad >= 0` and `o * stride - pad + k <= i` for every
+/// output coordinate `o` in the range.
+fn interior_range(out: usize, i: usize, k: usize, stride: usize, pad: usize) -> (usize, usize) {
+    let lo = pad.div_ceil(stride).min(out);
+    let hi = if i + pad >= k {
+        ((i + pad - k) / stride + 1).min(out)
+    } else {
+        lo
+    };
+    (lo, hi.max(lo))
+}
+
+/// The pre-pool convolution, preserved verbatim: per-call tap extraction
+/// (one `Vec` allocation per `(oc, ic)` kernel, every call) followed by
+/// the boundary-checked loop on every pixel. [`conv2d`] and
+/// [`conv2d_into`] dispatch here under [`ExecMode::SpawnPerCall`], so the
+/// baseline mode measures the full historical path — spawn dispatch,
+/// per-call weight scan, and the unsplit inner loop — while remaining
+/// bit-identical to the packed kernel (same taps, same order, same local
+/// accumulator). The bit-identity suites rely on it as the naive oracle.
+fn conv2d_reference_channel(
     oc: usize,
     idata: &[f32],
     wdata: &[f32],
@@ -129,8 +300,6 @@ fn conv2d_channel(
 ) {
     let (in_c, h, w, kh, kw, oh, ow) = dims;
     let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
-    // Pre-extract the non-zero weight taps per (out_c, in_c) kernel so the
-    // hot loop only visits surviving weights.
     for ic in 0..in_c {
         let kbase = ((oc * in_c) + ic) * kh * kw;
         let mut taps: Vec<(usize, usize, f32)> = Vec::with_capacity(kh * kw);
@@ -176,13 +345,118 @@ fn conv2d_channel(
     }
 }
 
+/// Distributes [`conv2d_reference_channel`] over output channels, exactly
+/// as the pre-pool implementation did. `input` and `weights` are the full
+/// rank-4 tensors (already validated by the caller).
+fn conv2d_reference_accumulate(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out_hw: (usize, usize),
+    odata: &mut [f32],
+) {
+    let (oh, ow) = out_hw;
+    let chan = oh * ow;
+    if chan == 0 {
+        return;
+    }
+    let (ishape, wshape) = (input.shape(), weights.shape());
+    let dims = (
+        ishape.dim(1),
+        ishape.dim(2),
+        ishape.dim(3),
+        wshape.dim(2),
+        wshape.dim(3),
+        oh,
+        ow,
+    );
+    let (idata, wdata) = (input.as_slice(), weights.as_slice());
+    let base = SendPtr(odata.as_mut_ptr());
+    parallel_for_chunks(wshape.dim(0), move |oc| {
+        // SAFETY: identical disjoint-slice argument as `conv2d_accumulate`.
+        let ochan = unsafe { std::slice::from_raw_parts_mut(base.get().add(oc * chan), chan) };
+        conv2d_reference_channel(oc, idata, wdata, bias, params, dims, ochan);
+    });
+}
+
+/// Accumulates the convolution of `idata` with `packed` into `odata`
+/// (which the caller has already zeroed or freshly allocated),
+/// distributing output channels over worker threads via
+/// [`parallel_for_chunks`].
+fn conv2d_accumulate(
+    idata: &[f32],
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    space: (usize, usize, usize, usize),
+    odata: &mut [f32],
+) {
+    let (_, _, oh, ow) = space;
+    let chan = oh * ow;
+    if chan == 0 {
+        return;
+    }
+    let base = SendPtr(odata.as_mut_ptr());
+    parallel_for_chunks(packed.out_c(), move |oc| {
+        // SAFETY: chunk `oc` derives the disjoint per-channel slice
+        // `odata[oc*chan .. (oc+1)*chan]`; the buffer outlives the call
+        // because `parallel_for_chunks` blocks until all chunks finish.
+        let ochan = unsafe { std::slice::from_raw_parts_mut(base.get().add(oc * chan), chan) };
+        conv2d_channel(oc, idata, packed, bias, params, space, ochan);
+    });
+}
+
+/// Validates a conv2d input/bias pair against packed weights and returns
+/// the output spatial size `(oh, ow)`.
+pub(super) fn conv2d_packed_dims(
+    input: &Tensor,
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<(usize, usize)> {
+    let ishape = input.shape();
+    if ishape.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: ishape.rank(),
+        });
+    }
+    if ishape.dim(0) != 1 {
+        return Err(TensorError::Invalid(
+            "conv2d supports batch size 1 only".into(),
+        ));
+    }
+    if ishape.dim(1) != packed.in_c() {
+        return Err(TensorError::ShapeMismatch {
+            left: ishape.dims().to_vec(),
+            right: vec![packed.out_c(), packed.in_c(), packed.kh(), packed.kw()],
+        });
+    }
+    if let Some(b) = bias {
+        if b.len() != packed.out_c() {
+            return Err(TensorError::Invalid(format!(
+                "bias length {} does not match {} output channels",
+                b.len(),
+                packed.out_c()
+            )));
+        }
+    }
+    Ok((
+        params.out_size(ishape.dim(2), packed.kh()),
+        params.out_size(ishape.dim(3), packed.kw()),
+    ))
+}
+
 /// [`conv2d`] into a caller-provided output tensor, so a streaming runtime
 /// can reuse activation buffers across frames instead of reallocating.
 ///
 /// When [`TensorParallel`][crate::ops::TensorParallel] is configured with
-/// more than one thread, output channels are distributed over scoped
-/// worker threads. Each channel's slice is disjoint and its arithmetic
-/// order unchanged, so results are bit-identical to serial execution.
+/// more than one thread, output channels are distributed over the worker
+/// pool (or per-call spawned threads, depending on
+/// [`ExecMode`][crate::ops::ExecMode]). Each channel's slice is disjoint
+/// and its arithmetic order unchanged, so results are bit-identical to
+/// serial execution.
 ///
 /// # Errors
 ///
@@ -196,7 +470,40 @@ pub fn conv2d_into(
     out: &mut Tensor,
 ) -> Result<()> {
     let (out_c, oh, ow) = conv2d_out_dims(input, weights, bias, params)?;
-    let expected = [1, out_c, oh, ow];
+    if TensorParallel::exec_mode() == ExecMode::SpawnPerCall {
+        let expected = [1, out_c, oh, ow];
+        if out.shape().dims() != expected {
+            return Err(TensorError::ShapeMismatch {
+                left: expected.to_vec(),
+                right: out.shape().dims().to_vec(),
+            });
+        }
+        let odata = out.as_mut_slice();
+        odata.fill(0.0);
+        conv2d_reference_accumulate(input, weights, bias, params, (oh, ow), odata);
+        return Ok(());
+    }
+    let packed = PackedConv::pack(weights)?;
+    conv2d_packed_into(input, &packed, bias, params, out)
+}
+
+/// [`conv2d_into`] over weights packed once via [`PackedConv::pack`] —
+/// the steady-state path: no weight scan, no allocation, reused output.
+///
+/// # Errors
+///
+/// All [`conv2d`] error conditions (shapes are validated against the
+/// packed dimensions), plus [`TensorError::ShapeMismatch`] when `out`
+/// does not have the expected output shape.
+pub fn conv2d_packed_into(
+    input: &Tensor,
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out: &mut Tensor,
+) -> Result<()> {
+    let (oh, ow) = conv2d_packed_dims(input, packed, bias, params)?;
+    let expected = [1, packed.out_c(), oh, ow];
     if out.shape().dims() != expected {
         return Err(TensorError::ShapeMismatch {
             left: expected.to_vec(),
@@ -204,43 +511,16 @@ pub fn conv2d_into(
         });
     }
     let ishape = input.shape();
-    let wshape = weights.shape();
-    let dims = (
-        ishape.dim(1),
-        ishape.dim(2),
-        ishape.dim(3),
-        wshape.dim(2),
-        wshape.dim(3),
-        oh,
-        ow,
+    let space = (ishape.dim(2), ishape.dim(3), oh, ow);
+    // No pre-zeroing: `conv2d_channel` writes every output element.
+    conv2d_accumulate(
+        input.as_slice(),
+        packed,
+        bias,
+        params,
+        space,
+        out.as_mut_slice(),
     );
-    let idata = input.as_slice();
-    let wdata = weights.as_slice();
-    let odata = out.as_mut_slice();
-    odata.fill(0.0);
-
-    let threads = super::TensorParallel::threads().min(out_c.max(1));
-    let chan = oh * ow;
-    if threads <= 1 || out_c <= 1 || chan == 0 {
-        for (oc, ochan) in odata.chunks_mut(chan.max(1)).enumerate() {
-            conv2d_channel(oc, idata, wdata, bias, params, dims, ochan);
-        }
-        return Ok(());
-    }
-
-    // Split the output channels into one contiguous run per worker; the
-    // chunks are disjoint `&mut` slices, so no synchronisation is needed.
-    let per_worker = out_c.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (w_idx, worker_chunk) in odata.chunks_mut(per_worker * chan).enumerate() {
-            scope.spawn(move || {
-                let oc0 = w_idx * per_worker;
-                for (i, ochan) in worker_chunk.chunks_mut(chan).enumerate() {
-                    conv2d_channel(oc0 + i, idata, wdata, bias, params, dims, ochan);
-                }
-            });
-        }
-    });
     Ok(())
 }
 

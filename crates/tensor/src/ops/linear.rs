@@ -18,13 +18,21 @@ pub fn linear(input: &Tensor, weights: &Tensor, bias: Option<&Tensor>) -> Result
             actual: input.shape().rank(),
         });
     }
+    let out_f = weights_out_features(input.len(), weights, bias)?;
+    let mut out = Tensor::zeros(crate::Shape::vector(out_f));
+    linear_into(input.as_slice(), weights, bias, &mut out)?;
+    Ok(out)
+}
+
+/// Validates `weights`/`bias` against an `in_f`-length input and returns
+/// the output feature count.
+fn weights_out_features(in_f: usize, weights: &Tensor, bias: Option<&Tensor>) -> Result<usize> {
     if weights.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
             actual: weights.shape().rank(),
         });
     }
-    let in_f = input.len();
     let (out_f, w_in) = (weights.shape().dim(0), weights.shape().dim(1));
     if w_in != in_f {
         return Err(TensorError::ShapeMismatch {
@@ -40,20 +48,45 @@ pub fn linear(input: &Tensor, weights: &Tensor, bias: Option<&Tensor>) -> Result
             });
         }
     }
-    let x = input.as_slice();
+    Ok(out_f)
+}
+
+/// [`linear`] over a flat input slice into a caller-provided rank-1
+/// output tensor — the zero-allocation steady-state path. Taking the
+/// input as a slice lets DAG executors feed flattened NCHW activations
+/// without materializing an intermediate rank-1 tensor.
+///
+/// # Errors
+///
+/// All [`linear`] shape error conditions, plus
+/// [`TensorError::ShapeMismatch`] when `out` is not rank-1 of length
+/// `out_f`.
+pub fn linear_into(
+    input: &[f32],
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    out: &mut Tensor,
+) -> Result<()> {
+    let in_f = input.len();
+    let out_f = weights_out_features(in_f, weights, bias)?;
+    if out.shape().rank() != 1 || out.len() != out_f {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![out_f],
+            right: out.shape().dims().to_vec(),
+        });
+    }
     let w = weights.as_slice();
-    let mut out = vec![0.0f32; out_f];
-    for (o, out_v) in out.iter_mut().enumerate() {
+    for (o, out_v) in out.as_mut_slice().iter_mut().enumerate() {
         let row = &w[o * in_f..(o + 1) * in_f];
         let mut acc = 0.0;
-        for (wv, xv) in row.iter().zip(x) {
+        for (wv, xv) in row.iter().zip(input) {
             if *wv != 0.0 {
                 acc += wv * xv;
             }
         }
         *out_v = acc + bias.map_or(0.0, |b| b.as_slice()[o]);
     }
-    Tensor::from_vec(crate::Shape::vector(out_f), out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -87,6 +120,19 @@ mod tests {
         let x2 = Tensor::zeros(Shape::vector(2));
         let bad_b = Tensor::zeros(Shape::vector(3));
         assert!(linear(&x2, &w, Some(&bad_b)).is_err());
+    }
+
+    #[test]
+    fn into_variant_matches_and_checks_shape() {
+        let x = Tensor::from_vec(Shape::vector(2), vec![1.0, 2.0]).unwrap();
+        let w = Tensor::from_vec(Shape::matrix(3, 2), vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(Shape::vector(3), vec![10.0, 20.0, 30.0]).unwrap();
+        let fresh = linear(&x, &w, Some(&b)).unwrap();
+        let mut reused = Tensor::full(Shape::vector(3), -4.0);
+        linear_into(x.as_slice(), &w, Some(&b), &mut reused).unwrap();
+        assert_eq!(fresh.as_slice(), reused.as_slice());
+        let mut bad = Tensor::zeros(Shape::vector(4));
+        assert!(linear_into(x.as_slice(), &w, Some(&b), &mut bad).is_err());
     }
 
     #[test]

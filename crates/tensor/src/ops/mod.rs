@@ -18,14 +18,14 @@ mod parallel;
 mod pool;
 mod quantized;
 
-pub use activation::{leaky_relu, relu, sigmoid};
+pub use activation::{leaky_relu, relu, relu_into, sigmoid};
 pub use batch::{
-    avg_pool2d_batch, conv2d_batch, conv2d_batch_into, linear_batch, max_pool2d_batch,
-    quantized_conv2d_batch, quantized_linear_batch,
+    avg_pool2d_batch, conv2d_batch, conv2d_batch_into, conv2d_packed_batch_into, linear_batch,
+    max_pool2d_batch, quantized_conv2d_batch, quantized_linear_batch,
 };
-pub use conv::{conv2d, conv2d_into, Conv2dParams};
-pub use linear::linear;
-pub use norm::{batch_norm, BatchNormParams};
-pub use parallel::TensorParallel;
-pub use pool::{avg_pool2d, max_pool2d};
+pub use conv::{conv2d, conv2d_into, conv2d_packed_into, Conv2dParams};
+pub use linear::{linear, linear_into};
+pub use norm::{batch_norm, batch_norm_into, BatchNormParams};
+pub use parallel::{parallel_for_chunks, ExecMode, TensorParallel};
+pub use pool::{avg_pool2d, max_pool2d, max_pool2d_into};
 pub use quantized::{quantized_conv2d, quantized_linear};

@@ -61,6 +61,21 @@ impl BatchNormParams {
 /// [`TensorError::ShapeMismatch`] when the channel count differs from the
 /// parameter vectors.
 pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor> {
+    let mut out = input.clone();
+    batch_norm_into(input, params, &mut out)?;
+    Ok(out)
+}
+
+/// [`batch_norm`] into a caller-provided same-shaped tensor. The folded
+/// per-channel `(scale, shift)` is computed inline with the exact
+/// [`BatchNormParams::folded`] arithmetic, so this path is bit-identical
+/// to [`batch_norm`] while allocating nothing.
+///
+/// # Errors
+///
+/// All [`batch_norm`] error conditions, plus
+/// [`TensorError::ShapeMismatch`] when `out` differs in shape.
+pub fn batch_norm_into(input: &Tensor, params: &BatchNormParams, out: &mut Tensor) -> Result<()> {
     let shape = input.shape();
     if shape.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -75,15 +90,24 @@ pub fn batch_norm(input: &Tensor, params: &BatchNormParams) -> Result<Tensor> {
             right: vec![shape.dim(0), params.channels(), h, w],
         });
     }
-    let folded = params.folded();
-    let mut out = input.clone();
-    let data = out.as_mut_slice();
-    for (ch, &(scale, shift)) in folded.iter().enumerate() {
-        for v in &mut data[ch * h * w..(ch + 1) * h * w] {
-            *v = scale * *v + shift;
+    if out.shape() != shape {
+        return Err(TensorError::ShapeMismatch {
+            left: shape.dims().to_vec(),
+            right: out.shape().dims().to_vec(),
+        });
+    }
+    let idata = input.as_slice();
+    let odata = out.as_mut_slice();
+    for ch in 0..c {
+        let inv_std = 1.0 / (params.var[ch] + params.eps).sqrt();
+        let scale = params.gamma[ch] * inv_std;
+        let shift = params.beta[ch] - params.mean[ch] * scale;
+        let base = ch * h * w;
+        for i in 0..h * w {
+            odata[base + i] = scale * idata[base + i] + shift;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -133,6 +157,24 @@ mod tests {
         assert!(batch_norm(&t, &BatchNormParams::identity(2)).is_err());
         let bad = Tensor::zeros(Shape::matrix(2, 2));
         assert!(batch_norm(&bad, &BatchNormParams::identity(2)).is_err());
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_and_checks_shape() {
+        let params = BatchNormParams {
+            gamma: vec![2.0, 0.5],
+            beta: vec![-1.0, 3.0],
+            mean: vec![5.0, -2.0],
+            var: vec![9.0, 0.25],
+            eps: 1e-5,
+        };
+        let t = Tensor::from_vec(Shape::nchw(1, 2, 1, 2), vec![8.0, -3.5, 0.25, 100.0]).unwrap();
+        let fresh = batch_norm(&t, &params).unwrap();
+        let mut reused = Tensor::full(Shape::nchw(1, 2, 1, 2), 7.0);
+        batch_norm_into(&t, &params, &mut reused).unwrap();
+        assert_eq!(fresh.as_slice(), reused.as_slice());
+        let mut bad = Tensor::zeros(Shape::nchw(1, 2, 2, 2));
+        assert!(batch_norm_into(&t, &params, &mut bad).is_err());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Process-wide kernel parallelism configuration.
+//! Process-wide kernel parallelism: configuration and the persistent
+//! worker pool.
 //!
 //! Kernels are single-threaded by default so determinism tests and
 //! benchmarks measure the serial arithmetic. The streaming runtime (or a
@@ -6,10 +7,49 @@
 //! count; kernels that honour it split work into disjoint output regions
 //! with unchanged per-element arithmetic, so results stay bit-identical
 //! at any setting.
+//!
+//! Two execution modes back [`parallel_for_chunks`]:
+//!
+//! * [`ExecMode::Pool`] (default) — a process-wide pool of parked worker
+//!   threads and a chunked work queue. Submitting a kernel wakes the
+//!   workers, every participant (including the submitting thread) claims
+//!   chunk indices from a shared counter, and the submitter blocks until
+//!   all chunks have completed. No OS threads are created in steady
+//!   state.
+//! * [`ExecMode::SpawnPerCall`] — the historical behaviour: a fresh
+//!   `std::thread::scope` spawn of `threads` workers per kernel call.
+//!   Kept selectable so benchmarks can measure the pool against the
+//!   spawn-per-call baseline honestly.
+//!
+//! Chunks are claimed dynamically, so which thread runs a chunk is
+//! nondeterministic — but every chunk writes a disjoint output region in
+//! unchanged arithmetic order, so results are bit-identical across modes
+//! and thread counts.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static THREADS: AtomicUsize = AtomicUsize::new(1);
+static MODE: AtomicU8 = AtomicU8::new(ExecMode::Pool as u8);
+
+/// Hard cap on persistent pool workers: thread counts above this still
+/// execute correctly (chunk claiming just has fewer claimants), without
+/// letting a stress test park hundreds of idle OS threads.
+const MAX_POOL_WORKERS: usize = 15;
+
+/// How kernels distribute chunk work across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ExecMode {
+    /// Persistent parked worker pool (default): no thread spawns after
+    /// the pool has grown to the configured size.
+    Pool = 0,
+    /// Spawn a scoped thread per worker on every kernel call — the
+    /// pre-pool baseline, kept for benchmark comparisons.
+    SpawnPerCall = 1,
+}
 
 /// Global switch for intra-kernel worker threads.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +65,236 @@ impl TensorParallel {
     /// The configured worker-thread count (default 1: serial).
     pub fn threads() -> usize {
         THREADS.load(Ordering::Relaxed)
+    }
+
+    /// Selects how multi-threaded kernels execute (default [`ExecMode::Pool`]).
+    pub fn set_exec_mode(mode: ExecMode) {
+        MODE.store(mode as u8, Ordering::Relaxed);
+    }
+
+    /// The configured execution mode.
+    pub fn exec_mode() -> ExecMode {
+        if MODE.load(Ordering::Relaxed) == ExecMode::SpawnPerCall as u8 {
+            ExecMode::SpawnPerCall
+        } else {
+            ExecMode::Pool
+        }
+    }
+}
+
+/// A raw-pointer wrapper that lets chunk closures derive disjoint `&mut`
+/// slices of one output buffer from worker threads. The caller guarantees
+/// disjointness (each chunk index maps to its own region).
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// Manual impls: a derive would bound on `T: Copy`, but the pointee type
+// is irrelevant to copying the pointer itself.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: `SendPtr` is only used to hand a base pointer to chunk tasks
+// that write disjoint regions while the submitting call frame keeps the
+// underlying buffer alive and blocked from other access.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// One submitted kernel: an erased task closure plus chunk-claim and
+/// completion counters.
+struct Job {
+    /// Borrowed task, lifetime-erased. SAFETY: the submitter blocks in
+    /// `run_on_pool` until `pending` hits zero, so the borrow outlives
+    /// every dereference.
+    task: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    next: AtomicUsize,
+    pending: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+// SAFETY: the raw task pointer is only dereferenced while the submitting
+// call frame (which owns the pointee) is blocked waiting for completion.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals parked workers that the queue is non-empty.
+    work_cv: Condvar,
+    /// Signals submitters that some job's `pending` reached zero.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    /// Workers spawned so far (monotone; workers never exit).
+    workers: usize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    })
+}
+
+/// Claims and runs chunks of `job` until the claim counter is exhausted.
+/// Panics inside the task are caught (the worker must survive) and
+/// re-raised on the submitting thread.
+fn run_chunks(p: &Pool, job: &Job) {
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.total {
+            return;
+        }
+        // SAFETY: see `Job::task` — the submitter keeps the closure alive
+        // until `pending` reaches zero, which cannot happen before this
+        // chunk's decrement below.
+        let task = unsafe { &*job.task };
+        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+            job.panicked.store(true, Ordering::Relaxed);
+        }
+        // Release pairs with the submitter's Acquire load: chunk writes
+        // become visible once it observes the final decrement (RMW
+        // release sequences cover every earlier decrement too).
+        if job.pending.fetch_sub(1, Ordering::Release) == 1 {
+            drop(p.done_lock.lock().unwrap());
+            p.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(p: &'static Pool) {
+    loop {
+        let job = {
+            let mut st = p.state.lock().unwrap();
+            loop {
+                // Drop fully-claimed jobs; stragglers keep their own Arc.
+                while let Some(front) = st.queue.front() {
+                    if front.next.load(Ordering::Relaxed) >= front.total {
+                        st.queue.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                if let Some(front) = st.queue.front() {
+                    break front.clone();
+                }
+                st = p.work_cv.wait(st).unwrap();
+            }
+        };
+        run_chunks(p, &job);
+    }
+}
+
+/// Runs `task(0..total)` on the persistent pool, blocking until every
+/// chunk has completed. The submitting thread participates in chunk
+/// claiming, so progress never depends on pool workers being scheduled.
+fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
+    // Clamp helpers to the machine: a pool never oversubscribes, so a
+    // thread count above the core count degenerates to the serial loop
+    // instead of paying wake/context-switch churn for no parallelism.
+    // (Spawn-per-call mode deliberately keeps the unclamped historical
+    // behaviour.) Results are bit-identical either way — chunks are
+    // self-contained — so this only moves overhead, never values.
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let helpers = TensorParallel::threads()
+        .min(hw)
+        .saturating_sub(1)
+        .min(MAX_POOL_WORKERS);
+    if helpers == 0 {
+        for i in 0..total {
+            task(i);
+        }
+        return;
+    }
+    let p = pool();
+    // SAFETY: lifetime erasure only — `task` outlives this frame, and
+    // this frame blocks until all chunk executions are done.
+    let task: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(task) };
+    let job = Arc::new(Job {
+        task,
+        total,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(total),
+        panicked: AtomicBool::new(false),
+    });
+    {
+        let mut st = p.state.lock().unwrap();
+        let target = helpers;
+        while st.workers < target {
+            st.workers += 1;
+            std::thread::Builder::new()
+                .name("upaq-tensor-pool".into())
+                .spawn(move || worker_loop(p))
+                .expect("spawn tensor pool worker");
+        }
+        st.queue.push_back(job.clone());
+    }
+    p.work_cv.notify_all();
+    run_chunks(p, &job);
+    let mut guard = p.done_lock.lock().unwrap();
+    while job.pending.load(Ordering::Acquire) != 0 {
+        guard = p.done_cv.wait(guard).unwrap();
+    }
+    drop(guard);
+    if job.panicked.load(Ordering::Relaxed) {
+        panic!("tensor worker-pool task panicked");
+    }
+}
+
+/// Runs `f(0)`, `f(1)`, …, `f(total - 1)`, distributing chunk indices
+/// over worker threads when [`TensorParallel::threads`] is above one.
+///
+/// Chunk-to-thread assignment is dynamic, so callers must make each chunk
+/// write a disjoint output region in self-contained arithmetic order —
+/// then results are bit-identical to the serial loop at any thread count
+/// and in either [`ExecMode`].
+///
+/// Panics raised by `f` propagate to the caller in both modes.
+pub fn parallel_for_chunks<F: Fn(usize) + Sync>(total: usize, f: F) {
+    let threads = TensorParallel::threads().min(total);
+    if threads <= 1 {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    match TensorParallel::exec_mode() {
+        ExecMode::Pool => run_on_pool(total, &f),
+        ExecMode::SpawnPerCall => {
+            // The pre-pool baseline: `threads` scoped spawns per call.
+            let next = AtomicUsize::new(0);
+            let claim = |next: &AtomicUsize| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    return;
+                }
+                f(i);
+            };
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| claim(&next));
+                }
+            });
+        }
     }
 }
 
@@ -42,5 +312,19 @@ mod tests {
         TensorParallel::set_threads(4);
         assert_eq!(TensorParallel::threads(), 4);
         TensorParallel::set_threads(1);
+        assert_eq!(TensorParallel::exec_mode(), ExecMode::Pool);
+    }
+
+    #[test]
+    fn serial_chunks_run_in_order() {
+        // threads = 1 (the default) takes the plain serial path.
+        let seen = Mutex::new(Vec::new());
+        parallel_for_chunks(4, |i| seen.lock().unwrap().push(i));
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_chunks_is_a_no_op() {
+        parallel_for_chunks(0, |_| panic!("must not run"));
     }
 }

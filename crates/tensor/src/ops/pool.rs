@@ -2,14 +2,12 @@
 
 use crate::{Result, Shape, Tensor, TensorError};
 
-fn pool2d(
+/// Validates pooling operands and returns `(c, h, w, oh, ow)`.
+fn pool2d_dims(
     input: &Tensor,
     k: usize,
     stride: usize,
-    init: f32,
-    fold: impl Fn(f32, f32) -> f32,
-    finish: impl Fn(f32, usize) -> f32,
-) -> Result<Tensor> {
+) -> Result<(usize, usize, usize, usize, usize)> {
     let shape = input.shape();
     if shape.rank() != 4 {
         return Err(TensorError::RankMismatch {
@@ -35,8 +33,27 @@ fn pool2d(
     }
     let oh = (h - k) / stride + 1;
     let ow = (w - k) / stride + 1;
+    Ok((c, h, w, oh, ow))
+}
+
+fn pool2d_into(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    init: f32,
+    fold: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+    out: &mut Tensor,
+) -> Result<()> {
+    let (c, h, w, oh, ow) = pool2d_dims(input, k, stride)?;
+    let expected = [1, c, oh, ow];
+    if out.shape().dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: expected.to_vec(),
+            right: out.shape().dims().to_vec(),
+        });
+    }
     let idata = input.as_slice();
-    let mut out = Tensor::zeros(Shape::nchw(1, c, oh, ow));
     let odata = out.as_mut_slice();
     for ch in 0..c {
         let ibase = ch * h * w;
@@ -54,6 +71,20 @@ fn pool2d(
             }
         }
     }
+    Ok(())
+}
+
+fn pool2d(
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    init: f32,
+    fold: impl Fn(f32, f32) -> f32,
+    finish: impl Fn(f32, usize) -> f32,
+) -> Result<Tensor> {
+    let (c, _, _, oh, ow) = pool2d_dims(input, k, stride)?;
+    let mut out = Tensor::zeros(Shape::nchw(1, c, oh, ow));
+    pool2d_into(input, k, stride, init, fold, finish, &mut out)?;
     Ok(out)
 }
 
@@ -65,6 +96,25 @@ fn pool2d(
 /// larger than the input.
 pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> Result<Tensor> {
     pool2d(input, k, stride, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+}
+
+/// [`max_pool2d`] into a caller-provided output tensor — the
+/// zero-allocation steady-state path.
+///
+/// # Errors
+///
+/// All [`max_pool2d`] error conditions, plus
+/// [`TensorError::ShapeMismatch`] when `out` has the wrong shape.
+pub fn max_pool2d_into(input: &Tensor, k: usize, stride: usize, out: &mut Tensor) -> Result<()> {
+    pool2d_into(
+        input,
+        k,
+        stride,
+        f32::NEG_INFINITY,
+        f32::max,
+        |acc, _| acc,
+        out,
+    )
 }
 
 /// Average-pooling with a `k × k` window and the given stride.

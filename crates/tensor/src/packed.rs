@@ -1,0 +1,238 @@
+//! Packed sparse convolution weights.
+//!
+//! The pattern pruner fixes each kernel's zero structure at compression
+//! time, yet the direct conv kernels historically re-scanned the dense
+//! weight tensor for non-zero taps on **every** invocation. Packing hoists
+//! that scan out of the per-frame loop: [`PackedConv`] (and its int-domain
+//! twin [`PackedQuantConv`]) stores, per `(out_c, in_c)` kernel, the list
+//! of surviving taps `(row, col, value)` in the exact row-major order the
+//! dense scan produced — so a kernel consuming the packed form performs
+//! bit-identical arithmetic to one scanning the dense tensor, while
+//! touching only the non-zero weights.
+//!
+//! Packing is built once (when a model variant is constructed) and shared
+//! immutably afterwards; mutating a layer's weights must invalidate its
+//! pack.
+
+use crate::quant::QuantizedTensor;
+use crate::{Result, Shape, TensorError};
+
+/// One surviving weight tap: kernel row, kernel column, value.
+///
+/// Rows/columns are `u16` (alignment makes this free next to the value) —
+/// packing rejects kernels over 65535 per spatial axis, far beyond
+/// anything representable in memory anyway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tap<V> {
+    /// Kernel row.
+    pub r: u16,
+    /// Kernel column.
+    pub c: u16,
+    /// Weight value (f32 for dense weights, i64 code for quantized).
+    pub v: V,
+}
+
+/// Non-zero taps of a rank-4 weight tensor, grouped per `(out_c, in_c)`
+/// kernel in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedTaps<V> {
+    out_c: usize,
+    in_c: usize,
+    kh: usize,
+    kw: usize,
+    /// `offsets[oc * in_c + ic] .. offsets[oc * in_c + ic + 1]` indexes
+    /// the taps of kernel `(oc, ic)`; length `out_c * in_c + 1`.
+    offsets: Vec<usize>,
+    taps: Vec<Tap<V>>,
+}
+
+impl<V: Copy> PackedTaps<V> {
+    fn from_dense<T: Copy>(
+        shape: &Shape,
+        data: &[T],
+        is_zero: impl Fn(T) -> bool,
+        to_value: impl Fn(T) -> V,
+    ) -> Result<Self> {
+        if shape.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: shape.rank(),
+            });
+        }
+        let (out_c, in_c, kh, kw) = (shape.dim(0), shape.dim(1), shape.dim(2), shape.dim(3));
+        if kh > u16::MAX as usize || kw > u16::MAX as usize {
+            return Err(TensorError::Invalid(format!(
+                "cannot pack {kh}x{kw} kernels (max 65535 per axis)"
+            )));
+        }
+        let mut offsets = Vec::with_capacity(out_c * in_c + 1);
+        let mut taps = Vec::new();
+        offsets.push(0);
+        for oc in 0..out_c {
+            for ic in 0..in_c {
+                let kbase = (oc * in_c + ic) * kh * kw;
+                for r in 0..kh {
+                    for c in 0..kw {
+                        let v = data[kbase + r * kw + c];
+                        if !is_zero(v) {
+                            taps.push(Tap {
+                                r: r as u16,
+                                c: c as u16,
+                                v: to_value(v),
+                            });
+                        }
+                    }
+                }
+                offsets.push(taps.len());
+            }
+        }
+        Ok(PackedTaps {
+            out_c,
+            in_c,
+            kh,
+            kw,
+            offsets,
+            taps,
+        })
+    }
+
+    /// Output-channel count of the packed weights.
+    pub fn out_c(&self) -> usize {
+        self.out_c
+    }
+
+    /// Input-channel count of the packed weights.
+    pub fn in_c(&self) -> usize {
+        self.in_c
+    }
+
+    /// Kernel height.
+    pub fn kh(&self) -> usize {
+        self.kh
+    }
+
+    /// Kernel width.
+    pub fn kw(&self) -> usize {
+        self.kw
+    }
+
+    /// Total surviving (non-zero) taps.
+    pub fn nonzeros(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The taps of kernel `(oc, ic)`, in the row-major order the dense
+    /// scan would visit them.
+    pub fn group(&self, oc: usize, ic: usize) -> &[Tap<V>] {
+        let g = oc * self.in_c + ic;
+        &self.taps[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Whether these packed weights were built from a tensor of `shape`.
+    pub fn matches(&self, shape: &Shape) -> bool {
+        shape.dims() == [self.out_c, self.in_c, self.kh, self.kw]
+    }
+}
+
+/// Packed non-zero taps of a dense f32 conv weight tensor.
+pub type PackedConv = PackedTaps<f32>;
+
+impl PackedConv {
+    /// Packs the non-zero taps of rank-4 weights `[out_c, in_c, kh, kw]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 weights and
+    /// [`TensorError::Invalid`] for kernels over 255 per spatial axis.
+    pub fn pack(weights: &crate::Tensor) -> Result<PackedConv> {
+        PackedTaps::from_dense(weights.shape(), weights.as_slice(), |v| v == 0.0, |v| v)
+    }
+}
+
+/// Packed non-zero integer codes of a quantized conv weight tensor, with
+/// the tensor's scale carried alongside for the single rescale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedQuantConv {
+    taps: PackedTaps<i64>,
+    scale: f32,
+}
+
+impl PackedQuantConv {
+    /// Packs the non-zero codes of quantized rank-4 weights.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PackedConv::pack`].
+    pub fn pack(weights: &QuantizedTensor) -> Result<PackedQuantConv> {
+        Ok(PackedQuantConv {
+            taps: PackedTaps::from_dense(
+                weights.shape(),
+                weights.codes(),
+                |v| v == 0,
+                |v| v as i64,
+            )?,
+            scale: weights.scale(),
+        })
+    }
+
+    /// The weight-tensor scale captured at pack time.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The underlying packed integer taps.
+    pub fn taps(&self) -> &PackedTaps<i64> {
+        &self.taps
+    }
+}
+
+impl std::ops::Deref for PackedQuantConv {
+    type Target = PackedTaps<i64>;
+
+    fn deref(&self) -> &PackedTaps<i64> {
+        &self.taps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Shape, Tensor};
+
+    #[test]
+    fn packs_nonzero_taps_in_row_major_order() {
+        // 2 out, 1 in, 2x2 kernels; second kernel fully pruned.
+        let w = Tensor::from_vec(
+            Shape::nchw(2, 1, 2, 2),
+            vec![1.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let p = PackedConv::pack(&w).unwrap();
+        assert_eq!((p.out_c(), p.in_c(), p.kh(), p.kw()), (2, 1, 2, 2));
+        assert_eq!(p.nonzeros(), 2);
+        let g = p.group(0, 0);
+        assert_eq!(g.len(), 2);
+        assert_eq!((g[0].r, g[0].c, g[0].v), (0, 0, 1.0));
+        assert_eq!((g[1].r, g[1].c, g[1].v), (1, 1, 2.0));
+        assert!(p.group(1, 0).is_empty());
+        assert!(p.matches(w.shape()));
+        assert!(!p.matches(&Shape::nchw(1, 1, 2, 2)));
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(PackedConv::pack(&Tensor::zeros(Shape::matrix(2, 2))).is_err());
+    }
+
+    #[test]
+    fn quantized_pack_keeps_codes_and_scale() {
+        let w = Tensor::from_vec(Shape::nchw(1, 1, 1, 3), vec![-0.5, 0.0, 0.5]).unwrap();
+        let q = QuantizedTensor::quantize(&w, 8).unwrap();
+        let p = PackedQuantConv::pack(&q).unwrap();
+        assert_eq!(p.scale(), q.scale());
+        assert_eq!(p.nonzeros(), 2);
+        let g = p.group(0, 0);
+        assert_eq!(g[0].v, q.codes()[0] as i64);
+        assert_eq!(g[1].v, q.codes()[2] as i64);
+    }
+}

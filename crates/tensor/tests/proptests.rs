@@ -4,13 +4,83 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use upaq_tensor::ops::{
-    avg_pool2d, avg_pool2d_batch, conv2d, conv2d_batch, linear, linear_batch, max_pool2d,
-    max_pool2d_batch, quantized_conv2d, quantized_conv2d_batch, quantized_linear,
-    quantized_linear_batch, Conv2dParams,
+    avg_pool2d, avg_pool2d_batch, conv2d, conv2d_batch, conv2d_into, conv2d_packed_into, linear,
+    linear_batch, max_pool2d, max_pool2d_batch, quantized_conv2d, quantized_conv2d_batch,
+    quantized_linear, quantized_linear_batch, Conv2dParams, ExecMode, TensorParallel,
 };
+use upaq_tensor::packed::PackedConv;
 use upaq_tensor::quant::{fake_quantize, QuantizedTensor};
 use upaq_tensor::sparse::{KernelMask, SparseKernel};
 use upaq_tensor::{Shape, Tensor};
+
+/// Thread count for the multi-threaded bit-identity legs. CI's
+/// thread-sanity matrix sets `UPAQ_TEST_THREADS` to 1 and 4; locally the
+/// default exercises the pool.
+fn test_threads() -> usize {
+    std::env::var("UPAQ_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// The written-for-the-test serial oracle, following the documented
+/// accumulation contract: per-`(oc, ic)` local sums over taps in kernel
+/// row-major order (zeros skipped), summed in `ic` order, bias joining
+/// last (and skipped entirely when zero). Every production conv path —
+/// dense, packed, pooled, spawned, batched — must reproduce its output
+/// bit for bit.
+fn naive_conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Tensor {
+    let (ishape, wshape) = (input.shape(), weights.shape());
+    let (in_c, h, w) = (ishape.dim(1), ishape.dim(2), ishape.dim(3));
+    let (oc_n, kh, kw) = (wshape.dim(0), wshape.dim(2), wshape.dim(3));
+    let (oh, ow) = (params.out_size(h, kh), params.out_size(w, kw));
+    let (idata, wdata) = (input.as_slice(), weights.as_slice());
+    let mut out = Tensor::zeros(Shape::nchw(1, oc_n, oh, ow));
+    let odata = out.as_mut_slice();
+    for oc in 0..oc_n {
+        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut total = 0.0f32;
+                for ic in 0..in_c {
+                    let mut acc = 0.0f32;
+                    for r in 0..kh {
+                        for c in 0..kw {
+                            let wv = wdata[((oc * in_c + ic) * kh + r) * kw + c];
+                            if wv == 0.0 {
+                                continue;
+                            }
+                            let (iy, ix) = (oy * params.stride + r, ox * params.stride + c);
+                            if iy < params.padding || ix < params.padding {
+                                continue;
+                            }
+                            let (iy, ix) = (iy - params.padding, ix - params.padding);
+                            if iy >= h || ix >= w {
+                                continue;
+                            }
+                            acc += wv * idata[(ic * h + iy) * w + ix];
+                        }
+                    }
+                    total += acc;
+                }
+                odata[(oc * oh + oy) * ow + ox] =
+                    if bias_v != 0.0 { total + bias_v } else { total };
+            }
+        }
+    }
+    out
+}
+
+/// Raw IEEE-754 bits — the comparison currency of the identity tests
+/// (`==` on floats would let `-0.0` and `0.0` slip through).
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
 
 fn small_vec() -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-10.0f32..10.0, 1..64)
@@ -243,5 +313,131 @@ proptest! {
         let lhs = ma.matmul(&mb.add(&mc).unwrap()).unwrap();
         let rhs = ma.matmul(&mb).unwrap().add(&ma.matmul(&mc).unwrap()).unwrap();
         prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity regression suite: every production conv path (persistent
+// pool, spawn-per-call baseline, packed weights, batched frames,
+// quantized codes) must reproduce the serial naive oracle bit for bit.
+//
+// These tests mutate the process-wide `TensorParallel` settings. That is
+// safe even under cargo's parallel test threads because the property under
+// test *is* mode/thread-count independence: whatever combination another
+// test leaves behind mid-leg, the output bits may not change. CI runs the
+// whole binary under `UPAQ_TEST_THREADS` 1 and 4 to pin both regimes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn conv2d_bit_identical_across_modes_packing_and_threads(
+        ic in 1usize..4,
+        oc in 1usize..4,
+        h in 3usize..8,
+        w in 3usize..8,
+        pad in 0usize..3,
+        stride in 1usize..3,
+        with_bias in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let input = random_frames(1, ic, h, w, seed).pop().unwrap();
+        let weights = masked_weights(oc, ic, 3, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
+        let bias = with_bias.then(|| Tensor::uniform(Shape::vector(oc), -0.5, 0.5, &mut rng));
+        let params = Conv2dParams { stride, padding: pad };
+
+        let oracle = bits(&naive_conv2d(&input, &weights, bias.as_ref(), params));
+        let packed = PackedConv::pack(&weights).unwrap();
+        let threads = test_threads();
+
+        for t in [1usize, threads] {
+            TensorParallel::set_threads(t);
+            for mode in [ExecMode::Pool, ExecMode::SpawnPerCall] {
+                TensorParallel::set_exec_mode(mode);
+
+                let got = conv2d(&input, &weights, bias.as_ref(), params).unwrap();
+                prop_assert_eq!(&bits(&got), &oracle, "conv2d t={} mode={:?}", t, mode);
+
+                let mut out = Tensor::zeros(got.shape().clone());
+                conv2d_into(&input, &weights, bias.as_ref(), params, &mut out).unwrap();
+                prop_assert_eq!(&bits(&out), &oracle, "conv2d_into t={} mode={:?}", t, mode);
+
+                out.as_mut_slice().fill(f32::NAN); // packed kernel must write every element
+                conv2d_packed_into(&input, &packed, bias.as_ref(), params, &mut out).unwrap();
+                prop_assert_eq!(&bits(&out), &oracle, "conv2d_packed_into t={} mode={:?}", t, mode);
+            }
+        }
+        TensorParallel::set_exec_mode(ExecMode::Pool);
+        TensorParallel::set_threads(1);
+    }
+
+    #[test]
+    fn batched_conv2d_bit_identical_to_naive_oracle_across_threads(
+        n in 1usize..5,
+        ic in 1usize..4,
+        oc in 1usize..4,
+        h in 3usize..8,
+        w in 3usize..8,
+        seed in any::<u64>(),
+    ) {
+        let inputs = random_frames(n, ic, h, w, seed);
+        let weights = masked_weights(oc, ic, 3, seed);
+        let params = Conv2dParams::same(3);
+        let oracles: Vec<Vec<u32>> = inputs
+            .iter()
+            .map(|x| bits(&naive_conv2d(x, &weights, None, params)))
+            .collect();
+
+        for t in [1usize, test_threads()] {
+            TensorParallel::set_threads(t);
+            let refs: Vec<&Tensor> = inputs.iter().collect();
+            let batched = conv2d_batch(&refs, &weights, None, params).unwrap();
+            for (got, oracle) in batched.iter().zip(&oracles) {
+                prop_assert_eq!(&bits(got), oracle, "conv2d_batch t={}", t);
+            }
+        }
+        TensorParallel::set_threads(1);
+    }
+
+    #[test]
+    fn quantized_conv2d_bit_identical_across_threads_and_modes(
+        n in 1usize..4,
+        ic in 1usize..3,
+        oc in 1usize..3,
+        h in 3usize..7,
+        w in 3usize..7,
+        wbits in 4u8..=8,
+        abits in 6u8..=12,
+        seed in any::<u64>(),
+    ) {
+        let inputs = random_frames(n, ic, h, w, seed);
+        let weights = QuantizedTensor::quantize(&masked_weights(oc, ic, 3, seed), wbits).unwrap();
+        let params = Conv2dParams::same(3);
+
+        // Serial pool execution is the reference for the quantized path —
+        // its arithmetic is pinned by the unit suite; here we pin that
+        // threads and exec mode cannot perturb it.
+        TensorParallel::set_threads(1);
+        TensorParallel::set_exec_mode(ExecMode::Pool);
+        let oracles: Vec<Vec<u32>> = inputs
+            .iter()
+            .map(|x| bits(&quantized_conv2d(x, &weights, None, abits, params).unwrap()))
+            .collect();
+
+        for t in [1usize, test_threads()] {
+            TensorParallel::set_threads(t);
+            for mode in [ExecMode::Pool, ExecMode::SpawnPerCall] {
+                TensorParallel::set_exec_mode(mode);
+                let refs: Vec<&Tensor> = inputs.iter().collect();
+                let batched = quantized_conv2d_batch(&refs, &weights, None, abits, params).unwrap();
+                for ((got, x), oracle) in batched.iter().zip(&inputs).zip(&oracles) {
+                    prop_assert_eq!(&bits(got), oracle, "quantized batch t={} mode={:?}", t, mode);
+                    let single = quantized_conv2d(x, &weights, None, abits, params).unwrap();
+                    prop_assert_eq!(&bits(&single), oracle, "quantized single t={} mode={:?}", t, mode);
+                }
+            }
+        }
+        TensorParallel::set_exec_mode(ExecMode::Pool);
+        TensorParallel::set_threads(1);
     }
 }

@@ -11,7 +11,9 @@
 //! counters of the second report.
 //!
 //! Run with `cargo run --release --bin stream -- [--detector lidar|camera|both]
-//! [--frames N] [--batch K]`. `--batch K` lets each backbone worker admit
+//! [--frames N] [--batch K] [--threads N]`. `--threads N` sets the
+//! persistent worker pool's claimant count for the convolution kernels
+//! (bit-identical output at any value). `--batch K` lets each backbone worker admit
 //! up to `K` queued frames as one batched forward pass when the predicted
 //! batched latency still meets the group's earliest deadline; `--batch 1`
 //! (the default) is the historical per-frame scheduling. Under overload
@@ -148,10 +150,11 @@ fn run_scenarios<D: StreamingDetector>(
     }
 }
 
-fn parse_args() -> Result<(String, u64, usize), String> {
+fn parse_args() -> Result<(String, u64, usize, usize), String> {
     let mut detector = "both".to_string();
     let mut frames = 60u64;
     let mut batch = 1usize;
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -185,16 +188,32 @@ fn parse_args() -> Result<(String, u64, usize), String> {
                     return Err("--batch must be positive".into());
                 }
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?
+                    .parse()
+                    .map_err(|e| format!("bad --threads value: {e}"))?;
+                if threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((detector, frames, batch))
+    Ok((detector, frames, batch, threads))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let (detector, frames, batch) = parse_args().map_err(|e| {
-        format!("{e}\nusage: stream [--detector lidar|camera|both] [--frames N] [--batch K]")
+    let (detector, frames, batch, threads) = parse_args().map_err(|e| {
+        format!(
+            "{e}\nusage: stream [--detector lidar|camera|both] [--frames N] [--batch K] [--threads N]"
+        )
     })?;
+    // Kernel-level parallelism: the persistent worker pool splits each
+    // convolution's output channels across `threads` claimants. Results
+    // are bit-identical at any thread count.
+    upaq_tensor::ops::TensorParallel::set_threads(threads);
     println!("Streaming runtime: deadline-aware scheduling over the UPAQ degrade ladder");
 
     let device = DeviceProfile::jetson_orin_nano();
