@@ -13,6 +13,11 @@
 //!    The `--threads 4` speedup is the PR's acceptance number.
 //! 3. **End-to-end**: deterministic `upaq-runtime` pipeline frames/sec per
 //!    detector across `threads × batch`.
+//! 4. **Per-stage breakdown**: mean latency of each serving stage —
+//!    pillarize (preprocess), backbone, decode, NMS (refine + dedupe for
+//!    LiDAR; structurally empty for SMOKE) — on the steady-state packed
+//!    level-0 detector, after asserting the composed stages reproduce
+//!    `postprocess` bit for bit.
 //!
 //! Every configuration is also checked for bit-identical detections
 //! against a serial single-frame reference before any timing is trusted.
@@ -24,11 +29,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::Instant;
-use upaq_det3d::Box3d;
+use upaq_det3d::{decode, decode_camera, nms, refine_all, Box3d};
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::{json, Value};
+use upaq_kitti::camera::CameraImage;
 use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_kitti::lidar::PointCloud;
 use upaq_kitti::stream::{FrameStream, SensorData};
+use upaq_models::detector::{CameraDetector, LidarDetector};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
 use upaq_models::smoke::{Smoke, SmokeConfig};
 use upaq_models::StreamingDetector;
@@ -364,6 +372,171 @@ where
     Ok(speedup_at_4)
 }
 
+/// Times one stage closure over `iters` passes and returns mean ms/call.
+fn time_stage_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches before timing
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iters as f64
+}
+
+fn stage_row(detector: &str, stage: &str, mean_ms: f64, iters: usize) -> Value {
+    println!("  [{detector}] stage {stage}: {mean_ms:.3} ms");
+    json!({
+        "detector": detector,
+        "stage": stage,
+        "mean_ms": mean_ms,
+        "iters": iters,
+    })
+}
+
+/// Per-stage latency breakdown of the LiDAR path on the steady-state
+/// (pool + packed) detector: pillarize → backbone → decode → refine+NMS.
+/// The composed stages are asserted bit-identical to `postprocess` before
+/// any number is trusted.
+fn lidar_stage_breakdown(
+    det: &LidarDetector,
+    clouds: &[PointCloud],
+    iters: usize,
+) -> BenchResult<Vec<Value>> {
+    let tensors: Vec<Tensor> = clouds.iter().map(|c| det.preprocess(c)).collect();
+    let heads: Vec<Tensor> = clouds
+        .iter()
+        .map(|c| det.head_output(c))
+        .collect::<Result<_, _>>()?;
+    let proposals: Vec<Vec<Box3d>> = heads.iter().map(|h| decode(h, &det.head_spec)).collect();
+    for ((head, cloud), props) in heads.iter().zip(clouds).zip(&proposals) {
+        let composed = match &det.refine {
+            Some(cfg) => nms(refine_all(props, cloud, cfg), det.head_spec.nms_iou),
+            None => props.clone(),
+        };
+        if composed != det.postprocess(head, cloud) {
+            return Err("lidar stage composition diverged from postprocess".into());
+        }
+    }
+
+    let mut ws = Workspace::new();
+    let mut inputs = HashMap::new();
+    inputs.insert(det.input_name.clone(), tensors[0].clone());
+    let mut rows = Vec::new();
+    let mut i = 0;
+    rows.push(stage_row(
+        "lidar",
+        "pillarize",
+        time_stage_ms(iters, || {
+            std::hint::black_box(det.preprocess(&clouds[i % clouds.len()]));
+            i += 1;
+        }),
+        iters,
+    ));
+    let mut i = 0;
+    rows.push(stage_row(
+        "lidar",
+        "backbone",
+        time_stage_ms(iters, || {
+            let src = &tensors[i % tensors.len()];
+            inputs
+                .get_mut(&det.input_name)
+                .expect("input slot")
+                .as_mut_slice()
+                .copy_from_slice(src.as_slice());
+            forward_into(&det.model, &inputs, &mut ws).expect("stage forward");
+            i += 1;
+        }),
+        iters,
+    ));
+    let mut i = 0;
+    rows.push(stage_row(
+        "lidar",
+        "decode",
+        time_stage_ms(iters, || {
+            std::hint::black_box(decode(&heads[i % heads.len()], &det.head_spec));
+            i += 1;
+        }),
+        iters,
+    ));
+    let mut i = 0;
+    rows.push(stage_row(
+        "lidar",
+        "nms",
+        time_stage_ms(iters, || {
+            let k = i % clouds.len();
+            if let Some(cfg) = &det.refine {
+                let refined = refine_all(&proposals[k], &clouds[k], cfg);
+                std::hint::black_box(nms(refined, det.head_spec.nms_iou));
+            }
+            i += 1;
+        }),
+        iters,
+    ));
+    Ok(rows)
+}
+
+/// Per-stage latency breakdown of the camera path: preprocess (the NCHW
+/// copy) → backbone → decode. SMOKE lifts boxes directly from the head
+/// output, so its NMS stage is structurally empty and reported as such.
+fn camera_stage_breakdown(
+    det: &CameraDetector,
+    images: &[CameraImage],
+    iters: usize,
+) -> BenchResult<Vec<Value>> {
+    let tensors: Vec<Tensor> = images.iter().map(|im| det.preprocess(im)).collect();
+    let heads: Vec<Tensor> = images
+        .iter()
+        .map(|im| det.head_output(im))
+        .collect::<Result<_, _>>()?;
+    for (head, image) in heads.iter().zip(images) {
+        if decode_camera(head, &det.head_spec) != det.postprocess(head, image) {
+            return Err("camera stage composition diverged from postprocess".into());
+        }
+    }
+
+    let mut ws = Workspace::new();
+    let mut inputs = HashMap::new();
+    inputs.insert(det.input_name.clone(), tensors[0].clone());
+    let mut rows = Vec::new();
+    let mut i = 0;
+    rows.push(stage_row(
+        "camera",
+        "pillarize",
+        time_stage_ms(iters, || {
+            std::hint::black_box(det.preprocess(&images[i % images.len()]));
+            i += 1;
+        }),
+        iters,
+    ));
+    let mut i = 0;
+    rows.push(stage_row(
+        "camera",
+        "backbone",
+        time_stage_ms(iters, || {
+            let src = &tensors[i % tensors.len()];
+            inputs
+                .get_mut(&det.input_name)
+                .expect("input slot")
+                .as_mut_slice()
+                .copy_from_slice(src.as_slice());
+            forward_into(&det.model, &inputs, &mut ws).expect("stage forward");
+            i += 1;
+        }),
+        iters,
+    ));
+    let mut i = 0;
+    rows.push(stage_row(
+        "camera",
+        "decode",
+        time_stage_ms(iters, || {
+            std::hint::black_box(decode_camera(&heads[i % heads.len()], &det.head_spec));
+            i += 1;
+        }),
+        iters,
+    ));
+    rows.push(stage_row("camera", "nms", 0.0, 0));
+    Ok(rows)
+}
+
 fn main() -> BenchResult<()> {
     let (budget, out_path) = parse_args().map_err(|e| {
         format!("{e}\nusage: bench_streaming [--frames N] [--iters N] [--quick] [--out PATH]")
@@ -402,6 +575,25 @@ fn main() -> BenchResult<()> {
         &mut identity_checks,
     )?;
 
+    println!("Per-stage latency breakdown (pillarize / backbone / decode / NMS)…");
+    let device = DeviceProfile::jetson_orin_nano();
+    let mut stage_rows = {
+        let ladder = VariantLadder::build(lidar.clone(), &device, SEED)?;
+        let dataset = Dataset::generate(&dataset_config(None), SEED);
+        let clouds: Vec<PointCloud> = (0..dataset.scenes().len().min(4))
+            .map(|i| <PointCloud as SensorData>::sample(&dataset, i))
+            .collect();
+        lidar_stage_breakdown(&ladder.level(0).detector, &clouds, budget.stream_frames)?
+    };
+    stage_rows.extend({
+        let ladder = VariantLadder::build(camera.clone(), &device, SEED)?;
+        let dataset = Dataset::generate(&dataset_config(Some(&smoke_cfg)), SEED);
+        let images: Vec<CameraImage> = (0..dataset.scenes().len().min(4))
+            .map(|i| <CameraImage as SensorData>::sample(&dataset, i))
+            .collect();
+        camera_stage_breakdown(&ladder.level(0).detector, &images, budget.stream_frames)?
+    });
+
     let report = json!({
         "schema": "upaq-bench-streaming/v1",
         "budget": json!({
@@ -412,6 +604,7 @@ fn main() -> BenchResult<()> {
         "kernel": Value::Arr(kernel_rows),
         "single_stream": Value::Arr(single_rows),
         "e2e": Value::Arr(e2e_rows),
+        "stage_breakdown": Value::Arr(stage_rows),
         "bit_identity": json!({
             "checked_configs": identity_checks,
             "identical": true,

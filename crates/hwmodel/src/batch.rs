@@ -71,6 +71,38 @@ impl BatchCost {
         self.marginal_s
     }
 
+    /// Largest batch size `k ≤ k_max` whose predicted invocation latency
+    /// fits within `budget_s`, or 0 when even a single frame does not fit.
+    ///
+    /// This is the fleet batcher's sizing primitive for groups with
+    /// heterogeneous deadlines: offered a group in earliest-deadline-first
+    /// order, the binding budget is the head frame's, and growing the batch
+    /// only adds marginal cost — so the largest admissible prefix is the
+    /// largest `k` with `predict_s(k) ≤ budget_s`.
+    pub fn largest_fit(&self, budget_s: f64, k_max: usize) -> usize {
+        if k_max == 0 || !budget_s.is_finite() || self.predict_s(1) > budget_s {
+            return 0;
+        }
+        if self.marginal_s <= 0.0 {
+            // Pure fixed cost: any batch size costs the same.
+            return k_max;
+        }
+        let guess = ((budget_s - self.fixed_s) / self.marginal_s)
+            .floor()
+            .max(1.0);
+        let mut k = (guess as usize).min(k_max);
+        // Float roundoff in the division can land one off the true
+        // boundary in either direction; settle it against the exact
+        // predicate so `predict_s(k) ≤ budget < predict_s(k + 1)` holds.
+        while k > 1 && self.predict_s(k) > budget_s {
+            k -= 1;
+        }
+        while k < k_max && self.predict_s(k + 1) <= budget_s {
+            k += 1;
+        }
+        k
+    }
+
     /// Folds one measured invocation (batch size `k`, wall time
     /// `measured_s`) into the model with EMA weight `alpha`.
     ///
@@ -168,6 +200,38 @@ mod tests {
         c.observe(2, f64::NAN, 0.2);
         c.observe(2, -1.0, 0.2);
         assert_eq!(c, before);
+    }
+
+    #[test]
+    fn largest_fit_is_the_boundary_batch_size() {
+        let c = BatchCost::new(0.010, 0.005);
+        // predict(k) = 10 + 5k ms: a 32 ms budget fits k = 4 (30 ms), not 5.
+        assert_eq!(c.largest_fit(0.032, 16), 4);
+        // Exactly on the boundary is a fit.
+        assert_eq!(c.largest_fit(0.030, 16), 4);
+        assert_eq!(c.largest_fit(0.035, 16), 5);
+        // The cap binds before the budget does.
+        assert_eq!(c.largest_fit(0.032, 2), 2);
+        // Too tight for even one frame.
+        assert_eq!(c.largest_fit(0.014, 16), 0);
+        assert_eq!(c.largest_fit(-1.0, 16), 0);
+        assert_eq!(c.largest_fit(f64::NAN, 16), 0);
+        assert_eq!(c.largest_fit(0.032, 0), 0);
+        // Every admitted size actually fits; the next one does not.
+        for budget in [0.016, 0.021, 0.040, 0.125] {
+            let k = c.largest_fit(budget, 64);
+            assert!(k >= 1 && c.predict_s(k) <= budget);
+            if k < 64 {
+                assert!(c.predict_s(k + 1) > budget);
+            }
+        }
+    }
+
+    #[test]
+    fn largest_fit_with_zero_marginal_cost_takes_the_cap() {
+        let c = BatchCost::new(0.010, 0.0);
+        assert_eq!(c.largest_fit(0.020, 7), 7);
+        assert_eq!(c.largest_fit(0.005, 7), 0);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Multi-stream fleet scenarios: the synthetic sensor population a
+//! fleet-serving layer multiplexes.
+//!
+//! A [`FleetScenario`] describes *hundreds* of concurrent sensor streams —
+//! one per simulated vehicle — with per-stream frame rates, staggered
+//! start phases and per-stream deadlines drawn round-robin from a small
+//! set of service classes (a tight camera-like 10 Hz class, a nominal
+//! LiDAR-like class, a relaxed long-deadline class by default). Phase
+//! staggering spreads arrivals inside each emission period so admission is
+//! a steady trickle rather than a thundering herd, which is exactly the
+//! regime where cross-stream batching has material work to group.
+//!
+//! Every stream gets its own derived dataset seed, so different streams
+//! observe different scenes, while the whole scenario stays a pure
+//! function of `(config, seed)` — two fleets built from equal inputs are
+//! frame-for-frame identical, the property the cross-stream bit-identity
+//! tests rely on.
+
+use crate::dataset::DatasetConfig;
+use crate::stream::{FrameStream, SensorData};
+
+/// One service class a stream can belong to: its pacing and deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamClass {
+    /// Frame rate, Hz.
+    pub rate_hz: f64,
+    /// Per-frame deadline from arrival to detections, seconds.
+    pub deadline_s: f64,
+}
+
+/// Fleet-scenario knobs.
+#[derive(Debug, Clone)]
+pub struct FleetScenarioConfig {
+    /// Number of concurrent streams.
+    pub streams: usize,
+    /// Frames each stream emits before ending.
+    pub frames_per_stream: u64,
+    /// Service classes assigned round-robin across streams.
+    pub classes: Vec<StreamClass>,
+    /// Dataset generation parameters shared by every stream (each stream
+    /// derives its own seed, so contents still differ per stream).
+    pub dataset: DatasetConfig,
+}
+
+impl Default for FleetScenarioConfig {
+    fn default() -> Self {
+        let mut dataset = DatasetConfig::small();
+        // Two scenes per stream keep per-stream dataset synthesis cheap at
+        // hundreds of streams; streams cycle their scenes like `bin/stream`.
+        dataset.scenes = 2;
+        FleetScenarioConfig {
+            streams: 128,
+            frames_per_stream: 4,
+            classes: vec![
+                // Tight class: camera-rate arrivals on a firm deadline.
+                StreamClass {
+                    rate_hz: 30.0,
+                    deadline_s: 0.100,
+                },
+                // Nominal LiDAR class.
+                StreamClass {
+                    rate_hz: 10.0,
+                    deadline_s: 0.150,
+                },
+                // Relaxed class: low rate, generous deadline — the class an
+                // EDF scheduler starves without an aging boost.
+                StreamClass {
+                    rate_hz: 5.0,
+                    deadline_s: 0.400,
+                },
+            ],
+            dataset,
+        }
+    }
+}
+
+/// One stream of the fleet: identity, pacing, deadline and frame budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamProfile {
+    /// Stream index, `0..streams`.
+    pub id: usize,
+    /// Dataset seed this stream's frames are generated from.
+    pub seed: u64,
+    /// Frame rate, Hz.
+    pub rate_hz: f64,
+    /// Start-phase offset of the first frame, seconds.
+    pub phase_s: f64,
+    /// Frames this stream emits.
+    pub frames: u64,
+    /// Per-frame deadline, seconds.
+    pub deadline_s: f64,
+}
+
+impl StreamProfile {
+    /// Scheduled emission time of frame `k`, seconds from scenario start.
+    pub fn emit_time_s(&self, k: u64) -> f64 {
+        self.phase_s + k as f64 / self.rate_hz
+    }
+}
+
+/// A deterministic population of sensor streams.
+#[derive(Debug, Clone)]
+pub struct FleetScenario {
+    config: FleetScenarioConfig,
+    profiles: Vec<StreamProfile>,
+}
+
+impl FleetScenario {
+    /// Builds the scenario: streams are assigned classes round-robin and
+    /// staggered phases that spread each class's members evenly across one
+    /// emission period.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero streams/frames, an empty class list, or a class with
+    /// a non-positive rate or deadline — a scenario with no work or no
+    /// schedule is a configuration bug worth failing loudly on.
+    pub fn build(config: FleetScenarioConfig, seed: u64) -> Self {
+        assert!(config.streams > 0, "fleet needs at least one stream");
+        assert!(
+            config.frames_per_stream > 0,
+            "streams need at least one frame"
+        );
+        assert!(!config.classes.is_empty(), "fleet needs at least one class");
+        for class in &config.classes {
+            assert!(
+                class.rate_hz > 0.0 && class.deadline_s > 0.0,
+                "stream classes need positive rates and deadlines"
+            );
+        }
+        let profiles = (0..config.streams)
+            .map(|id| {
+                let class = config.classes[id % config.classes.len()];
+                // Members of one class are spread evenly across the class
+                // period; the id-dependent offset keeps distinct streams
+                // from colliding on the same instant.
+                let cohort = id / config.classes.len();
+                let cohorts = config.streams.div_ceil(config.classes.len());
+                let phase_s = (cohort as f64 / cohorts as f64) / class.rate_hz;
+                StreamProfile {
+                    id,
+                    // A fixed odd stride decorrelates per-stream datasets
+                    // while keeping the mapping reproducible.
+                    seed: seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id as u64 + 1)),
+                    rate_hz: class.rate_hz,
+                    phase_s,
+                    frames: config.frames_per_stream,
+                    deadline_s: class.deadline_s,
+                }
+            })
+            .collect();
+        FleetScenario { config, profiles }
+    }
+
+    /// The configuration the scenario was built from.
+    pub fn config(&self) -> &FleetScenarioConfig {
+        &self.config
+    }
+
+    /// All stream profiles, in id order.
+    pub fn profiles(&self) -> &[StreamProfile] {
+        &self.profiles
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the scenario has no streams (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Total frames the whole fleet will emit.
+    pub fn total_frames(&self) -> u64 {
+        self.profiles.iter().map(|p| p.frames).sum()
+    }
+
+    /// The frame source for one stream: a [`FrameStream`] over this
+    /// stream's own derived dataset seed.
+    pub fn stream<T: SensorData>(&self, id: usize) -> FrameStream<T> {
+        FrameStream::generate(&self.config.dataset, self.profiles[id].seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lidar::PointCloud;
+
+    fn scenario(streams: usize) -> FleetScenario {
+        let config = FleetScenarioConfig {
+            streams,
+            frames_per_stream: 3,
+            ..FleetScenarioConfig::default()
+        };
+        FleetScenario::build(config, 7)
+    }
+
+    #[test]
+    fn classes_rotate_and_phases_stagger_within_a_class() {
+        let s = scenario(12);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.total_frames(), 36);
+        let classes = &s.config().classes;
+        for p in s.profiles() {
+            let class = classes[p.id % classes.len()];
+            assert_eq!(p.rate_hz, class.rate_hz);
+            assert_eq!(p.deadline_s, class.deadline_s);
+            // Phases stay inside one emission period.
+            assert!(p.phase_s >= 0.0 && p.phase_s < 1.0 / p.rate_hz);
+        }
+        // Two same-class streams never share a phase.
+        let tight: Vec<&StreamProfile> = s
+            .profiles()
+            .iter()
+            .filter(|p| p.id % classes.len() == 0)
+            .collect();
+        for pair in tight.windows(2) {
+            assert!(pair[0].phase_s != pair[1].phase_s);
+        }
+    }
+
+    #[test]
+    fn emit_times_follow_rate_and_phase() {
+        let s = scenario(3);
+        let p = &s.profiles()[1];
+        assert!((p.emit_time_s(0) - p.phase_s).abs() < 1e-12);
+        let dt = p.emit_time_s(5) - p.emit_time_s(4);
+        assert!((dt - 1.0 / p.rate_hz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_is_deterministic_and_streams_differ() {
+        let a = scenario(6);
+        let b = scenario(6);
+        assert_eq!(a.profiles(), b.profiles());
+        for id in 0..a.len() {
+            let fa: Vec<_> = a.stream::<PointCloud>(id).take(2).collect();
+            let fb: Vec<_> = b.stream::<PointCloud>(id).take(2).collect();
+            for (x, y) in fa.iter().zip(&fb) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.data.points(), y.data.points());
+            }
+        }
+        // Distinct streams observe distinct worlds.
+        assert_ne!(a.profiles()[0].seed, a.profiles()[1].seed);
+        let s0: Vec<_> = a.stream::<PointCloud>(0).take(1).collect();
+        let s1: Vec<_> = a.stream::<PointCloud>(1).take(1).collect();
+        assert_ne!(s0[0].data.points(), s1[0].data.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panic() {
+        FleetScenario::build(
+            FleetScenarioConfig {
+                streams: 0,
+                ..FleetScenarioConfig::default()
+            },
+            1,
+        );
+    }
+}

@@ -32,12 +32,14 @@
 
 pub mod camera;
 pub mod dataset;
+pub mod fleet;
 pub mod lidar;
 pub mod scene;
 pub mod stream;
 
 pub use camera::{CameraCalib, CameraImage};
 pub use dataset::{Dataset, DatasetConfig, Split};
+pub use fleet::{FleetScenario, FleetScenarioConfig, StreamClass, StreamProfile};
 pub use lidar::{LidarConfig, PointCloud};
 pub use scene::{Difficulty, ObjectClass, Scene, SceneConfig, SceneObject};
 pub use stream::{CameraFrameStream, Frame, FrameStream, SensorData};

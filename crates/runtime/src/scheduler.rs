@@ -133,14 +133,23 @@ impl DeadlineScheduler {
     /// remaining work: the level's predicted backbone latency *plus* the
     /// observed postprocess cost.
     pub fn admit(&self, age_s: f64) -> Admission {
-        let remaining = self.config.deadline_s - age_s;
-        if remaining <= 0.0 {
+        self.admit_budget(self.config.deadline_s - age_s)
+    }
+
+    /// Decides what to do with a frame that has `remaining_s` seconds of
+    /// deadline budget left. This is the per-stream-deadline entry point:
+    /// the fleet serving layer computes each frame's budget against its
+    /// *own* stream's deadline and offers the budget directly, while
+    /// [`admit`][Self::admit] keeps deriving it from the config's single
+    /// deadline.
+    pub fn admit_budget(&self, remaining_s: f64) -> Admission {
+        if remaining_s <= 0.0 {
             return Admission::Drop;
         }
         let post = self.predicted_post_s();
         let costs = self.costs.lock().unwrap();
         for (level, c) in costs.iter().enumerate() {
-            if (c.predict_s(1) + post) * self.config.headroom <= remaining {
+            if (c.predict_s(1) + post) * self.config.headroom <= remaining_s {
                 return Admission::Run { level };
             }
         }
@@ -162,25 +171,65 @@ impl DeadlineScheduler {
     /// A single-frame group degenerates exactly to [`admit`][Self::admit]:
     /// `predict(1)` is the per-frame prediction.
     pub fn admit_group(&self, ages_s: &[f64]) -> GroupAdmission {
-        let k = ages_s.len();
+        let budgets: Vec<f64> = ages_s.iter().map(|a| self.config.deadline_s - a).collect();
+        self.admit_group_budgets(&budgets)
+    }
+
+    /// [`admit_group`][Self::admit_group] over explicit remaining-budget
+    /// seconds instead of ages against one shared deadline. Streams with
+    /// heterogeneous deadlines mix in one group: the batch must fit the
+    /// **smallest** budget in the group, whichever stream it came from.
+    pub fn admit_group_budgets(&self, remaining_s: &[f64]) -> GroupAdmission {
+        let k = remaining_s.len();
         if k > 1 {
-            // Oldest member = largest age = earliest deadline.
-            let oldest = ages_s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let remaining = self.config.deadline_s - oldest;
-            if remaining > 0.0 {
+            // Earliest deadline = smallest remaining budget.
+            let tightest = remaining_s.iter().copied().fold(f64::INFINITY, f64::min);
+            if tightest > 0.0 {
                 let post = self.predicted_post_s();
                 let costs = self.costs.lock().unwrap();
                 for (level, c) in costs.iter().enumerate() {
-                    if (c.predict_s(k) + post) * self.config.headroom <= remaining {
+                    if (c.predict_s(k) + post) * self.config.headroom <= tightest {
                         return GroupAdmission::Batch { level };
                     }
                 }
             }
         }
-        match self.admit(ages_s.first().copied().unwrap_or(f64::INFINITY)) {
+        match self.admit_budget(remaining_s.first().copied().unwrap_or(f64::NEG_INFINITY)) {
             Admission::Run { level } => GroupAdmission::Single { level },
             Admission::Drop => GroupAdmission::Drop,
         }
+    }
+
+    /// The cross-stream batcher's primitive: given a group in
+    /// earliest-deadline-first order (`budgets_sorted[0]` is the tightest
+    /// remaining budget, in seconds), returns the largest admissible prefix
+    /// `(k, level)` — `k` frames runnable as one batched invocation on
+    /// ladder `level` within the head frame's budget — or `None` when the
+    /// head frame cannot run anywhere and must be dropped.
+    ///
+    /// Because the group is EDF-ordered, every prefix's binding constraint
+    /// is the head budget, so growing the batch only adds marginal cost
+    /// ([`BatchCost::largest_fit`]). Policy: maximize the batch size first
+    /// (throughput — amortizing the fixed cost is why the fleet batches at
+    /// all), then prefer the most accurate rung among the ties. `k = 1`
+    /// degenerates to per-frame admission at the returned level.
+    pub fn admit_prefix(&self, budgets_sorted: &[f64]) -> Option<(usize, usize)> {
+        let head = budgets_sorted.first().copied().unwrap_or(f64::NEG_INFINITY);
+        if head <= 0.0 {
+            return None;
+        }
+        // (predict(k) + post) · headroom ≤ head  ⇔  predict(k) ≤ budget.
+        let headroom = self.config.headroom.max(f64::MIN_POSITIVE);
+        let budget = head / headroom - self.predicted_post_s();
+        let costs = self.costs.lock().unwrap();
+        let mut best: Option<(usize, usize)> = None;
+        for (level, c) in costs.iter().enumerate() {
+            let k = c.largest_fit(budget, budgets_sorted.len());
+            if k > best.map_or(0, |(bk, _)| bk) {
+                best = Some((k, level));
+            }
+        }
+        best
     }
 
     /// Feeds back a measured backbone latency for a single-frame run of
@@ -431,6 +480,88 @@ mod tests {
         match s.admit_group(&[0.0; 4]) {
             GroupAdmission::Batch { level } => assert!(level > 0, "expected a degraded rung"),
             other => panic!("expected a degraded batched admission, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_admission_agrees_with_age_admission() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        s.observe_post(0.002);
+        let deadline = s.config().deadline_s;
+        for age in [0.0, 0.02, 0.05, 0.09, 0.099, 0.15, 1.0] {
+            assert_eq!(s.admit(age), s.admit_budget(deadline - age), "age {age}");
+        }
+        // Heterogeneous deadlines: the same frame age admits under a
+        // generous stream budget and drops under an exhausted one.
+        assert!(matches!(s.admit_budget(10.0), Admission::Run { .. }));
+        assert_eq!(s.admit_budget(0.0), Admission::Drop);
+        assert_eq!(s.admit_budget(-0.5), Admission::Drop);
+        // Group form: ages and explicit budgets give the same verdicts.
+        for ages in [vec![0.0, 0.01], vec![0.09, 0.0, 0.02], vec![0.15]] {
+            let budgets: Vec<f64> = ages.iter().map(|a| deadline - a).collect();
+            assert_eq!(s.admit_group(&ages), s.admit_group_budgets(&budgets));
+        }
+        assert_eq!(s.admit_group_budgets(&[]), GroupAdmission::Drop);
+    }
+
+    #[test]
+    fn admit_prefix_never_overruns_the_head_budget() {
+        let l = ladder();
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        s.observe_post(0.001);
+        let cfg = s.config();
+        // Pin the learned costs so prefix sizes are predictable-ish.
+        for _ in 0..200 {
+            for level in 0..l.len() {
+                s.observe_batch(level, 1, 0.010 * (l.len() - level) as f64);
+            }
+        }
+        let groups: Vec<Vec<f64>> = vec![
+            vec![0.100, 0.100, 0.100, 0.100],
+            vec![0.035, 0.050, 0.120, 0.200, 0.250],
+            vec![0.011, 0.300, 0.300],
+            vec![0.009],
+            vec![0.250; 12],
+        ];
+        for budgets in &groups {
+            if let Some((k, level)) = s.admit_prefix(budgets) {
+                assert!(k >= 1 && k <= budgets.len(), "{budgets:?}");
+                let total = s.predicted_batch_s(level, k) + s.predicted_post_s();
+                assert!(
+                    total * cfg.headroom <= budgets[0] + 1e-12,
+                    "budgets {budgets:?}: prefix k={k} level={level} overruns the head budget"
+                );
+            }
+        }
+        // An expired head frame admits nowhere.
+        assert_eq!(s.admit_prefix(&[-0.01, 0.5, 0.5]), None);
+        assert_eq!(s.admit_prefix(&[]), None);
+    }
+
+    #[test]
+    fn admit_prefix_maximizes_batch_size_then_accuracy() {
+        let l = ladder();
+        assert!(l.len() >= 2);
+        let s = DeadlineScheduler::new(&l, SchedulerConfig::default());
+        // Full model: 40 ms fixed-free per frame; cheap rungs: 5 ms.
+        for _ in 0..300 {
+            s.observe_batch(0, 1, 0.040);
+            for level in 1..l.len() {
+                s.observe_batch(level, 1, 0.005);
+            }
+        }
+        // A 30 ms head budget excludes the 40 ms full model entirely but
+        // fits several 5 ms frames on a cheap rung: the prefix batches
+        // there instead of dropping or running one frame.
+        let (k, level) = s.admit_prefix(&[0.030; 8]).expect("admits");
+        assert!(k >= 2, "expected a multi-frame batch, got k={k}");
+        assert!(level > 0, "the 40 ms full model cannot fit a 30 ms budget");
+        // When only one frame is offered, the most accurate fitting rung
+        // wins the tie — per-frame admission and the prefix agree.
+        match (s.admit_budget(0.100), s.admit_prefix(&[0.100])) {
+            (Admission::Run { level: a }, Some((1, b))) => assert_eq!(a, b),
+            other => panic!("divergent single-frame verdicts: {other:?}"),
         }
     }
 

@@ -1,0 +1,347 @@
+//! Fleet-serving benchmark: multiplex hundreds of sensor streams over one
+//! shared worker pool with cross-stream batching, and compare against the
+//! same streams served by independent single-stream pipelines.
+//!
+//! Three modes:
+//!
+//! * `--mode compare` (default) — runs the saturate-mode fleet (shared
+//!   pool, cross-stream batches up to `--max-batch`) and the independent
+//!   baseline (one dedicated single-stream pipeline per stream, all
+//!   running concurrently, each with its own stage threads, queues and
+//!   workspaces) over the same streams, and reports both aggregate
+//!   throughput numbers. The delta is the consolidation win: a handful of
+//!   shared workers with cross-stream batching replaces hundreds of
+//!   dedicated pipelines, while every frame's detections stay
+//!   bit-identical to its solo run (asserted by
+//!   `crates/serve/tests/fleet.rs`).
+//! * `--mode realtime` — replays every stream's arrival schedule against
+//!   the wall clock with per-stream deadlines; the report shows per-tenant
+//!   accounting (admitted = completed + degraded + dropped + failed for
+//!   every stream), starvation boosts, and Jain fairness.
+//! * `--mode saturate` — just the batched fleet arm, lossless.
+//!
+//! Run with `cargo run --release --bin fleet -- [--streams N] [--frames K]
+//! [--workers W] [--max-batch B] [--detector lidar|camera]
+//! [--mode compare|realtime|saturate] [--threads N]`.
+//! The JSON report lands in `target/upaq-results/fleet.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+use upaq_bench::harness::save_result;
+use upaq_bench::table::print_table;
+use upaq_hwmodel::DeviceProfile;
+use upaq_json::{json, ToJson, Value};
+use upaq_kitti::fleet::{FleetScenario, FleetScenarioConfig};
+use upaq_kitti::stream::{FrameStream, SensorData};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::smoke::{Smoke, SmokeConfig};
+use upaq_models::StreamingDetector;
+use upaq_runtime::{Pipeline, PipelineConfig, VariantLadder};
+use upaq_serve::{FleetConfig, FleetMode, FleetReport, FleetServer};
+
+const SEED: u64 = 2025;
+
+struct Args {
+    streams: usize,
+    frames: u64,
+    workers: usize,
+    max_batch: usize,
+    detector: String,
+    mode: String,
+    threads: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        streams: 128,
+        frames: 4,
+        workers: 2,
+        max_batch: 4,
+        detector: "lidar".into(),
+        mode: "compare".into(),
+        threads: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut positive = |flag: &str| -> Result<usize, String> {
+            let v: usize = args
+                .next()
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|e| format!("bad {flag} value: {e}"))?;
+            if v == 0 {
+                return Err(format!("{flag} must be positive"));
+            }
+            Ok(v)
+        };
+        match arg.as_str() {
+            "--streams" => parsed.streams = positive("--streams")?,
+            "--frames" => parsed.frames = positive("--frames")? as u64,
+            "--workers" => parsed.workers = positive("--workers")?,
+            "--max-batch" => parsed.max_batch = positive("--max-batch")?,
+            "--threads" => parsed.threads = positive("--threads")?,
+            "--detector" => {
+                parsed.detector = args
+                    .next()
+                    .ok_or_else(|| "--detector needs a value".to_string())?;
+                if !matches!(parsed.detector.as_str(), "lidar" | "camera") {
+                    return Err(format!(
+                        "unknown detector `{}` (expected lidar|camera)",
+                        parsed.detector
+                    ));
+                }
+            }
+            "--mode" => {
+                parsed.mode = args
+                    .next()
+                    .ok_or_else(|| "--mode needs a value".to_string())?;
+                if !matches!(parsed.mode.as_str(), "compare" | "realtime" | "saturate") {
+                    return Err(format!(
+                        "unknown mode `{}` (expected compare|realtime|saturate)",
+                        parsed.mode
+                    ));
+                }
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The independent baseline: one dedicated single-stream [`Pipeline`] per
+/// stream, all running concurrently — the per-stream deployment model the
+/// fleet consolidates away. Each pipeline is deterministic (lossless, no
+/// pacing, full model on every frame), so it does exactly the work the
+/// saturate-mode fleet does; what it cannot do is share workers or batch
+/// across tenants, and every pipeline brings its own stage threads,
+/// queues, and workspaces. Frame streams are synthesized before the clock
+/// starts, symmetric with `FleetServer::run`.
+fn run_independent<D: StreamingDetector>(
+    ladder: &VariantLadder<D>,
+    scenario: &FleetScenario,
+) -> (u64, f64)
+where
+    D::Input: SensorData,
+{
+    let streams: Vec<FrameStream<D::Input>> = scenario
+        .profiles()
+        .iter()
+        .map(|p| scenario.stream::<D::Input>(p.id))
+        .collect();
+    let frames = scenario.config().frames_per_stream;
+    let delivered = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for stream in streams {
+            let ladder = ladder.clone();
+            let delivered = &delivered;
+            s.spawn(move || {
+                let pipeline = Pipeline::new(
+                    ladder,
+                    PipelineConfig {
+                        frames,
+                        backbone_workers: 1,
+                        max_batch: 1,
+                        deterministic: true,
+                        scenario: "independent".into(),
+                        ..PipelineConfig::default()
+                    },
+                );
+                let outcome = pipeline.run(stream);
+                delivered.fetch_add(outcome.report.frames_completed, Ordering::Relaxed);
+            });
+        }
+    });
+    (
+        delivered.load(Ordering::Relaxed),
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+fn summarize(
+    label: &str,
+    delivered: u64,
+    duration_s: f64,
+    report: Option<&FleetReport>,
+) -> Vec<String> {
+    let fps = if duration_s > 0.0 {
+        delivered as f64 / duration_s
+    } else {
+        0.0
+    };
+    vec![
+        label.to_string(),
+        format!("{delivered}"),
+        format!("{duration_s:.3}"),
+        format!("{fps:.1}"),
+        report.map_or("-".into(), |r| format!("{:.2}", r.mean_batch_size)),
+        report.map_or("-".into(), |r| format!("{}", r.cross_stream_batches)),
+        report.map_or("-".into(), |r| format!("{:.2}", r.amortized_backbone_ms)),
+        report.map_or("-".into(), |r| format!("{:.3}", r.fairness_jain)),
+    ]
+}
+
+fn run_fleet<D: StreamingDetector>(args: &Args, ladder: VariantLadder<D>, scenario: FleetScenario)
+where
+    D::Input: SensorData,
+{
+    let mut doc: Vec<(String, Value)> = vec![(
+        "config".into(),
+        json!({
+            "streams": args.streams,
+            "frames_per_stream": args.frames,
+            "workers": args.workers,
+            "max_batch": args.max_batch,
+            "detector": args.detector,
+            "mode": args.mode,
+            "threads": args.threads,
+        }),
+    )];
+    let mut rows = Vec::new();
+
+    if args.mode == "realtime" {
+        println!(
+            "Realtime fleet: {} streams × {} frames, {} workers, max batch {}…",
+            args.streams, args.frames, args.workers, args.max_batch
+        );
+        let server = FleetServer::new(
+            ladder,
+            scenario,
+            FleetConfig {
+                workers: args.workers,
+                max_batch: args.max_batch,
+                mode: FleetMode::Realtime,
+                ..FleetConfig::default()
+            },
+        );
+        let report = server.run().report;
+        rows.push(summarize(
+            "fleet (realtime)",
+            report.delivered(),
+            report.duration_s,
+            Some(&report),
+        ));
+        println!(
+            "  delivered {}/{} ({} degraded, {} dropped, {} boosts, Jain {:.3})",
+            report.delivered(),
+            report.admitted,
+            report.degraded,
+            report.dropped_backpressure + report.dropped_deadline,
+            report.boosts,
+            report.fairness_jain,
+        );
+        doc.push(("realtime".into(), report.to_json()));
+    } else {
+        if args.mode == "compare" {
+            println!(
+                "Independent baseline: {} dedicated single-stream pipelines, concurrently…",
+                args.streams
+            );
+            let (delivered, duration_s) = run_independent(&ladder, &scenario);
+            let fps = delivered as f64 / duration_s.max(f64::MIN_POSITIVE);
+            rows.push(summarize("independent", delivered, duration_s, None));
+            doc.push((
+                "independent".into(),
+                json!({
+                    "delivered": delivered,
+                    "duration_s": duration_s,
+                    "fps": fps,
+                }),
+            ));
+        }
+        println!(
+            "Fleet: {} streams × {} frames, {} workers, cross-stream batches up to {}…",
+            args.streams, args.frames, args.workers, args.max_batch
+        );
+        let server = FleetServer::new(
+            ladder,
+            scenario,
+            FleetConfig {
+                workers: args.workers,
+                max_batch: args.max_batch,
+                mode: FleetMode::Saturate,
+                ..FleetConfig::default()
+            },
+        );
+        let report = server.run().report;
+        rows.push(summarize(
+            "fleet (batched)",
+            report.delivered(),
+            report.duration_s,
+            Some(&report),
+        ));
+        if args.mode == "compare" {
+            let base_fps = doc
+                .iter()
+                .find(|(k, _)| k == "independent")
+                .and_then(|(_, v)| v.get("fps"))
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let fleet_fps = report.delivered() as f64 / report.duration_s.max(f64::MIN_POSITIVE);
+            let speedup = if base_fps > 0.0 {
+                fleet_fps / base_fps
+            } else {
+                0.0
+            };
+            println!(
+                "  aggregate throughput: fleet {fleet_fps:.1} fps vs independent {base_fps:.1} fps ({speedup:.2}×)"
+            );
+            doc.push(("speedup".into(), json!(speedup)));
+        }
+        doc.push(("fleet".into(), report.to_json()));
+    }
+
+    println!("\nFleet summary:");
+    print_table(
+        &[
+            "Arm",
+            "Delivered",
+            "Duration (s)",
+            "Agg FPS",
+            "Avg batch",
+            "Cross batches",
+            "Amort (ms)",
+            "Jain",
+        ],
+        &rows,
+    );
+
+    let value = Value::Obj(doc);
+    println!("\nFull report (fleet.json):");
+    println!("{}", value.pretty());
+    save_result("fleet", &value).expect("failed to save fleet.json");
+    println!("\nSaved to target/upaq-results/fleet.json");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let args = parse_args().map_err(|e| {
+        format!(
+            "{e}\nusage: fleet [--streams N] [--frames K] [--workers W] [--max-batch B] \
+             [--detector lidar|camera] [--mode compare|realtime|saturate] [--threads N]"
+        )
+    })?;
+    upaq_tensor::ops::TensorParallel::set_threads(args.threads);
+    println!("Fleet serving: cross-stream batching over one shared worker pool");
+
+    let device = DeviceProfile::jetson_orin_nano();
+    let mut config = FleetScenarioConfig {
+        streams: args.streams,
+        frames_per_stream: args.frames,
+        ..FleetScenarioConfig::default()
+    };
+
+    if args.detector == "camera" {
+        let smoke_cfg = SmokeConfig::tiny();
+        config.dataset.camera = smoke_cfg.calib.clone();
+        let scenario = FleetScenario::build(config, SEED);
+        let det = Smoke::build(&smoke_cfg)?;
+        let ladder = VariantLadder::build(det, &device, SEED)?;
+        run_fleet(&args, ladder, scenario);
+    } else {
+        let scenario = FleetScenario::build(config, SEED);
+        let det = PointPillars::build(&PointPillarsConfig::tiny())?;
+        let ladder = VariantLadder::build(det, &device, SEED)?;
+        run_fleet(&args, ladder, scenario);
+    }
+    Ok(())
+}
