@@ -15,7 +15,7 @@
 //!    detector across `threads × batch`.
 //! 4. **Per-stage breakdown**: mean latency of each serving stage —
 //!    pillarize (preprocess), backbone, decode, NMS (refine + dedupe for
-//!    LiDAR; structurally empty for SMOKE) — on the steady-state packed
+//!    LiDAR; candidate suppression for SMOKE) — on the steady-state packed
 //!    level-0 detector, after asserting the composed stages reproduce
 //!    `postprocess` bit for bit.
 //!
@@ -29,7 +29,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::time::Instant;
-use upaq_det3d::{decode, decode_camera, nms, refine_all, Box3d};
+use upaq_det3d::{
+    decode, decode_camera, decode_camera_candidates, nms, nms_top_k, refine_all, Box3d,
+};
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::{json, Value};
 use upaq_kitti::camera::CameraImage;
@@ -347,6 +349,7 @@ where
                 source_interval_s: 0.0,
                 slow_backbone_s: 0.0,
                 max_batch: batch,
+                postprocess_workers: 2,
                 deterministic: true,
                 scenario: format!("bench-t{threads}-b{batch}"),
             };
@@ -475,8 +478,10 @@ fn lidar_stage_breakdown(
 }
 
 /// Per-stage latency breakdown of the camera path: preprocess (the NCHW
-/// copy) → backbone → decode. SMOKE lifts boxes directly from the head
-/// output, so its NMS stage is structurally empty and reported as such.
+/// copy) → backbone → decode (the candidate scan + keypoint lifting) →
+/// NMS over the lifted candidates. The decode/NMS split mirrors the
+/// lidar breakdown, so the camera NMS row now reports real iterations
+/// instead of the structurally-zero placeholder it used to.
 fn camera_stage_breakdown(
     det: &CameraDetector,
     images: &[CameraImage],
@@ -487,8 +492,14 @@ fn camera_stage_breakdown(
         .iter()
         .map(|im| det.head_output(im))
         .collect::<Result<_, _>>()?;
-    for (head, image) in heads.iter().zip(images) {
-        if decode_camera(head, &det.head_spec) != det.postprocess(head, image) {
+    let spec = &det.head_spec;
+    let candidates: Vec<Vec<Box3d>> = heads
+        .iter()
+        .map(|h| decode_camera_candidates(h, spec))
+        .collect();
+    for ((head, image), cands) in heads.iter().zip(images).zip(&candidates) {
+        let composed = nms_top_k(cands.clone(), spec.nms_iou, spec.max_detections);
+        if composed != det.postprocess(head, image) || composed != decode_camera(head, spec) {
             return Err("camera stage composition diverged from postprocess".into());
         }
     }
@@ -528,12 +539,25 @@ fn camera_stage_breakdown(
         "camera",
         "decode",
         time_stage_ms(iters, || {
-            std::hint::black_box(decode_camera(&heads[i % heads.len()], &det.head_spec));
+            std::hint::black_box(decode_camera_candidates(
+                &heads[i % heads.len()],
+                &det.head_spec,
+            ));
             i += 1;
         }),
         iters,
     ));
-    rows.push(stage_row("camera", "nms", 0.0, 0));
+    let mut i = 0;
+    rows.push(stage_row(
+        "camera",
+        "nms",
+        time_stage_ms(iters, || {
+            let cands = candidates[i % candidates.len()].clone();
+            std::hint::black_box(nms_top_k(cands, spec.nms_iou, spec.max_detections));
+            i += 1;
+        }),
+        iters,
+    ));
     Ok(rows)
 }
 

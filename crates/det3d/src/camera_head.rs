@@ -12,7 +12,8 @@
 
 use crate::box3d::Box3d;
 use crate::head::REGRESSION_CHANNELS;
-use crate::nms::nms;
+use crate::nms::nms_top_k;
+use crate::scan::{logit, meets_threshold, prefilter_logit, scan_cells, sigmoid};
 use serde::{Deserialize, Serialize};
 use upaq_kitti::camera::CameraCalib;
 use upaq_kitti::ObjectClass;
@@ -72,14 +73,6 @@ impl CameraHeadSpec {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-fn logit(p: f32) -> f32 {
-    (p / (1.0 - p)).ln()
-}
-
 /// Lifts an image-grid cell plus regressed values into a 3D box.
 fn lift(
     spec: &CameraHeadSpec,
@@ -120,37 +113,80 @@ fn lift(
 ///
 /// Panics when `output` does not match [`CameraHeadSpec::output_shape`].
 pub fn decode_camera(output: &Tensor, spec: &CameraHeadSpec) -> Vec<Box3d> {
+    let candidates = decode_camera_candidates(output, spec);
+    nms_top_k(candidates, spec.nms_iou, spec.max_detections)
+}
+
+/// The candidate-scan half of [`decode_camera`]: every above-threshold
+/// cell lifted to a 3D box, in cell order, before NMS.
+///
+/// Uses the logit-domain prefilter and chunked pool scan from
+/// [`crate::scan`]; the emitted list is bit-identical to
+/// [`decode_camera_candidates_reference`] at any thread count.
+pub fn decode_camera_candidates(output: &Tensor, spec: &CameraHeadSpec) -> Vec<Box3d> {
     assert_eq!(
         output.shape(),
         &spec.output_shape(),
         "camera head output shape mismatch"
     );
-    let (h, w) = (spec.grid_h(), spec.grid_w());
-    let n_cells = h * w;
+    let w = spec.grid_w();
+    let n_cells = spec.grid_h() * w;
+    let data = output.as_slice();
+    let reg_base = spec.num_classes * n_cells;
+    let raw_floor = prefilter_logit(spec.score_threshold);
+
+    scan_cells(n_cells, |idx, out| {
+        for ci in 0..spec.num_classes {
+            let class = match ObjectClass::from_index(ci) {
+                Some(c) => c,
+                None => continue,
+            };
+            let raw = data[ci * n_cells + idx];
+            if raw < raw_floor {
+                continue;
+            }
+            let score = sigmoid(raw);
+            if !meets_threshold(score, spec.score_threshold) {
+                continue;
+            }
+            let (gv, gu) = (idx / w, idx % w);
+            let reg = |k: usize| data[reg_base + k * n_cells + idx];
+            out.push(lift(spec, class, gu, gv, &reg, score));
+        }
+    })
+}
+
+/// Serial sigmoid-domain oracle for [`decode_camera_candidates`]: no
+/// prefilter, no parallelism — the bit-identity baseline the fast scan is
+/// gated against.
+pub fn decode_camera_candidates_reference(output: &Tensor, spec: &CameraHeadSpec) -> Vec<Box3d> {
+    assert_eq!(
+        output.shape(),
+        &spec.output_shape(),
+        "camera head output shape mismatch"
+    );
+    let w = spec.grid_w();
+    let n_cells = spec.grid_h() * w;
     let data = output.as_slice();
     let reg_base = spec.num_classes * n_cells;
 
-    let mut candidates = Vec::new();
-    for gv in 0..h {
-        for gu in 0..w {
-            let idx = gv * w + gu;
-            for ci in 0..spec.num_classes {
-                let score = sigmoid(data[ci * n_cells + idx]);
-                if score < spec.score_threshold {
-                    continue;
-                }
-                let class = match ObjectClass::from_index(ci) {
-                    Some(c) => c,
-                    None => continue,
-                };
-                let reg = |k: usize| data[reg_base + k * n_cells + idx];
-                candidates.push(lift(spec, class, gu, gv, &reg, score));
+    let mut out = Vec::new();
+    for idx in 0..n_cells {
+        for ci in 0..spec.num_classes {
+            let class = match ObjectClass::from_index(ci) {
+                Some(c) => c,
+                None => continue,
+            };
+            let score = sigmoid(data[ci * n_cells + idx]);
+            if !meets_threshold(score, spec.score_threshold) {
+                continue;
             }
+            let (gv, gu) = (idx / w, idx % w);
+            let reg = |k: usize| data[reg_base + k * n_cells + idx];
+            out.push(lift(spec, class, gu, gv, &reg, score));
         }
     }
-    let mut kept = nms(candidates, spec.nms_iou);
-    kept.truncate(spec.max_detections);
-    kept
+    out
 }
 
 /// Encodes ground-truth boxes into the ideal camera-head output (inverse of
@@ -321,5 +357,29 @@ mod tests {
     fn wrong_shape_panics() {
         let s = spec();
         let _ = decode_camera(&Tensor::zeros(Shape::nchw(1, 11, 4, 4)), &s);
+    }
+
+    /// Regression: NaN score logits must not emit boxes (the old
+    /// `score < threshold` check passed NaN through to NMS), and the fast
+    /// candidate scan must agree with the serial oracle on poisoned maps.
+    #[test]
+    fn nan_logits_never_emit() {
+        let spec = spec();
+        let gt = vec![car(20.0, 2.0, 0.5)];
+        let mut poisoned = encode_camera_targets(&gt, &spec);
+        {
+            let data = poisoned.as_mut_slice();
+            data[0] = f32::NAN; // emitted a NaN-score box before the fix
+            data[1] = f32::INFINITY; // saturates to a score of exactly 1.0
+        }
+        let decoded = decode_camera(&poisoned, &spec);
+        assert!(
+            decoded.iter().all(|b| b.score.is_finite()),
+            "non-finite score emitted: {decoded:?}"
+        );
+        assert_eq!(
+            decode_camera_candidates(&poisoned, &spec),
+            decode_camera_candidates_reference(&poisoned, &spec)
+        );
     }
 }

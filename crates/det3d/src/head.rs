@@ -7,8 +7,9 @@
 //! standard SSD-style parameterization PointPillars uses.
 
 use crate::box3d::Box3d;
-use crate::nms::nms;
+use crate::nms::nms_top_k;
 use crate::pillars::BevGrid;
+use crate::scan::{logit, meets_threshold, prefilter_logit, scan_cells, sigmoid};
 use serde::{Deserialize, Serialize};
 use upaq_kitti::ObjectClass;
 use upaq_tensor::{Shape, Tensor};
@@ -54,68 +55,127 @@ impl HeadSpec {
     }
 }
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-fn logit(p: f32) -> f32 {
-    (p / (1.0 - p)).ln()
+/// Builds the decoded box for one above-threshold `(cell, class)` site.
+/// One shared body keeps the fast path and the reference oracle
+/// bit-identical by construction.
+#[inline]
+fn decode_site(
+    spec: &HeadSpec,
+    data: &[f32],
+    n_cells: usize,
+    idx: usize,
+    class: ObjectClass,
+    score: f32,
+) -> Box3d {
+    let w = spec.grid.cells_y;
+    let (cell_dx, cell_dy) = spec.grid.cell_size();
+    let reg_base = spec.num_classes * n_cells;
+    let (cx, cy) = (idx / w, idx % w);
+    let (ccx, ccy) = spec.grid.cell_center(cx, cy);
+    let reg = |k: usize| data[reg_base + k * n_cells + idx];
+    let (al, aw, ah) = class.mean_dims();
+    let x = ccx + reg(0).clamp(-2.0, 2.0) * cell_dx;
+    let y = ccy + reg(1).clamp(-2.0, 2.0) * cell_dy;
+    let z = reg(2);
+    let l = al * reg(3).clamp(-1.5, 1.5).exp();
+    let wd = aw * reg(4).clamp(-1.5, 1.5).exp();
+    let ht = ah * reg(5).clamp(-1.5, 1.5).exp();
+    let yaw = reg(6).atan2(reg(7));
+    Box3d {
+        class,
+        center: [x, y, z],
+        dims: [l, wd, ht],
+        yaw,
+        score,
+    }
 }
 
 /// Decodes a head-output tensor into final detections (threshold → box
-/// decode → per-class NMS → top-k).
+/// decode → class-bucketed NMS → top-k).
 ///
 /// # Panics
 ///
 /// Panics when `output` does not have the shape [`HeadSpec::output_shape`].
 pub fn decode(output: &Tensor, spec: &HeadSpec) -> Vec<Box3d> {
+    let candidates = decode_candidates(output, spec);
+    nms_top_k(candidates, spec.nms_iou, spec.max_detections)
+}
+
+/// The pre-NMS candidate scan of [`decode`]: every `(cell, class)` site
+/// whose sigmoid score meets `score_threshold`, in ascending cell order
+/// (classes inner). Non-finite scores (NaN logits) are rejected — they
+/// used to slip through the threshold and poison the NMS sort.
+///
+/// The scan compares raw logits against a precomputed conservative
+/// `logit(score_threshold)` bound first, so below-threshold cells skip
+/// the `sigmoid`/`exp`/`atan2` transcendentals entirely, and it runs
+/// chunked over the persistent worker pool when kernel parallelism is
+/// enabled. Both shortcuts are bit-identical to
+/// [`decode_candidates_reference`], which the decode-identity proptests
+/// assert as raw bits.
+///
+/// # Panics
+///
+/// Panics when `output` does not have the shape [`HeadSpec::output_shape`].
+pub fn decode_candidates(output: &Tensor, spec: &HeadSpec) -> Vec<Box3d> {
     assert_eq!(
         output.shape(),
         &spec.output_shape(),
         "head output shape mismatch"
     );
-    let (h, w) = (spec.grid.cells_x, spec.grid.cells_y);
-    let n_cells = h * w;
+    let n_cells = spec.grid.cells_x * spec.grid.cells_y;
     let data = output.as_slice();
-    let (cell_dx, cell_dy) = spec.grid.cell_size();
-    let reg_base = spec.num_classes * n_cells;
+    let raw_floor = prefilter_logit(spec.score_threshold);
 
-    let mut candidates = Vec::new();
-    for cx in 0..h {
-        for cy in 0..w {
-            let idx = cx * w + cy;
-            for ci in 0..spec.num_classes {
-                let score = sigmoid(data[ci * n_cells + idx]);
-                if score < spec.score_threshold {
-                    continue;
-                }
-                let class = match ObjectClass::from_index(ci) {
-                    Some(c) => c,
-                    None => continue,
-                };
-                let (ccx, ccy) = spec.grid.cell_center(cx, cy);
-                let reg = |k: usize| data[reg_base + k * n_cells + idx];
-                let (al, aw, ah) = class.mean_dims();
-                let x = ccx + reg(0).clamp(-2.0, 2.0) * cell_dx;
-                let y = ccy + reg(1).clamp(-2.0, 2.0) * cell_dy;
-                let z = reg(2);
-                let l = al * reg(3).clamp(-1.5, 1.5).exp();
-                let wd = aw * reg(4).clamp(-1.5, 1.5).exp();
-                let ht = ah * reg(5).clamp(-1.5, 1.5).exp();
-                let yaw = reg(6).atan2(reg(7));
-                candidates.push(Box3d {
-                    class,
-                    center: [x, y, z],
-                    dims: [l, wd, ht],
-                    yaw,
-                    score,
-                });
+    scan_cells(n_cells, |idx, out| {
+        for ci in 0..spec.num_classes {
+            // Class check first: an out-of-range channel must not pay the
+            // transcendentals on every cell it covers.
+            let class = match ObjectClass::from_index(ci) {
+                Some(c) => c,
+                None => continue,
+            };
+            let raw = data[ci * n_cells + idx];
+            if raw < raw_floor {
+                continue;
             }
+            let score = sigmoid(raw);
+            if !meets_threshold(score, spec.score_threshold) {
+                continue;
+            }
+            out.push(decode_site(spec, data, n_cells, idx, class, score));
+        }
+    })
+}
+
+/// The naive serial sigmoid-domain scan — the oracle the optimized
+/// [`decode_candidates`] is tested against, mirroring how the tensor
+/// kernels keep their spawn-per-call baseline. Semantics are identical
+/// (same candidate set, same NaN rejection); only the shortcuts differ:
+/// no logit prefilter, no chunked parallelism.
+pub fn decode_candidates_reference(output: &Tensor, spec: &HeadSpec) -> Vec<Box3d> {
+    assert_eq!(
+        output.shape(),
+        &spec.output_shape(),
+        "head output shape mismatch"
+    );
+    let n_cells = spec.grid.cells_x * spec.grid.cells_y;
+    let data = output.as_slice();
+    let mut out = Vec::new();
+    for idx in 0..n_cells {
+        for ci in 0..spec.num_classes {
+            let class = match ObjectClass::from_index(ci) {
+                Some(c) => c,
+                None => continue,
+            };
+            let score = sigmoid(data[ci * n_cells + idx]);
+            if !meets_threshold(score, spec.score_threshold) {
+                continue;
+            }
+            out.push(decode_site(spec, data, n_cells, idx, class, score));
         }
     }
-    let mut kept = nms(candidates, spec.nms_iou);
-    kept.truncate(spec.max_detections);
-    kept
+    out
 }
 
 /// Encodes ground-truth boxes into the ideal head output — the inverse of
@@ -304,6 +364,37 @@ mod tests {
         let s = spec();
         let bad = Tensor::zeros(Shape::nchw(1, 3, 32, 32));
         let _ = decode(&bad, &s);
+    }
+
+    /// Regression: a NaN score logit used to pass `score < threshold`
+    /// (false for NaN) and emit a NaN-score box that poisoned the NMS
+    /// sort. Non-finite scores must never be emitted; ±∞ logits saturate
+    /// to legitimate 1.0 / 0.0 scores instead.
+    #[test]
+    fn nan_logits_never_emit_and_inf_saturates() {
+        let spec = spec();
+        let gt = vec![car(20.0, 5.0, 0.4)];
+        let mut poisoned = encode_targets(&gt, &spec);
+        {
+            let data = poisoned.as_mut_slice();
+            data[0] = f32::NAN; // would emit a NaN-score box before the fix
+            data[1] = f32::INFINITY; // sigmoid → exactly 1.0: a real hit
+            data[2] = f32::NEG_INFINITY; // sigmoid → 0.0: below threshold
+        }
+        let decoded = decode(&poisoned, &spec);
+        assert!(
+            decoded.iter().all(|b| b.score.is_finite()),
+            "non-finite score emitted: {decoded:?}"
+        );
+        assert!(
+            decoded.iter().any(|b| b.score == 1.0),
+            "+inf logit must saturate to a score-1.0 detection"
+        );
+        // The candidate scan agrees with the serial sigmoid-domain oracle
+        // even on the poisoned map, bit for bit.
+        let fast = decode_candidates(&poisoned, &spec);
+        let reference = decode_candidates_reference(&poisoned, &spec);
+        assert_eq!(fast, reference);
     }
 
     #[test]

@@ -40,12 +40,16 @@ pub mod map;
 pub mod nms;
 pub mod pillars;
 pub mod refine;
+mod scan;
 
 pub use box3d::Box3d;
-pub use camera_head::{decode_camera, encode_camera_targets, CameraHeadSpec};
+pub use camera_head::{
+    decode_camera, decode_camera_candidates, decode_camera_candidates_reference,
+    encode_camera_targets, CameraHeadSpec,
+};
 pub use eval::{evaluate_detections, EvalResult};
-pub use head::{decode, encode_targets, HeadSpec};
+pub use head::{decode, decode_candidates, decode_candidates_reference, encode_targets, HeadSpec};
 pub use map::{average_precision, mean_average_precision, FrameBox};
-pub use nms::nms;
+pub use nms::{nms, nms_top_k};
 pub use pillars::{pillarize, BevGrid, PillarConfig};
 pub use refine::{refine_all, refine_box, RefineConfig};

@@ -1,29 +1,119 @@
-//! Greedy non-maximum suppression over BEV IoU.
+//! Greedy non-maximum suppression over BEV IoU, bucketed by class.
+//!
+//! Suppression is greedy in descending score order and only ever happens
+//! *within* a class, so candidates are partitioned into per-class buckets
+//! before the O(n²) loop — cross-class pairs, which the flat loop used to
+//! compare on every pass, are never even visited. Two further exact
+//! shortcuts keep the loop cheap on dense candidate sets:
+//!
+//! * a conservative footprint-radius reject skips the polygon-clipping
+//!   IoU for pairs whose BEV footprints provably cannot intersect
+//!   (their IoU is exactly zero, which never suppresses at a
+//!   non-negative threshold);
+//! * [`nms_top_k`] stops scanning a bucket once it has kept `max_keep`
+//!   boxes — everything below them in that bucket would fall outside the
+//!   global top-k anyway.
+//!
+//! Ordering is total and deterministic: scores compare via
+//! [`f32::total_cmp`] and ties resolve by submission index, so even
+//! non-finite scores (which `decode` no longer emits, but defensive
+//! callers may) produce the same output on every run.
 
 use crate::box3d::Box3d;
 use crate::iou::bev_iou;
+use upaq_kitti::ObjectClass;
 
-/// Suppresses overlapping detections: boxes are visited in descending score
-/// order; a box is kept unless it overlaps an already-kept box *of the same
-/// class* with BEV IoU above `iou_threshold`.
+/// A kept box plus the metadata the suppression loop needs: its position
+/// in the submission order (the deterministic tiebreak) and its
+/// precomputed footprint radius (the cheap overlap reject).
+struct Kept {
+    order: usize,
+    radius: f32,
+    boxed: Box3d,
+}
+
+/// Half the diagonal of the BEV footprint plus a safety margin: every
+/// point of the footprint lies within this planar radius of the centre,
+/// with slack covering the f32 rounding in corner construction.
+fn footprint_radius(b: &Box3d) -> f32 {
+    let (l, w) = (b.dims[0], b.dims[1]);
+    0.5 * (l * l + w * w).sqrt() + 0.05
+}
+
+/// `true` when the two footprints provably cannot intersect, making their
+/// BEV IoU exactly zero. Conservative: `false` never implies overlap.
+fn cannot_overlap(a: &Box3d, a_radius: f32, b: &Box3d, b_radius: f32) -> bool {
+    let dx = a.center[0] - b.center[0];
+    let dy = a.center[1] - b.center[1];
+    let reach = a_radius + b_radius;
+    dx * dx + dy * dy > reach * reach
+}
+
+/// Suppresses overlapping detections: boxes are visited in descending
+/// score order; a box is kept unless it overlaps an already-kept box *of
+/// the same class* with BEV IoU above `iou_threshold`.
 ///
-/// Returns the surviving boxes in descending score order.
-pub fn nms(mut detections: Vec<Box3d>, iou_threshold: f32) -> Vec<Box3d> {
-    detections.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    let mut kept: Vec<Box3d> = Vec::with_capacity(detections.len());
-    for det in detections {
-        let suppressed = kept
-            .iter()
-            .any(|k| k.class == det.class && bev_iou(k, &det) > iou_threshold);
-        if !suppressed {
-            kept.push(det);
+/// Returns the surviving boxes in descending score order
+/// ([`f32::total_cmp`], ties broken by input order).
+pub fn nms(detections: Vec<Box3d>, iou_threshold: f32) -> Vec<Box3d> {
+    nms_top_k(detections, iou_threshold, usize::MAX)
+}
+
+/// [`nms`] with an exact top-k cap: returns the first `max_keep` boxes
+/// the uncapped suppression would keep, without computing the rest.
+///
+/// The cap is applied per class bucket *and* globally, which is exact: a
+/// box kept below `max_keep` same-class survivors is ranked below
+/// `max_keep` boxes globally too, so it can never enter the global top-k.
+pub fn nms_top_k(detections: Vec<Box3d>, iou_threshold: f32, max_keep: usize) -> Vec<Box3d> {
+    // A zero IoU still exceeds a negative threshold, so the zero-IoU
+    // shortcut is only sound for the (universal) non-negative case.
+    let reject_by_distance = iou_threshold >= 0.0;
+
+    let mut buckets: Vec<Vec<(usize, Box3d)>> =
+        (0..ObjectClass::ALL.len()).map(|_| Vec::new()).collect();
+    for (order, det) in detections.into_iter().enumerate() {
+        buckets[det.class.index()].push((order, det));
+    }
+
+    let mut kept: Vec<Kept> = Vec::new();
+    for bucket in &mut buckets {
+        // Stable sort over a total order: equal scores (and any
+        // non-finite ones) resolve by submission index, deterministically.
+        bucket.sort_by(|a, b| b.1.score.total_cmp(&a.1.score));
+        let start = kept.len();
+        for (order, det) in bucket.drain(..) {
+            if kept.len() - start >= max_keep {
+                break;
+            }
+            let radius = footprint_radius(&det);
+            let suppressed = kept[start..].iter().any(|k| {
+                if reject_by_distance && cannot_overlap(&k.boxed, k.radius, &det, radius) {
+                    return false;
+                }
+                bev_iou(&k.boxed, &det) > iou_threshold
+            });
+            if !suppressed {
+                kept.push(Kept {
+                    order,
+                    radius,
+                    boxed: det,
+                });
+            }
         }
     }
-    kept
+
+    // Merge the per-class survivors back into one global descending-score
+    // list; the submission-index tiebreak reproduces the order a flat
+    // stable sort over all candidates would have produced.
+    kept.sort_by(|a, b| {
+        b.boxed
+            .score
+            .total_cmp(&a.boxed.score)
+            .then(a.order.cmp(&b.order))
+    });
+    kept.truncate(max_keep);
+    kept.into_iter().map(|k| k.boxed).collect()
 }
 
 #[cfg(test)]
@@ -81,5 +171,66 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].center[0], 10.0);
         assert_eq!(out[1].center[0], 13.5);
+    }
+
+    #[test]
+    fn equal_scores_keep_submission_order() {
+        // Three disjoint boxes with identical scores across two classes:
+        // the output must preserve the input order, not bucket order.
+        let mut ped = car(30.0, 0.7);
+        ped.class = ObjectClass::Pedestrian;
+        let boxes = vec![ped.clone(), car(10.0, 0.7), car(50.0, 0.7)];
+        let out = nms(boxes, 0.5);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].class, ObjectClass::Pedestrian);
+        assert_eq!(out[1].center[0], 10.0);
+        assert_eq!(out[2].center[0], 50.0);
+    }
+
+    #[test]
+    fn top_k_matches_uncapped_prefix() {
+        // Dense line of overlapping cars: the capped result must equal the
+        // truncated uncapped result, the exactness nms_top_k promises.
+        let boxes: Vec<Box3d> = (0..40)
+            .map(|i| car(10.0 + i as f32 * 0.8, 0.9 - i as f32 * 0.01))
+            .collect();
+        let full = nms(boxes.clone(), 0.3);
+        for k in [1usize, 2, 5, full.len(), full.len() + 10] {
+            let capped = nms_top_k(boxes.clone(), 0.3, k);
+            assert_eq!(capped.as_slice(), &full[..k.min(full.len())]);
+        }
+    }
+
+    #[test]
+    fn non_finite_scores_are_deterministic() {
+        // NaN/∞ scores must not panic and must order identically on every
+        // call (total_cmp ranks positive NaN above +∞, then by index).
+        let mut a = car(10.0, f32::NAN);
+        a.center[1] = 30.0; // disjoint from the others
+        let b = car(30.0, f32::INFINITY);
+        let c = car(50.0, 0.9);
+        let boxes = vec![c.clone(), a.clone(), b.clone()];
+        let first = nms(boxes.clone(), 0.3);
+        for _ in 0..8 {
+            let again = nms(boxes.clone(), 0.3);
+            assert_eq!(
+                first.len(),
+                again.len(),
+                "non-finite ordering must be stable"
+            );
+            for (x, y) in first.iter().zip(&again) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits());
+                assert_eq!(x.center, y.center);
+            }
+        }
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn far_apart_pairs_skip_iou_but_match_exact_semantics() {
+        // Boxes far beyond each other's footprint radii: kept regardless
+        // of threshold, exactly as a zero IoU dictates.
+        let out = nms(vec![car(10.0, 0.9), car(300.0, 0.8)], 0.0);
+        assert_eq!(out.len(), 2);
     }
 }

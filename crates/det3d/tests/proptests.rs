@@ -1,12 +1,90 @@
-//! Property-based tests for the geometric core: IoU, NMS, encode/decode.
+//! Property-based tests for the geometric core: IoU, NMS, encode/decode —
+//! and raw-bits identity gates for the optimized decode path (logit-domain
+//! prefilter + pooled candidate scan vs the serial sigmoid oracle, and
+//! bucketed NMS vs a flat greedy reference).
 
 use proptest::prelude::*;
 use upaq_det3d::box3d::Box3d;
-use upaq_det3d::head::{decode, encode_targets, HeadSpec};
+use upaq_det3d::camera_head::{
+    decode_camera_candidates, decode_camera_candidates_reference, CameraHeadSpec,
+};
+use upaq_det3d::head::{
+    decode, decode_candidates, decode_candidates_reference, encode_targets, HeadSpec,
+    REGRESSION_CHANNELS,
+};
 use upaq_det3d::iou::{bev_iou, iou_3d};
-use upaq_det3d::nms::nms;
+use upaq_det3d::nms::{nms, nms_top_k};
 use upaq_det3d::pillars::BevGrid;
+use upaq_kitti::camera::CameraCalib;
 use upaq_kitti::ObjectClass;
+use upaq_tensor::ops::TensorParallel;
+use upaq_tensor::Tensor;
+
+fn test_threads() -> usize {
+    std::env::var("UPAQ_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Raw-bits view of a box list: equality means not a single lane differs.
+fn bits(boxes: &[Box3d]) -> Vec<[u32; 9]> {
+    boxes
+        .iter()
+        .map(|b| {
+            [
+                b.score.to_bits(),
+                b.yaw.to_bits(),
+                b.center[0].to_bits(),
+                b.center[1].to_bits(),
+                b.center[2].to_bits(),
+                b.dims[0].to_bits(),
+                b.dims[1].to_bits(),
+                b.dims[2].to_bits(),
+                b.class.index() as u32,
+            ]
+        })
+        .collect()
+}
+
+/// A raw score-logit value: mostly finite (some near the threshold
+/// boundary), sometimes non-finite — the poison the decode rewrite must
+/// keep out.
+fn arb_logit() -> impl Strategy<Value = f32> {
+    // The shim's prop_oneof! chooses uniformly; repeating the finite range
+    // weights it ~5:1 against the non-finite poison values.
+    prop_oneof![
+        -6.0f32..18.0,
+        -6.0f32..18.0,
+        -6.0f32..18.0,
+        -6.0f32..18.0,
+        -6.0f32..18.0,
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+    ]
+}
+
+/// Flat greedy NMS oracle: one stable total-order sort over all classes,
+/// O(n²) suppression against every kept same-class box — the semantics the
+/// bucketed implementation must reproduce exactly.
+fn flat_nms_oracle(boxes: &[Box3d], threshold: f32, max_keep: usize) -> Vec<Box3d> {
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_by(|&a, &b| boxes[b].score.total_cmp(&boxes[a].score).then(a.cmp(&b)));
+    let mut kept: Vec<usize> = Vec::new();
+    for i in order {
+        if kept.len() >= max_keep {
+            break;
+        }
+        let suppressed = kept.iter().any(|&k| {
+            boxes[k].class == boxes[i].class && bev_iou(&boxes[k], &boxes[i]) > threshold
+        });
+        if !suppressed {
+            kept.push(i);
+        }
+    }
+    kept.into_iter().map(|i| boxes[i].clone()).collect()
+}
 
 fn arb_box() -> impl Strategy<Value = Box3d> {
     (
@@ -67,5 +145,84 @@ proptest! {
         prop_assert!(!decoded.is_empty(), "isolated box must decode");
         let best = decoded.iter().map(|d| bev_iou(d, &b)).fold(0.0f32, f32::max);
         prop_assert!(best > 0.75, "roundtrip IoU {best}");
+    }
+
+    /// Bucketed NMS (with its footprint-distance shortcut and per-bucket
+    /// top-k exit) must equal the flat greedy oracle exactly, capped and
+    /// uncapped, across mixed classes.
+    #[test]
+    fn bucketed_nms_matches_flat_oracle(
+        boxes in prop::collection::vec(
+            (arb_box(), 0usize..ObjectClass::ALL.len()).prop_map(|(mut b, ci)| {
+                b.class = ObjectClass::from_index(ci).unwrap();
+                b
+            }),
+            0..24,
+        ),
+        threshold in 0.05f32..0.7,
+        max_keep in 1usize..12,
+    ) {
+        let uncapped = nms(boxes.clone(), threshold);
+        prop_assert_eq!(bits(&uncapped), bits(&flat_nms_oracle(&boxes, threshold, usize::MAX)));
+        let capped = nms_top_k(boxes.clone(), threshold, max_keep);
+        prop_assert_eq!(bits(&capped), bits(&flat_nms_oracle(&boxes, threshold, max_keep)));
+    }
+
+    /// Logit-prefiltered pooled candidate scan vs the serial sigmoid
+    /// oracle, as raw bits, on a grid large enough to span several scan
+    /// chunks — with NaN/±∞ logits sprinkled in.
+    #[test]
+    fn lidar_decode_candidates_match_reference_bitwise(
+        background in -9.0f32..-1.0,
+        spikes in prop::collection::vec((0usize..1600, 0usize..3, arb_logit()), 0..48),
+    ) {
+        let spec = HeadSpec::kitti(BevGrid::kitti(40, 40));
+        let n_cells = spec.grid.cells_x * spec.grid.cells_y;
+        prop_assert_eq!(n_cells, 1600);
+        let mut data = vec![background; spec.num_classes * n_cells];
+        for k in 0..REGRESSION_CHANNELS {
+            for i in 0..n_cells {
+                data.push(((k * n_cells + i) % 17) as f32 * 0.1 - 0.8);
+            }
+        }
+        for &(idx, ci, v) in &spikes {
+            data[ci * n_cells + idx] = v;
+        }
+        let t = Tensor::from_vec(spec.output_shape(), data).unwrap();
+        let want = bits(&decode_candidates_reference(&t, &spec));
+        for threads in [1, 2, test_threads()] {
+            TensorParallel::set_threads(threads);
+            let got = bits(&decode_candidates(&t, &spec));
+            TensorParallel::set_threads(1);
+            prop_assert_eq!(&got, &want, "diverged at {} threads", threads);
+        }
+    }
+
+    /// Same gate for the camera head's scan.
+    #[test]
+    fn camera_decode_candidates_match_reference_bitwise(
+        background in -9.0f32..-1.0,
+        spikes in prop::collection::vec((0usize..1178, 0usize..3, arb_logit()), 0..48),
+    ) {
+        let spec = CameraHeadSpec::kitti(CameraCalib::kitti_small(124, 38), 2);
+        let n_cells = spec.grid_h() * spec.grid_w();
+        prop_assert_eq!(n_cells, 1178);
+        let mut data = vec![background; spec.num_classes * n_cells];
+        for k in 0..REGRESSION_CHANNELS {
+            for i in 0..n_cells {
+                data.push(((k * n_cells + i) % 13) as f32 * 0.1 - 0.6);
+            }
+        }
+        for &(idx, ci, v) in &spikes {
+            data[ci * n_cells + idx] = v;
+        }
+        let t = Tensor::from_vec(spec.output_shape(), data).unwrap();
+        let want = bits(&decode_camera_candidates_reference(&t, &spec));
+        for threads in [1, 2, test_threads()] {
+            TensorParallel::set_threads(threads);
+            let got = bits(&decode_camera_candidates(&t, &spec));
+            TensorParallel::set_threads(1);
+            prop_assert_eq!(&got, &want, "diverged at {} threads", threads);
+        }
     }
 }

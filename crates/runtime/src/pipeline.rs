@@ -68,6 +68,10 @@ pub struct PipelineConfig {
     /// Largest frame group a backbone worker may admit as one batched
     /// forward pass (1 = per-frame scheduling, the historical behaviour).
     pub max_batch: usize,
+    /// Postprocess worker threads (1 = the historical single decoder).
+    /// Decode itself also borrows the tensor worker pool for its candidate
+    /// scan, so this mainly buys overlap between frames' NMS phases.
+    pub postprocess_workers: usize,
     /// Lossless mode: blocking queues, no pacing, no scheduler — every
     /// frame runs the full model. Detections become bit-identical to
     /// batch `detect` calls.
@@ -86,6 +90,7 @@ impl Default for PipelineConfig {
             source_interval_s: 0.0,
             slow_backbone_s: 0.0,
             max_batch: 1,
+            postprocess_workers: 1,
             deterministic: false,
             scenario: "nominal".into(),
         }
@@ -313,38 +318,45 @@ where
                 })
                 .collect();
 
-            // Postprocess: decode, then bookkeeping.
-            let post = {
-                let (q_post, counters, scheduler) = (&q_post, &counters, &scheduler);
-                let (post_timer, e2e_timer) = (&post_timer, &e2e_timer);
-                let (meter, results) = (&meter, &results);
-                let deadline_s = cfg.scheduler.deadline_s;
-                s.spawn(move || {
-                    while let Some(job) = q_post.pop() {
-                        let variant = ladder.level(job.level);
-                        let t0 = Instant::now();
-                        let dets = variant.detector.postprocess(&job.head_out, &job.frame.data);
-                        let dt = t0.elapsed().as_secs_f64();
-                        post_timer.record(dt);
-                        if !deterministic {
-                            // Close the admission loop: future budgets cover
-                            // the frame's remaining work past the backbone.
-                            scheduler.observe_post(dt);
+            // Postprocess workers: decode, then bookkeeping. Every shared
+            // sink (timers, meter, results, counters) is lock-protected or
+            // atomic, and detections are sorted by frame id afterwards, so
+            // worker count never changes the outcome — only the overlap
+            // between frames' decode/NMS phases.
+            let post_workers: Vec<_> = (0..cfg.postprocess_workers.max(1))
+                .map(|_| {
+                    let (q_post, counters, scheduler) = (&q_post, &counters, &scheduler);
+                    let (post_timer, e2e_timer) = (&post_timer, &e2e_timer);
+                    let (meter, results) = (&meter, &results);
+                    let deadline_s = cfg.scheduler.deadline_s;
+                    s.spawn(move || {
+                        while let Some(job) = q_post.pop() {
+                            let variant = ladder.level(job.level);
+                            let t0 = Instant::now();
+                            let dets = variant.detector.postprocess(&job.head_out, &job.frame.data);
+                            let dt = t0.elapsed().as_secs_f64();
+                            post_timer.record(dt);
+                            if !deterministic {
+                                // Close the admission loop: future budgets
+                                // cover the frame's remaining work past the
+                                // backbone.
+                                scheduler.observe_post(dt);
+                            }
+                            let e2e = job.arrived.elapsed().as_secs_f64();
+                            e2e_timer.record(e2e);
+                            if !deterministic && e2e > deadline_s {
+                                Counters::bump(&counters.deadline_misses);
+                            }
+                            meter
+                                .lock()
+                                .unwrap()
+                                .record(&variant.name, variant.estimate.energy_j);
+                            Counters::bump(&counters.completed);
+                            results.lock().unwrap().push((job.frame.id, dets));
                         }
-                        let e2e = job.arrived.elapsed().as_secs_f64();
-                        e2e_timer.record(e2e);
-                        if !deterministic && e2e > deadline_s {
-                            Counters::bump(&counters.deadline_misses);
-                        }
-                        meter
-                            .lock()
-                            .unwrap()
-                            .record(&variant.name, variant.estimate.energy_j);
-                        Counters::bump(&counters.completed);
-                        results.lock().unwrap().push((job.frame.id, dets));
-                    }
+                    })
                 })
-            };
+                .collect();
 
             source.join().unwrap();
             pre.join().unwrap();
@@ -353,7 +365,9 @@ where
             }
             // All producers of q_post are done; let the post stage drain.
             q_post.close();
-            post.join().unwrap();
+            for w in post_workers {
+                w.join().unwrap();
+            }
         });
         let duration_s = started.elapsed().as_secs_f64();
 

@@ -34,6 +34,13 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 static THREADS: AtomicUsize = AtomicUsize::new(1);
 static MODE: AtomicU8 = AtomicU8::new(ExecMode::Pool as u8);
 
+/// `1` while some thread is fanned out on the pool. Concurrent submitters
+/// (pipeline stage threads racing each other) would otherwise fight over
+/// the same parked helpers — condvar wake churn and queue-lock contention
+/// with no extra cores to show for it — so the loser runs its chunks
+/// inline instead (see `run_on_pool`).
+static ACTIVE_SUBMITTER: AtomicUsize = AtomicUsize::new(0);
+
 /// Hard cap on persistent pool workers: thread counts above this still
 /// execute correctly (chunk claiming just has fewer claimants), without
 /// letting a stress test park hundreds of idle OS threads.
@@ -224,6 +231,29 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
+    // Single-submitter guard: when another thread already has a job fanned
+    // out, this submitter runs its chunks inline rather than queueing.
+    // Chunks are self-contained (disjoint output regions, unchanged
+    // arithmetic order), so the result is bit-identical — this only trades
+    // away wake/lock churn that was costing more than the parallelism it
+    // bought (the t2 e2e regression in BENCH_streaming.json).
+    if ACTIVE_SUBMITTER
+        .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        for i in 0..total {
+            task(i);
+        }
+        return;
+    }
+    // Releases the slot even when a chunk panic propagates below.
+    struct SubmitterSlot;
+    impl Drop for SubmitterSlot {
+        fn drop(&mut self) {
+            ACTIVE_SUBMITTER.store(0, Ordering::Release);
+        }
+    }
+    let _slot = SubmitterSlot;
     let p = pool();
     // SAFETY: lifetime erasure only — `task` outlives this frame, and
     // this frame blocks until all chunk executions are done.

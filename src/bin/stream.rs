@@ -53,6 +53,7 @@ fn nominal(frames: u64, batch: usize) -> PipelineConfig {
         source_interval_s: 0.033,
         slow_backbone_s: 0.0,
         max_batch: batch,
+        postprocess_workers: 2,
         deterministic: false,
         scenario: "nominal".into(),
     }
@@ -77,6 +78,7 @@ fn overload(frames: u64, batch: usize) -> PipelineConfig {
         // amortizes 4× and the same stream mostly completes.
         slow_backbone_s: 0.080,
         max_batch: batch,
+        postprocess_workers: 2,
         deterministic: false,
         scenario: "overload".into(),
     }
