@@ -347,7 +347,9 @@ where
                 backbone_workers: 2,
                 scheduler: SchedulerConfig::default(),
                 source_interval_s: 0.0,
+                source_intervals: Vec::new(),
                 slow_backbone_s: 0.0,
+                proactive: None,
                 max_batch: batch,
                 postprocess_workers: 2,
                 deterministic: true,

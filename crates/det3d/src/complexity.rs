@@ -1,0 +1,151 @@
+//! Per-frame input-complexity features for proactive scheduling.
+//!
+//! The proactive admission policy (see `upaq-runtime`) needs a cheap,
+//! deterministic signal of how "busy" a frame is *before* the backbone
+//! runs. Everything here is computed from data the pipeline already holds
+//! at preprocess time — the raw sensor sample and its preprocessed input
+//! tensor — so feature extraction adds one serial scan over a plane the
+//! pillarizer/renderer just wrote, nothing more.
+//!
+//! Determinism contract: features are pure integer counting plus one
+//! division, with no accumulation-order-sensitive float reductions and no
+//! parallelism, so the same frame yields raw-bits-identical features at
+//! any thread count, batch size, or execution mode. The bit-stability
+//! regression tests in `upaq-runtime` pin this across the exec-mode
+//! matrix.
+
+use upaq_tensor::Tensor;
+
+/// The complexity features of one frame: input population plus spatial
+/// occupancy. Extracted for free from the preprocessed tensor (and, for
+/// LiDAR, the raw cloud), and fed to the proactive scheduling predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameComplexity {
+    /// Raw input population: LiDAR returns in the sweep, or foreground
+    /// pixels in the rendered image.
+    pub points: u32,
+    /// Fraction of spatial cells carrying content, in `[0, 1]`: occupied
+    /// BEV pillars for LiDAR, foreground-pixel fraction for camera.
+    pub occupancy: f32,
+}
+
+/// Activity statistics of one channel plane of an `[N, C, H, W]` tensor:
+/// `(count, fraction)` of elements strictly greater than `threshold`.
+///
+/// The scan is serial and order-independent (counting only), so the
+/// result is bitwise-deterministic regardless of worker threads. `NaN`
+/// never counts as active. Fraction is over every scanned element
+/// (`N·H·W`); an empty plane reports `(0, 0.0)`.
+///
+/// # Panics
+///
+/// Panics when `channel >= C` or the tensor is not 4-dimensional — the
+/// callers hand it tensors whose layout they themselves produced, so a
+/// mismatch is a wiring bug worth failing loudly on.
+pub fn channel_activity(tensor: &Tensor, channel: usize, threshold: f32) -> (u32, f32) {
+    let dims = tensor.shape().dims();
+    assert_eq!(dims.len(), 4, "channel_activity expects an NCHW tensor");
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert!(channel < c, "channel {channel} out of range for C={c}");
+    let plane = h * w;
+    let data = tensor.as_slice();
+    let mut count: u64 = 0;
+    for batch in 0..n {
+        let start = batch * c * plane + channel * plane;
+        for &x in &data[start..start + plane] {
+            if x > threshold {
+                count += 1;
+            }
+        }
+    }
+    let total = (n * plane) as u64;
+    let fraction = if total == 0 {
+        0.0
+    } else {
+        count as f32 / total as f32
+    };
+    (count.min(u32::MAX as u64) as u32, fraction)
+}
+
+/// Generic fallback features: activity of the *whole* tensor (every
+/// channel) against a zero threshold. Detectors with a meaningful notion
+/// of occupancy override this with a single-channel scan.
+pub fn tensor_activity(tensor: &Tensor) -> FrameComplexity {
+    let data = tensor.as_slice();
+    let mut count: u64 = 0;
+    for &x in data {
+        if x > 0.0 {
+            count += 1;
+        }
+    }
+    let total = data.len() as u64;
+    let occupancy = if total == 0 {
+        0.0
+    } else {
+        count as f32 / total as f32
+    };
+    FrameComplexity {
+        points: count.min(u32::MAX as u64) as u32,
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use upaq_tensor::Shape;
+
+    fn nchw(n: usize, c: usize, h: usize, w: usize, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(Shape::nchw(n, c, h, w), data).unwrap()
+    }
+
+    #[test]
+    fn counts_only_the_requested_channel() {
+        // 2 channels of 2×2: channel 0 all zero, channel 1 has 3 actives.
+        let t = nchw(1, 2, 2, 2, vec![0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+        assert_eq!(channel_activity(&t, 0, 0.5), (0, 0.0));
+        let (count, frac) = channel_activity(&t, 1, 0.5);
+        assert_eq!(count, 3);
+        assert!((frac - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_is_strict_and_nan_is_inactive() {
+        let t = nchw(1, 1, 1, 4, vec![0.5, 0.5001, f32::NAN, -1.0]);
+        let (count, _) = channel_activity(&t, 0, 0.5);
+        assert_eq!(count, 1, "exact-threshold and NaN elements are inactive");
+    }
+
+    #[test]
+    fn batched_planes_accumulate() {
+        let t = nchw(2, 1, 1, 2, vec![1.0, 0.0, 1.0, 1.0]);
+        let (count, frac) = channel_activity(&t, 0, 0.5);
+        assert_eq!(count, 3);
+        assert!((frac - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tensor_activity_scans_everything() {
+        let t = nchw(1, 2, 1, 2, vec![1.0, 0.0, -2.0, 3.0]);
+        let c = tensor_activity(&t);
+        assert_eq!(c.points, 2);
+        assert!((c.occupancy - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn features_are_bitwise_deterministic() {
+        let data: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let t = nchw(1, 4, 4, 4, data);
+        let a = channel_activity(&t, 2, 0.1);
+        let b = channel_activity(&t, 2, 0.1);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_channel_panics() {
+        let t = nchw(1, 1, 1, 1, vec![0.0]);
+        channel_activity(&t, 3, 0.0);
+    }
+}

@@ -89,6 +89,26 @@ impl EnergyMeter {
     pub fn variants(&self) -> impl Iterator<Item = (&str, &VariantEnergy)> {
         self.per_variant.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Modeled energy the same frames would have cost had every one run
+    /// at `per_frame_j` (e.g. the full model's per-frame estimate) —
+    /// the counterfactual an energy-saving scheduling policy is measured
+    /// against, joules.
+    pub fn counterfactual_energy_j(&self, per_frame_j: f64) -> f64 {
+        self.frames() as f64 * per_frame_j
+    }
+
+    /// Fraction of the `per_frame_j` counterfactual this run saved, in
+    /// `[-inf, 1]`: `0` when every frame ran at that cost, positive when
+    /// cheaper variants carried load, `0` for an empty meter.
+    pub fn savings_vs(&self, per_frame_j: f64) -> f64 {
+        let counterfactual = self.counterfactual_energy_j(per_frame_j);
+        if counterfactual <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.total_energy_j() / counterfactual
+        }
+    }
 }
 
 #[cfg(test)]
@@ -116,6 +136,25 @@ mod tests {
         assert_eq!(m.frames(), 0);
         assert_eq!(m.mean_energy_j(), 0.0);
         assert_eq!(m.modality(), None);
+    }
+
+    #[test]
+    fn savings_compare_against_the_always_base_counterfactual() {
+        let mut m = EnergyMeter::new();
+        m.record("base", 2.0);
+        m.record("lck", 0.5);
+        m.record("hck", 0.25);
+        // Three frames at the base rate would have cost 6 J; the mixed run
+        // cost 2.75 J, a 54.2% saving.
+        assert!((m.counterfactual_energy_j(2.0) - 6.0).abs() < 1e-12);
+        assert!((m.savings_vs(2.0) - (1.0 - 2.75 / 6.0)).abs() < 1e-12);
+        // All-base running saves nothing against itself.
+        let mut all_base = EnergyMeter::new();
+        all_base.record("base", 2.0);
+        assert_eq!(all_base.savings_vs(2.0), 0.0);
+        // Degenerate counterfactuals stay finite.
+        assert_eq!(EnergyMeter::new().savings_vs(2.0), 0.0);
+        assert_eq!(m.savings_vs(0.0), 0.0);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod camera;
 pub mod dataset;
 pub mod fleet;
 pub mod lidar;
+pub mod scenario;
 pub mod scene;
 pub mod stream;
 
@@ -41,5 +42,6 @@ pub use camera::{CameraCalib, CameraImage};
 pub use dataset::{Dataset, DatasetConfig, Split};
 pub use fleet::{FleetScenario, FleetScenarioConfig, StreamClass, StreamProfile};
 pub use lidar::{LidarConfig, PointCloud};
+pub use scenario::{ArrivalPattern, ScenarioProfile};
 pub use scene::{Difficulty, ObjectClass, Scene, SceneConfig, SceneObject};
 pub use stream::{CameraFrameStream, Frame, FrameStream, SensorData};

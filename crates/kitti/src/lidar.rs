@@ -61,6 +61,11 @@ pub struct LidarConfig {
     pub clutter_points: usize,
     /// Gaussian position noise σ in metres.
     pub noise_sigma: f32,
+    /// Weather dropout: fraction of returns discarded after synthesis, in
+    /// `[0, 1)` — rain/fog absorption thinning the sweep uniformly. At the
+    /// default `0.0` the synthesis path is byte-identical to before the
+    /// knob existed (no RNG draws are spent).
+    pub dropout: f32,
 }
 
 impl Default for LidarConfig {
@@ -70,6 +75,7 @@ impl Default for LidarConfig {
             ground_points: 1200,
             clutter_points: 60,
             noise_sigma: 0.02,
+            dropout: 0.0,
         }
     }
 }
@@ -112,6 +118,13 @@ pub fn synthesize(scene: &Scene, config: &LidarConfig, seed: u64) -> PointCloud 
             position: [x, y, z],
             intensity: rng.gen_range(0.0..0.4),
         });
+    }
+
+    // Weather dropout: thin the finished sweep uniformly. Gated so the
+    // default configuration spends no RNG draws here and stays
+    // byte-identical to the pre-dropout synthesizer.
+    if config.dropout > 0.0 {
+        points.retain(|_| rng.gen_range(0.0..1.0f32) >= config.dropout);
     }
 
     PointCloud { points }
@@ -268,6 +281,36 @@ mod tests {
         scene.objects[0] = visible;
         let n_occluded = synthesize(&scene, &cfg, 5).len();
         assert!(n_occluded < n_visible / 2, "{n_occluded} vs {n_visible}");
+    }
+
+    #[test]
+    fn zero_dropout_is_byte_identical_and_positive_dropout_thins() {
+        let scene = test_scene(5);
+        let base = LidarConfig::default();
+        assert_eq!(base.dropout, 0.0);
+        // The knob at 0.0 must not perturb existing outputs (no RNG spent).
+        let with_field = LidarConfig {
+            dropout: 0.0,
+            ..base.clone()
+        };
+        assert_eq!(
+            synthesize(&scene, &base, 1),
+            synthesize(&scene, &with_field, 1)
+        );
+        // Heavy dropout thins the sweep roughly proportionally, and stays
+        // deterministic for a fixed seed.
+        let rainy = LidarConfig {
+            dropout: 0.6,
+            ..base
+        };
+        let full = synthesize(&scene, &base, 1).len();
+        let thin = synthesize(&scene, &rainy, 1).len();
+        assert!(
+            thin < full / 2 + full / 10,
+            "dropout barely thinned: {thin} of {full}"
+        );
+        assert!(thin > 0, "dropout must not empty the sweep");
+        assert_eq!(synthesize(&scene, &rainy, 1), synthesize(&scene, &rainy, 1));
     }
 
     #[test]

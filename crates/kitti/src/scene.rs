@@ -43,6 +43,13 @@ impl ObjectClass {
         }
     }
 
+    /// Whether this class is a vulnerable road user (pedestrian or
+    /// cyclist) — the classes the proactive scheduler's safety override
+    /// protects from deep degradation.
+    pub fn is_vulnerable(self) -> bool {
+        matches!(self, ObjectClass::Pedestrian | ObjectClass::Cyclist)
+    }
+
     /// Inverse of [`ObjectClass::index`].
     pub fn from_index(index: usize) -> Option<Self> {
         ObjectClass::ALL.get(index).copied()
@@ -239,6 +246,16 @@ impl Scene {
     /// Objects of a given class.
     pub fn objects_of(&self, class: ObjectClass) -> Vec<&SceneObject> {
         self.objects.iter().filter(|o| o.class == class).collect()
+    }
+
+    /// Ground-truth count of vulnerable road users (pedestrians plus
+    /// cyclists) — the complexity label the proactive-scheduling safety
+    /// tests compare predicted-VRU decisions against.
+    pub fn vru_count(&self) -> usize {
+        self.objects
+            .iter()
+            .filter(|o| o.class.is_vulnerable())
+            .count()
     }
 }
 

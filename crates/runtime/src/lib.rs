@@ -17,11 +17,14 @@
 //! * [`queue`] — bounded MPMC queues with blocking and drop-oldest push;
 //! * [`variant`] — the degrade ladder (base → UPAQ LCK → UPAQ HCK);
 //! * [`scheduler`] — deadline-aware admission over the ladder;
+//! * [`proactive`] — complexity-aware rung prediction with VRU-safety
+//!   and deadline-headroom overrides layered over the scheduler;
 //! * [`pipeline`] — the staged engine and its run loop;
 //! * [`metrics`] — timers, counters and the JSON run report.
 
 pub mod metrics;
 pub mod pipeline;
+pub mod proactive;
 pub mod queue;
 pub mod scheduler;
 pub mod variant;
@@ -30,6 +33,7 @@ pub use metrics::{
     BatchBucket, BatchStats, Counters, LatencyRecorder, LatencySummary, RuntimeReport, StageReport,
 };
 pub use pipeline::{Pipeline, PipelineConfig, StreamOutcome};
+pub use proactive::{OverrideCounters, OverrideSnapshot, ProactiveConfig, ProactivePolicy};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use scheduler::{Admission, DeadlineScheduler, GroupAdmission, SchedulerConfig};
 pub use variant::{VariantLadder, VariantSpec};

@@ -283,6 +283,9 @@ impl ToJson for VariantReport {
 pub struct RuntimeReport {
     /// Scenario label (`"nominal"`, `"overload"`, …).
     pub scenario: String,
+    /// Admission-policy label: `"deterministic"`, `"reactive"`, or
+    /// `"proactive"`.
+    pub policy: String,
     /// Detector modality the run served (`"lidar"`, `"camera"`).
     pub detector: String,
     /// Wall-clock duration of the run, seconds.
@@ -325,12 +328,20 @@ pub struct RuntimeReport {
     pub total_energy_j: f64,
     /// Mean modeled energy per completed frame, joules.
     pub energy_per_frame_j: f64,
+    /// Modeled energy saved against running every completed frame on the
+    /// full model, joules (0 when nothing degraded).
+    pub energy_saved_vs_base_j: f64,
+    /// The same saving as a fraction of the always-base counterfactual.
+    pub energy_saved_vs_base_frac: f64,
+    /// Override-rule counters when the proactive policy was active.
+    pub overrides: Option<crate::proactive::OverrideSnapshot>,
 }
 
 impl ToJson for RuntimeReport {
     fn to_json(&self) -> Value {
         json!({
             "scenario": self.scenario,
+            "policy": self.policy,
             "detector": self.detector,
             "duration_s": self.duration_s,
             "frames_generated": self.frames_generated,
@@ -350,6 +361,9 @@ impl ToJson for RuntimeReport {
             "variants": self.variants,
             "total_energy_j": self.total_energy_j,
             "energy_per_frame_j": self.energy_per_frame_j,
+            "energy_saved_vs_base_j": self.energy_saved_vs_base_j,
+            "energy_saved_vs_base_frac": self.energy_saved_vs_base_frac,
+            "overrides": self.overrides,
         })
     }
 }
@@ -400,6 +414,7 @@ mod tests {
     fn report_serializes_with_expected_keys() {
         let report = RuntimeReport {
             scenario: "nominal".into(),
+            policy: "proactive".into(),
             detector: "lidar".into(),
             duration_s: 1.0,
             frames_generated: 10,
@@ -433,6 +448,14 @@ mod tests {
             }],
             total_energy_j: 3.5,
             energy_per_frame_j: 0.5,
+            energy_saved_vs_base_j: 1.5,
+            energy_saved_vs_base_frac: 0.3,
+            overrides: Some(crate::proactive::OverrideSnapshot {
+                vru_floor: 2,
+                deadline_clamp: 1,
+                headroom_fallback: 0,
+                vru_unfit: 0,
+            }),
         };
         let v = report.to_json();
         assert_eq!(v.get("fps").and_then(|x| x.as_f64()), Some(9.0));
@@ -458,6 +481,13 @@ mod tests {
         assert_eq!(hist[0].get("batches").and_then(|x| x.as_f64()), Some(3.0));
         assert!(text.contains("mean_batch_size"));
         assert!(text.contains("amortized_backbone_ms"));
+        // Proactive-policy keys the scenario-matrix CI job consumes.
+        assert_eq!(v.get("policy").and_then(|x| x.as_str()), Some("proactive"));
+        assert!(text.contains("energy_saved_vs_base_j"));
+        assert!(text.contains("energy_saved_vs_base_frac"));
+        let ov = v.get("overrides").unwrap();
+        assert_eq!(ov.get("vru_floor").and_then(|x| x.as_f64()), Some(2.0));
+        assert_eq!(ov.get("vru_unfit").and_then(|x| x.as_f64()), Some(0.0));
     }
 
     #[test]

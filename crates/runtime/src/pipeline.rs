@@ -34,13 +34,14 @@
 use crate::metrics::{
     BatchStats, Counters, LatencyRecorder, RuntimeReport, StageReport, VariantReport,
 };
+use crate::proactive::{ProactiveConfig, ProactivePolicy};
 use crate::queue::{BoundedQueue, PushOutcome};
 use crate::scheduler::{DeadlineScheduler, GroupAdmission, SchedulerConfig};
 use crate::variant::{VariantLadder, VariantSpec};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use upaq_det3d::Box3d;
+use upaq_det3d::{Box3d, FrameComplexity};
 use upaq_hwmodel::EnergyMeter;
 use upaq_kitti::stream::{Frame, FrameStream, SensorData};
 use upaq_models::StreamingDetector;
@@ -61,6 +62,11 @@ pub struct PipelineConfig {
     /// Source pacing: seconds between frames (0 = emit as fast as the
     /// first queue accepts).
     pub source_interval_s: f64,
+    /// Patterned source pacing: when non-empty, the source cycles these
+    /// inter-frame gaps (seconds) instead of the scalar interval — how
+    /// the scenario catalog's burst and alternating arrival patterns
+    /// drive the pipeline.
+    pub source_intervals: Vec<f64>,
     /// Extra latency injected into every backbone execution — the overload
     /// tests use this to force degradation and drops. Charged once per
     /// *invocation*, so batching genuinely amortizes it.
@@ -76,6 +82,11 @@ pub struct PipelineConfig {
     /// frame runs the full model. Detections become bit-identical to
     /// batch `detect` calls.
     pub deterministic: bool,
+    /// Proactive complexity-aware admission layered over the reactive
+    /// scheduler ([`crate::proactive`]). `None` keeps the historical
+    /// purely-reactive policy; ignored in deterministic mode, which
+    /// bypasses admission entirely.
+    pub proactive: Option<ProactiveConfig>,
     /// Label copied into the report.
     pub scenario: String,
 }
@@ -88,10 +99,12 @@ impl Default for PipelineConfig {
             backbone_workers: 2,
             scheduler: SchedulerConfig::default(),
             source_interval_s: 0.0,
+            source_intervals: Vec::new(),
             slow_backbone_s: 0.0,
             max_batch: 1,
             postprocess_workers: 1,
             deterministic: false,
+            proactive: None,
             scenario: "nominal".into(),
         }
     }
@@ -113,6 +126,7 @@ struct PreJob<T> {
 struct BackboneJob<T> {
     frame: Frame<T>,
     input: Tensor,
+    features: FrameComplexity,
     arrived: Instant,
 }
 
@@ -166,6 +180,14 @@ where
         let post_timer = LatencyRecorder::new();
         let e2e_timer = LatencyRecorder::new();
         let scheduler = DeadlineScheduler::new(ladder, cfg.scheduler);
+        // Deterministic mode bypasses admission entirely, so the proactive
+        // layer would never be consulted — don't pretend it was.
+        let policy = if deterministic {
+            None
+        } else {
+            cfg.proactive.clone().map(ProactivePolicy::new)
+        };
+        let policy = policy.as_ref();
         let meter = Mutex::new(EnergyMeter::for_modality(modality));
         let results: Mutex<Vec<(u64, Vec<Box3d>)>> = Mutex::new(Vec::new());
 
@@ -176,16 +198,22 @@ where
                 let (q_pre, counters) = (&q_pre, &counters);
                 let mut stream = stream;
                 let (frames, interval_s) = (cfg.frames, cfg.source_interval_s);
+                let intervals = cfg.source_intervals.clone();
                 s.spawn(move || {
-                    for frame in stream.by_ref().take(frames as usize) {
+                    for (i, frame) in stream.by_ref().take(frames as usize).enumerate() {
                         Counters::bump(&counters.generated);
                         let job = PreJob {
                             frame,
                             arrived: Instant::now(),
                         };
                         push_stage(q_pre, job, deterministic, counters);
-                        if interval_s > 0.0 {
-                            std::thread::sleep(Duration::from_secs_f64(interval_s));
+                        let gap_s = if intervals.is_empty() {
+                            interval_s
+                        } else {
+                            intervals[i % intervals.len()]
+                        };
+                        if gap_s > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(gap_s));
                         }
                     }
                     q_pre.close();
@@ -201,10 +229,18 @@ where
                     while let Some(job) = q_pre.pop() {
                         let t0 = Instant::now();
                         let input = base.preprocess(&job.frame.data);
+                        // Complexity features ride the tensor the stage
+                        // just built — free signal for proactive admission.
+                        let features = if policy.is_some() {
+                            base.complexity(&job.frame.data, &input)
+                        } else {
+                            FrameComplexity::default()
+                        };
                         pre_timer.record(t0.elapsed().as_secs_f64());
                         let next = BackboneJob {
                             frame: job.frame,
                             input,
+                            features,
                             arrived: job.arrived,
                         };
                         push_stage(q_bb, next, deterministic, counters);
@@ -250,6 +286,13 @@ where
                                     } else {
                                         GroupAdmission::Single { level: 0 }
                                     }
+                                } else if let Some(policy) = policy {
+                                    let deadline_s = scheduler.config().deadline_s;
+                                    let budgets: Vec<f64> =
+                                        ages.iter().map(|a| deadline_s - a).collect();
+                                    let feats: Vec<FrameComplexity> =
+                                        group.iter().map(|j| j.features).collect();
+                                    policy.admit_group_budgets(scheduler, &feats, &budgets)
                                 } else {
                                     scheduler.admit_group(&ages)
                                 };
@@ -336,6 +379,12 @@ where
                             let dets = variant.detector.postprocess(&job.head_out, &job.frame.data);
                             let dt = t0.elapsed().as_secs_f64();
                             post_timer.record(dt);
+                            if let Some(policy) = policy {
+                                // Close the proactive loop: recent box
+                                // counts drive the next frames' complexity
+                                // score and the VRU override.
+                                policy.observe_detections(&dets);
+                            }
                             if !deterministic {
                                 // Close the admission loop: future budgets
                                 // cover the frame's remaining work past the
@@ -400,8 +449,16 @@ where
             })
             .collect();
 
+        let base_energy_j = ladder.level(0).estimate.energy_j;
         let report = RuntimeReport {
             scenario: cfg.scenario.clone(),
+            policy: if deterministic {
+                "deterministic".into()
+            } else if policy.is_some() {
+                "proactive".into()
+            } else {
+                "reactive".into()
+            },
             detector: modality.to_string(),
             duration_s,
             frames_generated: Counters::get(&counters.generated),
@@ -425,6 +482,10 @@ where
             variants,
             total_energy_j: meter.total_energy_j(),
             energy_per_frame_j: meter.mean_energy_j(),
+            energy_saved_vs_base_j: meter.counterfactual_energy_j(base_energy_j)
+                - meter.total_energy_j(),
+            energy_saved_vs_base_frac: meter.savings_vs(base_energy_j),
+            overrides: policy.map(|p| p.overrides()),
         };
         debug_assert!(counters.accounted(), "pipeline lost track of a frame");
         StreamOutcome { report, detections }
@@ -700,6 +761,7 @@ mod tests {
                 BackboneJob {
                     frame,
                     input,
+                    features: FrameComplexity::default(),
                     arrived: Instant::now(),
                 }
             })
@@ -736,6 +798,7 @@ mod tests {
                 BackboneJob {
                     frame,
                     input,
+                    features: FrameComplexity::default(),
                     arrived: Instant::now(),
                 }
             })

@@ -225,6 +225,60 @@ impl<D: StreamingDetector> VariantLadder<D> {
     }
 }
 
+impl VariantLadder<upaq_models::LidarDetector> {
+    /// Refits every degraded rung's detection head on that rung's *own*
+    /// compressed backbone.
+    ///
+    /// Ladder construction compresses the backbone but skips the head, so
+    /// a degraded rung initially decodes compressed features through a
+    /// head fitted for uncompressed ones. At paper scale that mismatch is
+    /// the benign accuracy loss UPAQ reports; at this repo's tiny scale it
+    /// makes degraded rungs hallucinate dozens of false boxes — garbage
+    /// that poisons any policy steering on detection feedback. One
+    /// closed-form refit per rung restores graded (base ≥ LCK ≥ HCK)
+    /// detection quality.
+    ///
+    /// # Errors
+    ///
+    /// Propagates head-fit failures (network execution, singular solves).
+    pub fn calibrate_heads(
+        &mut self,
+        data: &upaq_kitti::dataset::Dataset,
+        lambda: f64,
+    ) -> Result<()> {
+        let scenes: Vec<usize> = (0..data.len()).collect();
+        for spec in self.levels.iter_mut().skip(1) {
+            let mut det = (*spec.detector).clone();
+            upaq_models::pretrain::fit_lidar_head(&mut det, data, &scenes, lambda)?;
+            spec.detector = Arc::new(det);
+        }
+        Ok(())
+    }
+}
+
+impl VariantLadder<upaq_models::CameraDetector> {
+    /// Camera-path twin of
+    /// [`calibrate_heads`](VariantLadder::<upaq_models::LidarDetector>::calibrate_heads):
+    /// refits every degraded rung's SMOKE head on its compressed backbone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates head-fit failures (network execution, singular solves).
+    pub fn calibrate_heads(
+        &mut self,
+        data: &upaq_kitti::dataset::Dataset,
+        lambda: f64,
+    ) -> Result<()> {
+        let scenes: Vec<usize> = (0..data.len()).collect();
+        for spec in self.levels.iter_mut().skip(1) {
+            let mut det = (*spec.detector).clone();
+            upaq_models::pretrain::fit_camera_head(&mut det, data, &scenes, lambda)?;
+            spec.detector = Arc::new(det);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,219 @@
+//! Property tests for the proactive policy's hard safety invariants.
+//!
+//! Across random scheduler states (arbitrary latency observations),
+//! random frame features, random budgets and random detection histories:
+//!
+//! 1. **VRU floor** — a frame admitted while the policy predicts a
+//!    vulnerable road user never runs below
+//!    [`ProactiveConfig::vru_floor_level`], no matter what the complexity
+//!    predictor suggests or how the scheduler's EMAs are poisoned.
+//! 2. **Drop parity** — the proactive policy drops a frame (or group)
+//!    exactly when the reactive scheduler would have: proactive steering
+//!    never admits a frame the reactive path would have rejected for
+//!    deadline reasons, and never sheds one it would have served.
+//! 3. Every admitted rung is a real ladder level.
+//!
+//! The ladder is built once (compression is the expensive part); each
+//! case builds a fresh scheduler + policy, so EMA state never leaks
+//! between cases and every run is seed-deterministic.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use upaq_det3d::{Box3d, FrameComplexity};
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::ObjectClass;
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::LidarDetector;
+use upaq_runtime::scheduler::{Admission, DeadlineScheduler, GroupAdmission, SchedulerConfig};
+use upaq_runtime::{ProactiveConfig, ProactivePolicy, VariantLadder};
+use upaq_tensor::ops::TensorParallel;
+
+fn test_threads() -> usize {
+    std::env::var("UPAQ_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn ladder() -> &'static VariantLadder<LidarDetector> {
+    static LADDER: OnceLock<VariantLadder<LidarDetector>> = OnceLock::new();
+    LADDER.get_or_init(|| {
+        TensorParallel::set_threads(test_threads());
+        let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+        VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 7).unwrap()
+    })
+}
+
+/// One synthetic detection history frame: per-class box counts, cars
+/// ranging high enough to model degraded-rung false-positive spray.
+fn arb_history() -> impl Strategy<Value = Vec<(usize, usize, usize)>> {
+    prop::collection::vec((0usize..40, 0usize..6, 0usize..6), 0..8)
+}
+
+/// Latency observations poisoning the scheduler's per-rung EMAs: any rung
+/// may be taught to look arbitrarily slow or fast.
+fn arb_observations() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    prop::collection::vec((0usize..3, 1e-4f64..0.2), 0..20)
+}
+
+fn arb_features() -> impl Strategy<Value = FrameComplexity> {
+    (0u32..6000, 0.0f32..1.0).prop_map(|(points, occupancy)| FrameComplexity { points, occupancy })
+}
+
+/// Budgets spanning the interesting regimes: already late, too tight for
+/// anything, tight, and roomy.
+fn arb_budget() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -0.050f64..0.0,
+        0.0f64..0.004,
+        0.004f64..0.200,
+        Just(10.0f64),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ProactiveConfig> {
+    (0usize..3, 0.0f64..0.02, 0.05f64..2.0, 0u64..12).prop_map(
+        |(vru_floor_level, headroom_margin_s, vru_threshold, vru_hold_frames)| ProactiveConfig {
+            vru_floor_level,
+            headroom_margin_s,
+            vru_threshold,
+            vru_hold_frames,
+            ..ProactiveConfig::default()
+        },
+    )
+}
+
+fn boxes(cars: usize, peds: usize, cycs: usize) -> Vec<Box3d> {
+    let mk = |class, n: usize| {
+        (0..n).map(move |i| Box3d {
+            class,
+            center: [10.0 + i as f32, 0.0, 0.8],
+            dims: [1.0, 1.0, 1.0],
+            yaw: 0.0,
+            score: 0.9,
+        })
+    };
+    mk(ObjectClass::Car, cars)
+        .chain(mk(ObjectClass::Pedestrian, peds))
+        .chain(mk(ObjectClass::Cyclist, cycs))
+        .collect()
+}
+
+/// A fresh scheduler + policy pair with the given random state replayed.
+fn build(
+    config: &ProactiveConfig,
+    observations: &[(usize, f64)],
+    history: &[(usize, usize, usize)],
+) -> (DeadlineScheduler, ProactivePolicy) {
+    let l = ladder();
+    let scheduler = DeadlineScheduler::new(
+        l,
+        SchedulerConfig {
+            deadline_s: 0.100,
+            ..SchedulerConfig::default()
+        },
+    );
+    for &(level, s) in observations {
+        scheduler.observe(level.min(l.len() - 1), s);
+    }
+    let policy = ProactivePolicy::new(config.clone());
+    for &(cars, peds, cycs) in history {
+        policy.observe_detections(&boxes(cars, peds, cycs));
+    }
+    (scheduler, policy)
+}
+
+proptest! {
+    /// Per-frame admission: drop parity with the reactive scheduler, a
+    /// real ladder rung, and the VRU floor whenever a VRU is predicted.
+    #[test]
+    fn admit_budget_holds_the_safety_invariants(
+        config in arb_config(),
+        observations in arb_observations(),
+        history in arb_history(),
+        features in arb_features(),
+        budget in arb_budget(),
+    ) {
+        let (scheduler, policy) = build(&config, &observations, &history);
+        let vru = policy.vru_predicted();
+        let reactive = scheduler.admit_budget(budget);
+        let proactive = policy.admit_budget(&scheduler, &features, budget);
+        match (reactive, proactive) {
+            (Admission::Drop, Admission::Drop) => {}
+            (Admission::Run { .. }, Admission::Run { level }) => {
+                prop_assert!(level < ladder().len(), "rung {level} outside the ladder");
+                if vru {
+                    prop_assert!(
+                        level <= config.vru_floor_level,
+                        "predicted VRU ran below the floor: level {level} > {}",
+                        config.vru_floor_level
+                    );
+                }
+            }
+            (r, p) => prop_assert!(false, "drop parity violated: reactive {r:?}, proactive {p:?}"),
+        }
+    }
+
+    /// Group admission preserves the reactive verdict's structure exactly
+    /// (batch stays batch, single stays single, drop stays drop) and the
+    /// VRU floor binds the shared batch rung too.
+    #[test]
+    fn group_admission_preserves_structure_and_the_floor(
+        config in arb_config(),
+        observations in arb_observations(),
+        history in arb_history(),
+        features in prop::collection::vec(arb_features(), 1..5),
+        budgets_extra in prop::collection::vec(arb_budget(), 1..5),
+    ) {
+        let (scheduler, policy) = build(&config, &observations, &history);
+        let n = features.len().min(budgets_extra.len());
+        let (features, mut budgets) = (&features[..n], budgets_extra[..n].to_vec());
+        // The pipeline offers groups head-first (oldest frame first, the
+        // tightest budget leading); mirror that ordering here.
+        budgets.sort_by(f64::total_cmp);
+        let vru = policy.vru_predicted();
+        let reactive = scheduler.admit_group_budgets(&budgets);
+        let proactive = policy.admit_group_budgets(&scheduler, features, &budgets);
+        let check = |level: usize| {
+            prop_assert!(level < ladder().len(), "rung {level} outside the ladder");
+            if vru {
+                prop_assert!(
+                    level <= config.vru_floor_level,
+                    "predicted VRU batch below the floor: level {level}"
+                );
+            }
+        };
+        match (reactive, proactive) {
+            (GroupAdmission::Drop, GroupAdmission::Drop) => {}
+            (GroupAdmission::Batch { .. }, GroupAdmission::Batch { level }) => check(level),
+            (GroupAdmission::Single { .. }, GroupAdmission::Single { level }) => check(level),
+            (r, p) => prop_assert!(false, "structure changed: reactive {r:?}, proactive {p:?}"),
+        }
+    }
+
+    /// The serve-side prefix hook never changes the admitted prefix size
+    /// (that is fixed by `admit_prefix` upstream) and still honors the
+    /// VRU floor on the re-picked rung.
+    #[test]
+    fn clamp_prefix_respects_the_floor(
+        config in arb_config(),
+        observations in arb_observations(),
+        history in arb_history(),
+        budgets in prop::collection::vec(0.001f64..0.5, 1..5),
+    ) {
+        let (scheduler, policy) = build(&config, &observations, &history);
+        let mut budgets = budgets;
+        budgets.sort_by(f64::total_cmp);
+        let vru = policy.vru_predicted();
+        if let Some((k, level)) = scheduler.admit_prefix(&budgets) {
+            let steered = policy.clamp_prefix(&scheduler, k, level, budgets[0]);
+            prop_assert!(steered < ladder().len(), "rung {steered} outside the ladder");
+            if vru {
+                prop_assert!(
+                    steered <= config.vru_floor_level,
+                    "predicted VRU prefix below the floor: level {steered}"
+                );
+            }
+        }
+    }
+}

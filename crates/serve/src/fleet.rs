@@ -37,7 +37,7 @@
 //! one pipeline stage.
 
 use crate::ready::{FleetJob, PushVerdict, ReadyQueue};
-use crate::report::FleetReport;
+use crate::report::{FleetReport, RungFrames};
 use crate::stream::{StreamCounters, StreamState};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +50,7 @@ use upaq_kitti::stream::{Frame, SensorData};
 use upaq_models::StreamingDetector;
 use upaq_nn::exec::{forward_batch_into, forward_into, Workspace};
 use upaq_runtime::metrics::{BatchStats, LatencyRecorder};
+use upaq_runtime::proactive::{ProactiveConfig, ProactivePolicy};
 use upaq_runtime::scheduler::{DeadlineScheduler, SchedulerConfig};
 use upaq_runtime::variant::VariantLadder;
 use upaq_tensor::Tensor;
@@ -97,6 +98,13 @@ pub struct FleetConfig {
     pub boost_age_s: f64,
     /// Saturate mode: the ladder rung every frame runs at (default 0).
     pub force_level: Option<usize>,
+    /// Proactive complexity-aware rung steering layered over the
+    /// reactive scheduler (Realtime only): after `admit_prefix` fixes the
+    /// batch size, the policy may re-pick the rung from the
+    /// detection-history score, subject to the VRU-floor and
+    /// deadline-headroom overrides. `None` keeps the historical
+    /// purely-reactive policy.
+    pub proactive: Option<ProactiveConfig>,
     /// Keep every delivered frame's detections in the outcome (the
     /// bit-identity tests need them; fleet-scale runs leave this off).
     pub collect_detections: bool,
@@ -113,6 +121,7 @@ impl Default for FleetConfig {
             mode: FleetMode::Realtime,
             boost_age_s: 0.200,
             force_level: None,
+            proactive: None,
             collect_detections: false,
         }
     }
@@ -139,6 +148,7 @@ struct WorkerCtx<'a, D: StreamingDetector> {
     cross_batches: &'a AtomicU64,
     cross_frames: &'a AtomicU64,
     results: &'a Mutex<Vec<(usize, u64, Vec<Box3d>)>>,
+    policy: Option<&'a ProactivePolicy>,
     collect: bool,
     realtime: bool,
 }
@@ -215,6 +225,13 @@ where
             .collect();
         let ready: ReadyQueue<D::Input> = ReadyQueue::new(cfg.ready_capacity.max(1));
         let scheduler = DeadlineScheduler::new(ladder, cfg.scheduler);
+        // Saturate mode bypasses admission entirely, so the proactive
+        // layer only applies in realtime serving.
+        let policy = if realtime {
+            cfg.proactive.clone().map(ProactivePolicy::new)
+        } else {
+            None
+        };
         let batch_stats = BatchStats::new();
         let e2e = LatencyRecorder::new();
         let meter = Mutex::new(EnergyMeter::for_modality(modality));
@@ -234,6 +251,7 @@ where
             cross_batches: &cross_batches,
             cross_frames: &cross_frames,
             results: &results,
+            policy: policy.as_ref(),
             collect: cfg.collect_detections,
             realtime,
         };
@@ -298,6 +316,18 @@ where
                                         );
                                     }
                                     Some((k, level)) => {
+                                        // Proactive steering re-picks only
+                                        // the rung; the admitted prefix
+                                        // size `k` is never changed.
+                                        let level = match ctx.policy {
+                                            Some(policy) => policy.clamp_prefix(
+                                                ctx.scheduler,
+                                                k,
+                                                level,
+                                                budgets[0],
+                                            ),
+                                            None => level,
+                                        };
                                         let batch: Vec<_> = rest.drain(..k).collect();
                                         run_group(ctx, level, batch, &mut ws, &mut wss);
                                     }
@@ -331,10 +361,18 @@ where
             .map(|s| s.delivered_fraction)
             .collect();
 
+        let base_energy_j = ladder.level(0).estimate.energy_j;
         let report = FleetReport {
             scenario: "fleet".into(),
             detector: modality.to_string(),
             mode: cfg.mode.label().to_string(),
+            policy: if !realtime {
+                "fixed".into()
+            } else if policy.is_some() {
+                "proactive".into()
+            } else {
+                "reactive".into()
+            },
             streams: scenario.len(),
             workers: cfg.workers.max(1),
             max_batch,
@@ -361,6 +399,23 @@ where
             e2e_latency: e2e.summary(),
             total_energy_j: meter.total_energy_j(),
             energy_per_frame_j: meter.mean_energy_j(),
+            energy_saved_vs_base_j: meter.counterfactual_energy_j(base_energy_j)
+                - meter.total_energy_j(),
+            energy_saved_vs_base_frac: meter.savings_vs(base_energy_j),
+            overrides: policy.as_ref().map(|p| p.overrides()),
+            rungs: ladder
+                .levels()
+                .iter()
+                .enumerate()
+                .map(|(level, v)| RungFrames {
+                    level,
+                    name: v.name.clone(),
+                    frames: meter
+                        .variants()
+                        .find(|(name, _)| *name == v.name)
+                        .map_or(0, |(_, e)| e.frames),
+                })
+                .collect(),
             fairness_jain: FleetReport::jain(&shares),
             per_stream,
         };
@@ -537,6 +592,11 @@ fn run_group<D: StreamingDetector>(
         let dets = variant.detector.postprocess(&head_out, &job.frame.data);
         if ctx.realtime {
             ctx.scheduler.observe_post(t1.elapsed().as_secs_f64());
+        }
+        if let Some(policy) = ctx.policy {
+            // Detection feedback drives the next groups' rung steering
+            // and the VRU override.
+            policy.observe_detections(&dets);
         }
         let e2e_s = job.arrived.elapsed().as_secs_f64();
         state.e2e.record(e2e_s);

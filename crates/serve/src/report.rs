@@ -11,6 +11,28 @@ use crate::stream::StreamReport;
 use upaq_json::{json, ToJson, Value};
 use upaq_runtime::metrics::{BatchBucket, LatencySummary};
 
+/// Frames served at one ladder rung — the per-rung execution count CI
+/// asserts on when exercising the admission policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RungFrames {
+    /// Ladder level (0 = full model).
+    pub level: usize,
+    /// Variant name at this rung (`"base"`, `"UPAQ (LCK)"`, …).
+    pub name: String,
+    /// Frames delivered at this rung.
+    pub frames: u64,
+}
+
+impl ToJson for RungFrames {
+    fn to_json(&self) -> Value {
+        json!({
+            "level": self.level,
+            "name": self.name,
+            "frames": self.frames,
+        })
+    }
+}
+
 /// Everything a finished fleet run reports (the JSON artifact of
 /// `bin/fleet`).
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +43,9 @@ pub struct FleetReport {
     pub detector: String,
     /// Serving mode (`"realtime"`, `"saturate"`).
     pub mode: String,
+    /// Admission-policy label: `"reactive"` or `"proactive"` (realtime),
+    /// `"fixed"` in saturate mode.
+    pub policy: String,
     /// Concurrent streams multiplexed.
     pub streams: usize,
     /// Worker threads in the shared pool.
@@ -65,6 +90,15 @@ pub struct FleetReport {
     pub total_energy_j: f64,
     /// Mean modeled energy per delivered frame, joules.
     pub energy_per_frame_j: f64,
+    /// Modeled energy saved against delivering every frame on the full
+    /// model, joules.
+    pub energy_saved_vs_base_j: f64,
+    /// The same saving as a fraction of the always-base counterfactual.
+    pub energy_saved_vs_base_frac: f64,
+    /// Override-rule counters when the proactive policy was active.
+    pub overrides: Option<upaq_runtime::proactive::OverrideSnapshot>,
+    /// Frames delivered per ladder rung, in ladder order.
+    pub rungs: Vec<RungFrames>,
     /// Jain fairness index over per-stream delivered fractions.
     pub fairness_jain: f64,
     /// The per-tenant accounting table.
@@ -128,6 +162,7 @@ impl ToJson for FleetReport {
             "scenario": self.scenario,
             "detector": self.detector,
             "mode": self.mode,
+            "policy": self.policy,
             "streams": self.streams,
             "workers": self.workers,
             "max_batch": self.max_batch,
@@ -151,6 +186,10 @@ impl ToJson for FleetReport {
             "e2e_latency": self.e2e_latency,
             "total_energy_j": self.total_energy_j,
             "energy_per_frame_j": self.energy_per_frame_j,
+            "energy_saved_vs_base_j": self.energy_saved_vs_base_j,
+            "energy_saved_vs_base_frac": self.energy_saved_vs_base_frac,
+            "overrides": self.overrides,
+            "rungs": self.rungs,
             "fairness_jain": self.fairness_jain,
             "per_stream": self.per_stream,
         })
@@ -189,6 +228,7 @@ mod tests {
             scenario: "fleet".into(),
             detector: "lidar".into(),
             mode: "realtime".into(),
+            policy: "proactive".into(),
             streams: 2,
             workers: 2,
             max_batch: 4,
@@ -214,6 +254,26 @@ mod tests {
             e2e_latency: LatencySummary::default(),
             total_energy_j: 1.2,
             energy_per_frame_j: 0.2,
+            energy_saved_vs_base_j: 0.6,
+            energy_saved_vs_base_frac: 1.0 / 3.0,
+            overrides: Some(upaq_runtime::proactive::OverrideSnapshot {
+                vru_floor: 1,
+                deadline_clamp: 0,
+                headroom_fallback: 2,
+                vru_unfit: 0,
+            }),
+            rungs: vec![
+                RungFrames {
+                    level: 0,
+                    name: "base".into(),
+                    frames: 6,
+                },
+                RungFrames {
+                    level: 1,
+                    name: "UPAQ (LCK)".into(),
+                    frames: 0,
+                },
+            ],
             fairness_jain: 0.9,
             per_stream: vec![stream_row(0, 4, 4, 0), stream_row(1, 4, 2, 2)],
         }
@@ -262,5 +322,12 @@ mod tests {
         let text = v.pretty();
         assert!(text.contains("mean_batch_size"));
         assert!(text.contains("delivered_fps"));
+        assert_eq!(v.get("policy").and_then(|x| x.as_str()), Some("proactive"));
+        assert!(text.contains("energy_saved_vs_base_frac"));
+        let ov = v.get("overrides").unwrap();
+        assert_eq!(ov.get("vru_floor").and_then(|x| x.as_f64()), Some(1.0));
+        let rungs = v.get("rungs").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(rungs[0].get("frames").and_then(|x| x.as_f64()), Some(6.0));
+        assert_eq!(rungs[1].get("level").and_then(|x| x.as_f64()), Some(1.0));
     }
 }

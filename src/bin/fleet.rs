@@ -22,7 +22,12 @@
 //!
 //! Run with `cargo run --release --bin fleet -- [--streams N] [--frames K]
 //! [--workers W] [--max-batch B] [--detector lidar|camera]
-//! [--mode compare|realtime|saturate] [--threads N]`.
+//! [--mode compare|realtime|saturate] [--policy reactive|proactive]
+//! [--scenario NAME] [--threads N]`.
+//! `--scenario` draws the fleet's traffic mix, per-stream deadline and
+//! arrival rate from the named [`upaq_kitti::scenario`] catalog profile;
+//! `--policy proactive` layers complexity-aware rung steering (with VRU
+//! and deadline-headroom safety overrides) over realtime admission.
 //! The JSON report lands in `target/upaq-results/fleet.json`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,12 +36,15 @@ use upaq_bench::harness::save_result;
 use upaq_bench::table::print_table;
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::{json, ToJson, Value};
-use upaq_kitti::fleet::{FleetScenario, FleetScenarioConfig};
+use upaq_kitti::dataset::Dataset;
+use upaq_kitti::fleet::{FleetScenario, FleetScenarioConfig, StreamClass};
+use upaq_kitti::scenario;
 use upaq_kitti::stream::{FrameStream, SensorData};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::{fit_camera_head, fit_lidar_head};
 use upaq_models::smoke::{Smoke, SmokeConfig};
 use upaq_models::StreamingDetector;
-use upaq_runtime::{Pipeline, PipelineConfig, VariantLadder};
+use upaq_runtime::{Pipeline, PipelineConfig, ProactiveConfig, VariantLadder};
 use upaq_serve::{FleetConfig, FleetMode, FleetReport, FleetServer};
 
 const SEED: u64 = 2025;
@@ -48,6 +56,8 @@ struct Args {
     max_batch: usize,
     detector: String,
     mode: String,
+    policy: String,
+    scenario: Option<String>,
     threads: usize,
 }
 
@@ -59,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         max_batch: 4,
         detector: "lidar".into(),
         mode: "compare".into(),
+        policy: "reactive".into(),
+        scenario: None,
         threads: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -101,6 +113,29 @@ fn parse_args() -> Result<Args, String> {
                         parsed.mode
                     ));
                 }
+            }
+            "--policy" => {
+                parsed.policy = args
+                    .next()
+                    .ok_or_else(|| "--policy needs a value".to_string())?;
+                if !matches!(parsed.policy.as_str(), "reactive" | "proactive") {
+                    return Err(format!(
+                        "unknown policy `{}` (expected reactive|proactive)",
+                        parsed.policy
+                    ));
+                }
+            }
+            "--scenario" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--scenario needs a value".to_string())?;
+                if scenario::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown scenario `{name}` (expected one of: {})",
+                        scenario::names().join(", ")
+                    ));
+                }
+                parsed.scenario = Some(name);
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -194,6 +229,8 @@ where
             "max_batch": args.max_batch,
             "detector": args.detector,
             "mode": args.mode,
+            "policy": args.policy,
+            "scenario": args.scenario,
             "threads": args.threads,
         }),
     )];
@@ -211,6 +248,7 @@ where
                 workers: args.workers,
                 max_batch: args.max_batch,
                 mode: FleetMode::Realtime,
+                proactive: (args.policy == "proactive").then(ProactiveConfig::default),
                 ..FleetConfig::default()
             },
         );
@@ -230,6 +268,12 @@ where
             report.boosts,
             report.fairness_jain,
         );
+        if let Some(ov) = &report.overrides {
+            println!(
+                "  proactive overrides: vru_floor {} deadline_clamp {} headroom_fallback {} vru_unfit {}",
+                ov.vru_floor, ov.deadline_clamp, ov.headroom_fallback, ov.vru_unfit
+            );
+        }
         doc.push(("realtime".into(), report.to_json()));
     } else {
         if args.mode == "compare" {
@@ -317,7 +361,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e}\nusage: fleet [--streams N] [--frames K] [--workers W] [--max-batch B] \
-             [--detector lidar|camera] [--mode compare|realtime|saturate] [--threads N]"
+             [--detector lidar|camera] [--mode compare|realtime|saturate] \
+             [--policy reactive|proactive] [--scenario NAME] [--threads N]"
         )
     })?;
     upaq_tensor::ops::TensorParallel::set_threads(args.threads);
@@ -329,19 +374,58 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         frames_per_stream: args.frames,
         ..FleetScenarioConfig::default()
     };
+    if let Some(name) = &args.scenario {
+        let profile = scenario::by_name(name).expect("validated by parse_args");
+        println!(
+            "Scenario `{}`: {} (deadline {:.0} ms, mean arrival {:.1} ms)",
+            profile.name,
+            profile.description,
+            profile.deadline_s * 1e3,
+            profile.arrival.mean_interval_s() * 1e3,
+        );
+        // Every stream plays the profile's traffic: its scene mix, its
+        // deadline, and its mean arrival rate (the fleet replays per-stream
+        // schedules, so burst structure is carried by the rate alone).
+        config.dataset = profile.dataset.clone();
+        config.classes = vec![StreamClass {
+            rate_hz: 1.0 / profile.arrival.mean_interval_s(),
+            deadline_s: profile.deadline_s,
+        }];
+    }
 
+    // Scenario runs fit the base head on the scenario's own scenes and
+    // calibrate every degraded rung's head on its compressed backbone:
+    // the proactive policy steers on detection feedback, which unfitted
+    // heads would reduce to noise. The historical non-scenario benchmark
+    // keeps its unfitted detectors (throughput numbers stay comparable).
     if args.detector == "camera" {
         let smoke_cfg = SmokeConfig::tiny();
         config.dataset.camera = smoke_cfg.calib.clone();
-        let scenario = FleetScenario::build(config, SEED);
-        let det = Smoke::build(&smoke_cfg)?;
-        let ladder = VariantLadder::build(det, &device, SEED)?;
-        run_fleet(&args, ladder, scenario);
+        let mut det = Smoke::build(&smoke_cfg)?;
+        if args.scenario.is_some() {
+            let data = Dataset::generate(&config.dataset, SEED);
+            let scenes: Vec<usize> = (0..data.len()).collect();
+            fit_camera_head(&mut det, &data, &scenes, 1e-3)?;
+            let mut ladder = VariantLadder::build(det, &device, SEED)?;
+            ladder.calibrate_heads(&data, 1e-3)?;
+            run_fleet(&args, ladder, FleetScenario::build(config, SEED));
+        } else {
+            let ladder = VariantLadder::build(det, &device, SEED)?;
+            run_fleet(&args, ladder, FleetScenario::build(config, SEED));
+        }
     } else {
-        let scenario = FleetScenario::build(config, SEED);
-        let det = PointPillars::build(&PointPillarsConfig::tiny())?;
-        let ladder = VariantLadder::build(det, &device, SEED)?;
-        run_fleet(&args, ladder, scenario);
+        let mut det = PointPillars::build(&PointPillarsConfig::tiny())?;
+        if args.scenario.is_some() {
+            let data = Dataset::generate(&config.dataset, SEED);
+            let scenes: Vec<usize> = (0..data.len()).collect();
+            fit_lidar_head(&mut det, &data, &scenes, 1e-3)?;
+            let mut ladder = VariantLadder::build(det, &device, SEED)?;
+            ladder.calibrate_heads(&data, 1e-3)?;
+            run_fleet(&args, ladder, FleetScenario::build(config, SEED));
+        } else {
+            let ladder = VariantLadder::build(det, &device, SEED)?;
+            run_fleet(&args, ladder, FleetScenario::build(config, SEED));
+        }
     }
     Ok(())
 }

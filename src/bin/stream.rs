@@ -11,25 +11,40 @@
 //! counters of the second report.
 //!
 //! Run with `cargo run --release --bin stream -- [--detector lidar|camera|both]
-//! [--frames N] [--batch K] [--threads N]`. `--threads N` sets the
-//! persistent worker pool's claimant count for the convolution kernels
-//! (bit-identical output at any value). `--batch K` lets each backbone worker admit
-//! up to `K` queued frames as one batched forward pass when the predicted
-//! batched latency still meets the group's earliest deadline; `--batch 1`
-//! (the default) is the historical per-frame scheduling. Under overload
-//! the injected backbone stall is charged once per *invocation*, so
-//! batching amortizes it and completes measurably more frames.
+//! [--frames N] [--batch K] [--threads N] [--policy reactive|proactive]
+//! [--scenario NAME]`. `--threads N` sets the persistent worker pool's
+//! claimant count for the convolution kernels (bit-identical output at any
+//! value). `--batch K` lets each backbone worker admit up to `K` queued
+//! frames as one batched forward pass when the predicted batched latency
+//! still meets the group's earliest deadline; `--batch 1` (the default) is
+//! the historical per-frame scheduling. Under overload the injected
+//! backbone stall is charged once per *invocation*, so batching amortizes
+//! it and completes measurably more frames.
+//!
+//! `--policy proactive` layers complexity-aware admission over the
+//! reactive scheduler: easy frames steer to cheaper rungs ahead of time,
+//! with the VRU-safety and deadline-headroom overrides reported in the
+//! JSON `overrides` counters. `--scenario NAME` replaces the
+//! nominal+overload pair with one profile from the `upaq-kitti` scenario
+//! catalog (traffic mix, arrival pattern, deadline); in scenario mode the
+//! detector head is least-squares fitted on the scenario's own scenes
+//! first, so the detection feedback that drives the proactive policy is
+//! meaningful rather than random-head noise.
 
 use upaq_bench::harness::save_result;
 use upaq_bench::table::print_table;
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::ToJson;
-use upaq_kitti::dataset::DatasetConfig;
+use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_kitti::scenario::{self, ScenarioProfile};
 use upaq_kitti::stream::{FrameStream, SensorData};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::pretrain::{fit_camera_head, fit_lidar_head};
 use upaq_models::smoke::{Smoke, SmokeConfig};
 use upaq_models::StreamingDetector;
-use upaq_runtime::{Pipeline, PipelineConfig, RuntimeReport, SchedulerConfig, VariantLadder};
+use upaq_runtime::{
+    Pipeline, PipelineConfig, ProactiveConfig, RuntimeReport, SchedulerConfig, VariantLadder,
+};
 
 const SEED: u64 = 2025;
 
@@ -42,7 +57,7 @@ fn dataset_config(camera: Option<&SmokeConfig>) -> DatasetConfig {
     cfg
 }
 
-fn nominal(frames: u64, batch: usize) -> PipelineConfig {
+fn nominal(frames: u64, batch: usize, proactive: Option<ProactiveConfig>) -> PipelineConfig {
     PipelineConfig {
         frames,
         queue_capacity: 4.max(batch),
@@ -51,15 +66,17 @@ fn nominal(frames: u64, batch: usize) -> PipelineConfig {
         // ~30 FPS: inside the pipeline's measured service rate, so frames
         // meet the 100 ms deadline on the full model.
         source_interval_s: 0.033,
+        source_intervals: Vec::new(),
         slow_backbone_s: 0.0,
         max_batch: batch,
         postprocess_workers: 2,
         deterministic: false,
+        proactive,
         scenario: "nominal".into(),
     }
 }
 
-fn overload(frames: u64, batch: usize) -> PipelineConfig {
+fn overload(frames: u64, batch: usize, proactive: Option<ProactiveConfig>) -> PipelineConfig {
     PipelineConfig {
         frames: (frames * 2 / 3).max(1),
         queue_capacity: 2.max(batch),
@@ -72,6 +89,7 @@ fn overload(frames: u64, batch: usize) -> PipelineConfig {
             ..SchedulerConfig::default()
         },
         source_interval_s: 0.020,
+        source_intervals: Vec::new(),
         // Injected stall charged once per invocation: at `--batch 1` it
         // caps service near 12 FPS against 50 FPS arrivals, so the
         // scheduler degrades and sheds load; at `--batch 4` the stall
@@ -80,7 +98,36 @@ fn overload(frames: u64, batch: usize) -> PipelineConfig {
         max_batch: batch,
         postprocess_workers: 2,
         deterministic: false,
+        proactive,
         scenario: "overload".into(),
+    }
+}
+
+/// Pipeline configuration for one catalog scenario: the profile supplies
+/// the arrival-gap cycle and the deadline; worker shape follows the
+/// nominal run.
+fn scenario_config(
+    profile: &ScenarioProfile,
+    frames: u64,
+    batch: usize,
+    proactive: Option<ProactiveConfig>,
+) -> PipelineConfig {
+    PipelineConfig {
+        frames,
+        queue_capacity: 4.max(batch),
+        backbone_workers: 2,
+        scheduler: SchedulerConfig {
+            deadline_s: profile.deadline_s,
+            ..SchedulerConfig::default()
+        },
+        source_interval_s: 0.0,
+        source_intervals: profile.arrival.cycle(),
+        slow_backbone_s: 0.0,
+        max_batch: batch,
+        postprocess_workers: 2,
+        deterministic: false,
+        proactive,
+        scenario: profile.name.into(),
     }
 }
 
@@ -88,6 +135,7 @@ fn summarize(r: &RuntimeReport) -> Vec<String> {
     vec![
         r.detector.clone(),
         r.scenario.clone(),
+        r.policy.clone(),
         format!("{}", r.frames_generated),
         format!("{}", r.frames_completed),
         format!("{}", r.dropped_backpressure + r.dropped_deadline),
@@ -95,10 +143,10 @@ fn summarize(r: &RuntimeReport) -> Vec<String> {
         format!("{}", r.degraded),
         format!("{:.1}", r.fps),
         format!("{:.2}", r.mean_batch_size),
-        format!("{:.2}", r.amortized_backbone_ms),
         format!("{:.2}", r.e2e_latency.p50_s * 1e3),
         format!("{:.2}", r.e2e_latency.p99_s * 1e3),
         format!("{:.3}", r.energy_per_frame_j),
+        format!("{:.1}", r.energy_saved_vs_base_frac * 100.0),
     ]
 }
 
@@ -128,11 +176,43 @@ fn print_ladder<D: StreamingDetector>(ladder: &VariantLadder<D>) {
     );
 }
 
+fn run_one<D: StreamingDetector>(
+    ladder: VariantLadder<D>,
+    data_cfg: &DatasetConfig,
+    config: PipelineConfig,
+    reports: &mut Vec<RuntimeReport>,
+) where
+    D::Input: SensorData,
+{
+    let modality = ladder.level(0).detector.modality();
+    println!(
+        "Running `{modality}/{}` ({} frames, max batch {}, policy {})…",
+        config.scenario,
+        config.frames,
+        config.max_batch,
+        if config.proactive.is_some() {
+            "proactive"
+        } else {
+            "reactive"
+        },
+    );
+    let pipeline = Pipeline::new(ladder, config);
+    let outcome = pipeline.run(FrameStream::<D::Input>::generate(data_cfg, SEED));
+    if let Some(ov) = &outcome.report.overrides {
+        println!(
+            "  overrides: vru_floor {} deadline_clamp {} headroom_fallback {} vru_unfit {}",
+            ov.vru_floor, ov.deadline_clamp, ov.headroom_fallback, ov.vru_unfit
+        );
+    }
+    reports.push(outcome.report);
+}
+
 fn run_scenarios<D: StreamingDetector>(
     ladder: VariantLadder<D>,
     data_cfg: &DatasetConfig,
     frames: u64,
     batch: usize,
+    proactive: Option<ProactiveConfig>,
     reports: &mut Vec<RuntimeReport>,
 ) where
     D::Input: SensorData,
@@ -140,106 +220,191 @@ fn run_scenarios<D: StreamingDetector>(
     let modality = ladder.level(0).detector.modality();
     println!("\nDegrade ladder for `{modality}` (Jetson Orin Nano cost model):");
     print_ladder(&ladder);
-    for config in [nominal(frames, batch), overload(frames, batch)] {
-        let scenario = config.scenario.clone();
-        println!(
-            "Running `{modality}/{scenario}` scenario ({} frames, max batch {batch})…",
-            config.frames
-        );
-        let pipeline = Pipeline::new(ladder.clone(), config);
-        let outcome = pipeline.run(FrameStream::<D::Input>::generate(data_cfg, SEED));
-        reports.push(outcome.report);
+    for config in [
+        nominal(frames, batch, proactive.clone()),
+        overload(frames, batch, proactive.clone()),
+    ] {
+        run_one(ladder.clone(), data_cfg, config, reports);
     }
 }
 
-fn parse_args() -> Result<(String, u64, usize, usize), String> {
-    let mut detector = "both".to_string();
-    let mut frames = 60u64;
-    let mut batch = 1usize;
-    let mut threads = 1usize;
+struct Args {
+    detector: String,
+    frames: u64,
+    batch: usize,
+    threads: usize,
+    scenario: Option<String>,
+    proactive: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        detector: "both".to_string(),
+        frames: 60,
+        batch: 1,
+        threads: 1,
+        scenario: None,
+        proactive: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--detector" => {
-                detector = args
+                parsed.detector = args
                     .next()
                     .ok_or_else(|| "--detector needs a value".to_string())?;
-                if !matches!(detector.as_str(), "lidar" | "camera" | "both") {
+                if !matches!(parsed.detector.as_str(), "lidar" | "camera" | "both") {
                     return Err(format!(
-                        "unknown detector `{detector}` (expected lidar|camera|both)"
+                        "unknown detector `{}` (expected lidar|camera|both)",
+                        parsed.detector
                     ));
                 }
             }
             "--frames" => {
-                frames = args
+                parsed.frames = args
                     .next()
                     .ok_or_else(|| "--frames needs a value".to_string())?
                     .parse()
                     .map_err(|e| format!("bad --frames value: {e}"))?;
-                if frames == 0 {
+                if parsed.frames == 0 {
                     return Err("--frames must be positive".into());
                 }
             }
             "--batch" => {
-                batch = args
+                parsed.batch = args
                     .next()
                     .ok_or_else(|| "--batch needs a value".to_string())?
                     .parse()
                     .map_err(|e| format!("bad --batch value: {e}"))?;
-                if batch == 0 {
+                if parsed.batch == 0 {
                     return Err("--batch must be positive".into());
                 }
             }
             "--threads" => {
-                threads = args
+                parsed.threads = args
                     .next()
                     .ok_or_else(|| "--threads needs a value".to_string())?
                     .parse()
                     .map_err(|e| format!("bad --threads value: {e}"))?;
-                if threads == 0 {
+                if parsed.threads == 0 {
                     return Err("--threads must be positive".into());
                 }
+            }
+            "--scenario" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--scenario needs a value".to_string())?;
+                if scenario::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown scenario `{name}` (catalog: {})",
+                        scenario::names().join(", ")
+                    ));
+                }
+                parsed.scenario = Some(name);
+            }
+            "--policy" => {
+                let policy = args
+                    .next()
+                    .ok_or_else(|| "--policy needs a value".to_string())?;
+                parsed.proactive = match policy.as_str() {
+                    "reactive" => false,
+                    "proactive" => true,
+                    other => {
+                        return Err(format!(
+                            "unknown policy `{other}` (expected reactive|proactive)"
+                        ))
+                    }
+                };
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok((detector, frames, batch, threads))
+    Ok(parsed)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let (detector, frames, batch, threads) = parse_args().map_err(|e| {
+    let args = parse_args().map_err(|e| {
         format!(
-            "{e}\nusage: stream [--detector lidar|camera|both] [--frames N] [--batch K] [--threads N]"
+            "{e}\nusage: stream [--detector lidar|camera|both] [--frames N] [--batch K] \
+             [--threads N] [--policy reactive|proactive] [--scenario NAME]"
         )
     })?;
     // Kernel-level parallelism: the persistent worker pool splits each
     // convolution's output channels across `threads` claimants. Results
     // are bit-identical at any thread count.
-    upaq_tensor::ops::TensorParallel::set_threads(threads);
+    upaq_tensor::ops::TensorParallel::set_threads(args.threads);
     println!("Streaming runtime: deadline-aware scheduling over the UPAQ degrade ladder");
 
     let device = DeviceProfile::jetson_orin_nano();
+    let proactive = args.proactive.then(ProactiveConfig::default);
     let mut reports = Vec::new();
 
-    if detector == "lidar" || detector == "both" {
-        // The tiny detectors keep a full streaming run in benchmark
-        // territory (the paper-sized backbones are exercised by the
-        // Table-2 harness).
-        let det = PointPillars::build(&PointPillarsConfig::tiny())?;
-        let ladder = VariantLadder::build(det, &device, SEED)?;
-        run_scenarios(ladder, &dataset_config(None), frames, batch, &mut reports);
-    }
-    if detector == "camera" || detector == "both" {
-        let smoke_cfg = SmokeConfig::tiny();
-        let det = Smoke::build(&smoke_cfg)?;
-        let ladder = VariantLadder::build(det, &device, SEED)?;
-        run_scenarios(
-            ladder,
-            &dataset_config(Some(&smoke_cfg)),
-            frames,
-            batch,
-            &mut reports,
+    if let Some(name) = &args.scenario {
+        let profile = scenario::by_name(name).expect("validated by parse_args");
+        println!(
+            "Scenario `{}`: {} (deadline {:.0} ms)",
+            profile.name,
+            profile.description,
+            profile.deadline_s * 1e3
         );
+        if args.detector == "lidar" || args.detector == "both" {
+            // Fit the head on the scenario's own scenes: the proactive
+            // policy steers on detection feedback, which an unfitted
+            // random head would reduce to noise.
+            let mut det = PointPillars::build(&PointPillarsConfig::tiny())?;
+            let data = Dataset::generate(&profile.dataset, SEED);
+            let scenes: Vec<usize> = (0..data.len()).collect();
+            fit_lidar_head(&mut det, &data, &scenes, 1e-3)?;
+            let mut ladder = VariantLadder::build(det, &device, SEED)?;
+            // Refit the degraded rungs' heads on their own compressed
+            // backbones — a base-fit head decoding compressed features
+            // emits false-positive spray instead of graded recall.
+            ladder.calibrate_heads(&data, 1e-3)?;
+            let config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            run_one(ladder, &profile.dataset, config, &mut reports);
+        }
+        if args.detector == "camera" || args.detector == "both" {
+            let smoke_cfg = SmokeConfig::tiny();
+            let mut data_cfg = profile.dataset.clone();
+            data_cfg.camera = smoke_cfg.calib.clone();
+            let mut det = Smoke::build(&smoke_cfg)?;
+            let data = Dataset::generate(&data_cfg, SEED);
+            let scenes: Vec<usize> = (0..data.len()).collect();
+            fit_camera_head(&mut det, &data, &scenes, 1e-3)?;
+            let mut ladder = VariantLadder::build(det, &device, SEED)?;
+            ladder.calibrate_heads(&data, 1e-3)?;
+            let config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            run_one(ladder, &data_cfg, config, &mut reports);
+        }
+    } else {
+        if args.detector == "lidar" || args.detector == "both" {
+            // The tiny detectors keep a full streaming run in benchmark
+            // territory (the paper-sized backbones are exercised by the
+            // Table-2 harness).
+            let det = PointPillars::build(&PointPillarsConfig::tiny())?;
+            let ladder = VariantLadder::build(det, &device, SEED)?;
+            run_scenarios(
+                ladder,
+                &dataset_config(None),
+                args.frames,
+                args.batch,
+                proactive.clone(),
+                &mut reports,
+            );
+        }
+        if args.detector == "camera" || args.detector == "both" {
+            let smoke_cfg = SmokeConfig::tiny();
+            let det = Smoke::build(&smoke_cfg)?;
+            let ladder = VariantLadder::build(det, &device, SEED)?;
+            run_scenarios(
+                ladder,
+                &dataset_config(Some(&smoke_cfg)),
+                args.frames,
+                args.batch,
+                proactive.clone(),
+                &mut reports,
+            );
+        }
     }
 
     println!("\nScenario summary:");
@@ -247,6 +412,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         &[
             "Detector",
             "Scenario",
+            "Policy",
             "Generated",
             "Completed",
             "Dropped",
@@ -254,10 +420,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             "Degraded",
             "FPS",
             "Avg batch",
-            "Amort (ms)",
             "p50 (ms)",
             "p99 (ms)",
             "E/frame (J)",
+            "Saved (%)",
         ],
         &reports.iter().map(summarize).collect::<Vec<_>>(),
     );
