@@ -158,7 +158,7 @@ fn independent_arm(ladder: &VariantLadder<LidarDetector>, scenario: &FleetScenar
                         ..PipelineConfig::default()
                     },
                 );
-                let outcome = pipeline.run(stream);
+                let outcome = pipeline.run(stream).expect("pipeline run");
                 delivered.fetch_add(outcome.report.frames_completed, Ordering::Relaxed);
             });
         }

@@ -354,9 +354,12 @@ where
                 postprocess_workers: 2,
                 deterministic: true,
                 scenario: format!("bench-t{threads}-b{batch}"),
+                ..PipelineConfig::default()
             };
             let pipeline = Pipeline::new(ladder.clone(), config);
-            let outcome = pipeline.run(FrameStream::<D::Input>::generate(data_cfg, SEED));
+            let outcome = pipeline
+                .run(FrameStream::<D::Input>::generate(data_cfg, SEED))
+                .expect("pipeline run");
             println!(
                 "  [{label}] e2e t{threads} b{batch}: {:.1} fps ({}/{} frames)",
                 outcome.report.fps,

@@ -87,9 +87,23 @@ pub struct CameraImage {
 }
 
 impl CameraImage {
+    /// Wraps an arbitrary tensor as a camera frame. The renderer always
+    /// produces `[1, 4, H, W]`; the fault-injection harness uses this to
+    /// model malformed sensor output, which the admission firewall's
+    /// shape check ([`crate::faults::inspect_image`]) then catches.
+    pub fn from_tensor(tensor: Tensor) -> Self {
+        CameraImage { tensor }
+    }
+
     /// The underlying `[1, 4, H, W]` tensor.
     pub fn tensor(&self) -> &Tensor {
         &self.tensor
+    }
+
+    /// Mutable access to the backing tensor — the fault-injection
+    /// harness corrupts frames in place through this.
+    pub fn tensor_mut(&mut self) -> &mut Tensor {
+        &mut self.tensor
     }
 
     /// Consumes the image, returning the tensor.

@@ -32,6 +32,7 @@
 
 pub mod camera;
 pub mod dataset;
+pub mod faults;
 pub mod fleet;
 pub mod lidar;
 pub mod scenario;
@@ -40,6 +41,7 @@ pub mod stream;
 
 pub use camera::{CameraCalib, CameraImage};
 pub use dataset::{Dataset, DatasetConfig, Split};
+pub use faults::{FaultKind, FaultPlan, FaultRule, FrameDefect, FrameFaults, PayloadFault};
 pub use fleet::{FleetScenario, FleetScenarioConfig, StreamClass, StreamProfile};
 pub use lidar::{LidarConfig, PointCloud};
 pub use scenario::{ArrivalPattern, ScenarioProfile};

@@ -39,6 +39,12 @@ impl PointCloud {
         &self.points
     }
 
+    /// Mutable access to the returns — the fault-injection harness
+    /// ([`crate::faults`]) corrupts sweeps in place through this.
+    pub fn points_mut(&mut self) -> &mut Vec<LidarPoint> {
+        &mut self.points
+    }
+
     /// Number of returns.
     pub fn len(&self) -> usize {
         self.points.len()

@@ -14,6 +14,7 @@
 
 use crate::camera::CameraImage;
 use crate::dataset::{Dataset, DatasetConfig};
+use crate::faults::{FrameDefect, PayloadFault};
 use crate::lidar::PointCloud;
 use std::marker::PhantomData;
 
@@ -24,17 +25,45 @@ use std::marker::PhantomData;
 pub trait SensorData: Clone + Send + 'static {
     /// Synthesizes this modality's sample for a dataset scene.
     fn sample(dataset: &Dataset, scene_index: usize) -> Self;
+
+    /// Applies a payload fault in place — the fault-injection harness'
+    /// modality hook ([`crate::faults`]). The default is a no-op so
+    /// minimal test modalities need not care about chaos runs.
+    fn corrupt(&mut self, _fault: &PayloadFault, _salt: u64) {}
+
+    /// Firewall inspection: a defect the supervision layer should
+    /// quarantine on, or `None` for a clean frame. Must not modify the
+    /// sample — clean frames pass through bit-identical.
+    fn defect(&self) -> Option<FrameDefect> {
+        None
+    }
 }
 
 impl SensorData for PointCloud {
     fn sample(dataset: &Dataset, scene_index: usize) -> Self {
         dataset.lidar(scene_index)
     }
+
+    fn corrupt(&mut self, fault: &PayloadFault, salt: u64) {
+        crate::faults::corrupt_cloud(self, fault, salt);
+    }
+
+    fn defect(&self) -> Option<FrameDefect> {
+        crate::faults::inspect_cloud(self)
+    }
 }
 
 impl SensorData for CameraImage {
     fn sample(dataset: &Dataset, scene_index: usize) -> Self {
         dataset.camera(scene_index)
+    }
+
+    fn corrupt(&mut self, fault: &PayloadFault, salt: u64) {
+        crate::faults::corrupt_image(self, fault, salt);
+    }
+
+    fn defect(&self) -> Option<FrameDefect> {
+        crate::faults::inspect_image(self)
     }
 }
 

@@ -32,7 +32,7 @@ pub mod variant;
 pub use metrics::{
     BatchBucket, BatchStats, Counters, LatencyRecorder, LatencySummary, RuntimeReport, StageReport,
 };
-pub use pipeline::{Pipeline, PipelineConfig, StreamOutcome};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineError, StreamOutcome, SupervisionConfig};
 pub use proactive::{OverrideCounters, OverrideSnapshot, ProactiveConfig, ProactivePolicy};
 pub use queue::{BoundedQueue, PushOutcome};
 pub use scheduler::{Admission, DeadlineScheduler, GroupAdmission, SchedulerConfig};

@@ -110,6 +110,19 @@ pub struct Counters {
     /// Frames whose forward pass returned an execution error, or whose
     /// hand-off to postprocess was refused by a closed queue.
     pub failed: AtomicU64,
+    /// Frames removed by the supervision layer: quarantined at the
+    /// firewall, lost to a caught panic, or cancelled by a stage
+    /// watchdog. The sixth accounting class — disjoint from every drop
+    /// class and from `failed` (which stays execution *errors*; faults
+    /// are crashes, poison and timeouts).
+    pub faulted: AtomicU64,
+    /// Of `faulted`: frames the admission firewall rejected (NaN/Inf,
+    /// empty or malformed payloads). Annotation, not an identity term.
+    pub quarantined: AtomicU64,
+    /// Of `faulted`: frames lost to a panic caught inside the backbone.
+    pub panics: AtomicU64,
+    /// Of `faulted`: frames cancelled by the per-stage watchdog.
+    pub watchdog_cancels: AtomicU64,
 }
 
 impl Counters {
@@ -124,13 +137,16 @@ impl Counters {
     }
 
     /// Every frame must be accounted exactly once: completed plus each
-    /// drop class equals generated. Holds at pipeline shutdown (after the
-    /// queues drain); the backpressure test asserts it.
+    /// drop class plus `failed` plus `faulted` equals generated — the
+    /// six-class zero-silent-loss identity. Holds at pipeline shutdown
+    /// (after the queues drain); the backpressure and chaos tests assert
+    /// it.
     pub fn accounted(&self) -> bool {
         Counters::get(&self.completed)
             + Counters::get(&self.dropped_backpressure)
             + Counters::get(&self.dropped_deadline)
             + Counters::get(&self.failed)
+            + Counters::get(&self.faulted)
             == Counters::get(&self.generated)
     }
 }
@@ -302,6 +318,15 @@ pub struct RuntimeReport {
     /// Frames whose forward pass errored (or whose hand-off to postprocess
     /// was refused). Disjoint from every drop class.
     pub failed: u64,
+    /// Frames removed by the supervision layer (quarantine, caught
+    /// panic, watchdog cancel) — the sixth accounting class.
+    pub faulted: u64,
+    /// Of `faulted`: frames the admission firewall quarantined.
+    pub quarantined: u64,
+    /// Of `faulted`: frames lost to a panic caught in the backbone.
+    pub panics_caught: u64,
+    /// Of `faulted`: frames cancelled by the stage watchdog.
+    pub watchdog_cancels: u64,
     /// Frames run on a degraded (cheaper) variant and delivered to
     /// postprocess.
     pub degraded: u64,
@@ -349,6 +374,10 @@ impl ToJson for RuntimeReport {
             "dropped_backpressure": self.dropped_backpressure,
             "dropped_deadline": self.dropped_deadline,
             "failed": self.failed,
+            "faulted": self.faulted,
+            "quarantined": self.quarantined,
+            "panics_caught": self.panics_caught,
+            "watchdog_cancels": self.watchdog_cancels,
             "degraded": self.degraded,
             "deadline_misses": self.deadline_misses,
             "fps": self.fps,
@@ -411,6 +440,26 @@ mod tests {
     }
 
     #[test]
+    fn faulted_is_an_identity_class_but_its_annotations_are_not() {
+        let c = Counters::default();
+        for _ in 0..3 {
+            Counters::bump(&c.generated);
+        }
+        Counters::bump(&c.completed);
+        Counters::bump(&c.completed);
+        assert!(!c.accounted());
+        // One frame quarantined at the firewall: faulted carries the
+        // identity, quarantined only annotates the cause.
+        Counters::bump(&c.faulted);
+        Counters::bump(&c.quarantined);
+        assert!(c.accounted());
+        // Cause annotations alone never balance the identity.
+        Counters::bump(&c.panics);
+        Counters::bump(&c.watchdog_cancels);
+        assert!(c.accounted());
+    }
+
+    #[test]
     fn report_serializes_with_expected_keys() {
         let report = RuntimeReport {
             scenario: "nominal".into(),
@@ -422,6 +471,10 @@ mod tests {
             dropped_backpressure: 1,
             dropped_deadline: 0,
             failed: 0,
+            faulted: 0,
+            quarantined: 0,
+            panics_caught: 0,
+            watchdog_cancels: 0,
             degraded: 2,
             deadline_misses: 0,
             fps: 9.0,
@@ -474,6 +527,11 @@ mod tests {
             Some(0.0)
         );
         assert_eq!(v.get("detector").and_then(|x| x.as_str()), Some("lidar"));
+        // Supervision keys the CI chaos-smoke job consumes.
+        assert_eq!(v.get("faulted").and_then(|x| x.as_f64()), Some(0.0));
+        assert!(text.contains("quarantined"));
+        assert!(text.contains("panics_caught"));
+        assert!(text.contains("watchdog_cancels"));
         // Batch reporting keys the CI batch-accounting job consumes.
         assert_eq!(v.get("max_batch").and_then(|x| x.as_f64()), Some(4.0));
         let hist = v.get("batch_histogram").and_then(|h| h.as_arr()).unwrap();

@@ -38,11 +38,13 @@ use crate::proactive::{ProactiveConfig, ProactivePolicy};
 use crate::queue::{BoundedQueue, PushOutcome};
 use crate::scheduler::{DeadlineScheduler, GroupAdmission, SchedulerConfig};
 use crate::variant::{VariantLadder, VariantSpec};
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use upaq_det3d::{Box3d, FrameComplexity};
 use upaq_hwmodel::EnergyMeter;
+use upaq_kitti::faults::FaultPlan;
 use upaq_kitti::stream::{Frame, FrameStream, SensorData};
 use upaq_models::StreamingDetector;
 use upaq_nn::exec::{forward_batch_into, forward_into, Workspace};
@@ -87,9 +89,74 @@ pub struct PipelineConfig {
     /// purely-reactive policy; ignored in deterministic mode, which
     /// bypasses admission entirely.
     pub proactive: Option<ProactiveConfig>,
+    /// Deterministic fault-injection plan driven by the source stage
+    /// ([`upaq_kitti::faults`]): payload corruption and stalls at the
+    /// source, panics and latency spikes inside the backbone. `None`
+    /// injects nothing.
+    pub faults: Option<FaultPlan>,
+    /// Supervision layer: admission firewall, backbone panic isolation
+    /// and the stage watchdog. `Some(default)` by default — clean frames
+    /// pass through bit-identical, so supervision costs nothing when no
+    /// faults occur. `None` restores the unsupervised runtime, where a
+    /// worker panic aborts the run with a [`PipelineError`].
+    pub supervision: Option<SupervisionConfig>,
     /// Label copied into the report.
     pub scenario: String,
 }
+
+/// Knobs of the pipeline's supervision layer.
+#[derive(Debug, Clone)]
+pub struct SupervisionConfig {
+    /// Input sanitization firewall at admission: frames whose payload
+    /// reports a [`upaq_kitti::faults::FrameDefect`] (NaN/Inf values,
+    /// empty or malformed frames) are quarantined into the `faulted`
+    /// class before preprocessing. Pure pass-through for clean frames.
+    pub firewall: bool,
+    /// `catch_unwind` isolation around the backbone forward: a panic
+    /// costs its frame(s), the worker respawns its workspace and keeps
+    /// serving. Disabled, a panic unwinds the worker and the run
+    /// surfaces a typed [`PipelineError`].
+    pub isolate_panics: bool,
+    /// Per-stage watchdog deadline, seconds: a backbone invocation whose
+    /// wall time exceeds this is cancelled — its frames are charged to
+    /// `faulted` instead of being handed on stale. `None` disables.
+    pub watchdog_stage_s: Option<f64>,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            firewall: true,
+            isolate_panics: true,
+            watchdog_stage_s: None,
+        }
+    }
+}
+
+/// A failure that aborted a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A stage worker panicked and the panic was not (or could not be)
+    /// isolated — the run's outputs are unusable.
+    StagePanicked {
+        /// Stage the panicking worker belonged to.
+        stage: &'static str,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::StagePanicked { stage, message } => {
+                write!(f, "pipeline {stage} worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 impl Default for PipelineConfig {
     fn default() -> Self {
@@ -105,6 +172,8 @@ impl Default for PipelineConfig {
             postprocess_workers: 1,
             deterministic: false,
             proactive: None,
+            faults: None,
+            supervision: Some(SupervisionConfig::default()),
             scenario: "nominal".into(),
         }
     }
@@ -163,10 +232,21 @@ where
     }
 
     /// Runs the stream to completion and returns the report + detections.
-    pub fn run(&self, stream: FrameStream<D::Input>) -> StreamOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::StagePanicked`] when a stage worker's panic was
+    /// not isolated by the supervision layer — the joins recover the
+    /// panic payload instead of double-panicking, and no report is
+    /// produced because frames may have vanished unaccounted.
+    pub fn run(&self, stream: FrameStream<D::Input>) -> Result<StreamOutcome, PipelineError> {
         let cfg = &self.config;
         let ladder = &self.ladder;
         let deterministic = cfg.deterministic;
+        let faults = cfg.faults.as_ref();
+        let firewall_on = cfg.supervision.as_ref().is_some_and(|s| s.firewall);
+        let isolate = cfg.supervision.as_ref().is_some_and(|s| s.isolate_panics);
+        let watchdog_s = cfg.supervision.as_ref().and_then(|s| s.watchdog_stage_s);
         let modality = ladder.level(0).detector.modality();
 
         let q_pre: BoundedQueue<PreJob<D::Input>> = BoundedQueue::new(cfg.queue_capacity);
@@ -192,6 +272,7 @@ where
         let results: Mutex<Vec<(u64, Vec<Box3d>)>> = Mutex::new(Vec::new());
 
         let started = Instant::now();
+        let mut stage_errors: Vec<PipelineError> = Vec::new();
         std::thread::scope(|s| {
             // Source: pace frames in, drop-oldest when the pipeline lags.
             let source = {
@@ -200,8 +281,20 @@ where
                 let (frames, interval_s) = (cfg.frames, cfg.source_interval_s);
                 let intervals = cfg.source_intervals.clone();
                 s.spawn(move || {
-                    for (i, frame) in stream.by_ref().take(frames as usize).enumerate() {
+                    let _close = CloseOnUnwind(q_pre);
+                    for (i, mut frame) in stream.by_ref().take(frames as usize).enumerate() {
                         Counters::bump(&counters.generated);
+                        // Fault injection happens at the sensor boundary:
+                        // payload corruption poisons the sample, stalls
+                        // stretch the arrival gap.
+                        let mut stall_s = 0.0;
+                        if let Some(plan) = faults {
+                            let ff = plan.frame(frame.id);
+                            if let Some(payload) = &ff.payload {
+                                frame.data.corrupt(payload, plan.salt(frame.id));
+                            }
+                            stall_s = ff.stall_s;
+                        }
                         let job = PreJob {
                             frame,
                             arrived: Instant::now(),
@@ -211,7 +304,7 @@ where
                             interval_s
                         } else {
                             intervals[i % intervals.len()]
-                        };
+                        } + stall_s;
                         if gap_s > 0.0 {
                             std::thread::sleep(Duration::from_secs_f64(gap_s));
                         }
@@ -226,7 +319,19 @@ where
                 let (q_pre, q_bb, counters) = (&q_pre, &q_bb, &counters);
                 let (base, pre_timer) = (&ladder.level(0).detector, &pre_timer);
                 s.spawn(move || {
+                    let _close = CloseOnUnwind(q_bb);
                     while let Some(job) = q_pre.pop() {
+                        // Sanitization firewall: a detectably-poisoned
+                        // payload is quarantined before it can reach the
+                        // numeric stages. Clean frames pass through
+                        // untouched — `defect()` never modifies the data,
+                        // so supervised and unsupervised runs stay
+                        // bit-identical on them.
+                        if firewall_on && job.frame.data.defect().is_some() {
+                            Counters::bump(&counters.faulted);
+                            Counters::bump(&counters.quarantined);
+                            continue;
+                        }
                         let t0 = Instant::now();
                         let input = base.preprocess(&job.frame.data);
                         // Complexity features ride the tensor the stage
@@ -259,6 +364,8 @@ where
                     let (scheduler, bb_timer, batch_stats) = (&scheduler, &bb_timer, &batch_stats);
                     let slow_s = cfg.slow_backbone_s;
                     s.spawn(move || {
+                        let _close_up = CloseOnUnwind(q_bb);
+                        let _close_down = CloseOnUnwind(q_post);
                         let mut ws = Workspace::new();
                         let mut wss: Vec<Workspace> = Vec::new();
                         while let Some(first) = q_bb.pop() {
@@ -303,6 +410,9 @@ where
                                     }
                                     GroupAdmission::Single { level } => {
                                         let job = group.pop_front().expect("group is non-empty");
+                                        let ff = faults
+                                            .map(|p| p.frame(job.frame.id))
+                                            .unwrap_or_default();
                                         let variant = ladder.level(level);
                                         let t0 = Instant::now();
                                         let mut inputs = HashMap::new();
@@ -310,21 +420,52 @@ where
                                             variant.detector.input_name().to_string(),
                                             job.input,
                                         );
-                                        if forward_into(variant.detector.model(), &inputs, &mut ws)
-                                            .is_err()
-                                        {
+                                        let fwd = guarded(isolate, || {
+                                            if ff.panic {
+                                                panic!(
+                                                    "injected backbone fault (frame {})",
+                                                    job.frame.id
+                                                );
+                                            }
+                                            forward_into(variant.detector.model(), &inputs, &mut ws)
+                                        });
+                                        let fwd = match fwd {
+                                            Err(_panic) => {
+                                                // Worker respawn: the caught
+                                                // panic may have left the
+                                                // workspace mid-mutation, so
+                                                // replace it wholesale. The
+                                                // panic costs this frame only.
+                                                ws = Workspace::new();
+                                                Counters::bump(&counters.faulted);
+                                                Counters::bump(&counters.panics);
+                                                continue;
+                                            }
+                                            Ok(result) => result,
+                                        };
+                                        if fwd.is_err() {
                                             Counters::bump(&counters.failed);
                                             continue;
                                         }
                                         let head_out = ws.activations()[&variant.head].clone();
-                                        if slow_s > 0.0 {
-                                            std::thread::sleep(Duration::from_secs_f64(slow_s));
+                                        let extra_s = slow_s + ff.spike_s;
+                                        if extra_s > 0.0 {
+                                            std::thread::sleep(Duration::from_secs_f64(extra_s));
                                         }
                                         let dt = t0.elapsed().as_secs_f64();
                                         bb_timer.record(dt);
                                         batch_stats.record(1, dt);
                                         if !deterministic {
                                             scheduler.observe(level, dt);
+                                        }
+                                        // Watchdog: a stuck invocation is
+                                        // cancelled, never handed on stale.
+                                        // The scheduler above still observed
+                                        // the true latency, so it adapts.
+                                        if watchdog_s.is_some_and(|limit| dt > limit) {
+                                            Counters::bump(&counters.faulted);
+                                            Counters::bump(&counters.watchdog_cancels);
+                                            continue;
                                         }
                                         let next = PostJob {
                                             frame: job.frame,
@@ -345,6 +486,11 @@ where
                                             slow_s,
                                             q_post,
                                             counters,
+                                            Supervised {
+                                                faults,
+                                                isolate,
+                                                watchdog_s,
+                                            },
                                         );
                                         if let Some(dt) = dt {
                                             bb_timer.record(dt);
@@ -398,30 +544,46 @@ where
                             }
                             meter
                                 .lock()
-                                .unwrap()
+                                .unwrap_or_else(|poison| poison.into_inner())
                                 .record(&variant.name, variant.estimate.energy_j);
                             Counters::bump(&counters.completed);
-                            results.lock().unwrap().push((job.frame.id, dets));
+                            results
+                                .lock()
+                                .unwrap_or_else(|poison| poison.into_inner())
+                                .push((job.frame.id, dets));
                         }
                     })
                 })
                 .collect();
 
-            source.join().unwrap();
-            pre.join().unwrap();
+            // Poison-recovering teardown: a worker panic is collected as
+            // a typed error instead of double-panicking the join, and the
+            // remaining stages are still drained and joined so no thread
+            // leaks out of the scope.
+            join_stage(source, "source", &mut stage_errors);
+            join_stage(pre, "preprocess", &mut stage_errors);
             for w in workers {
-                w.join().unwrap();
+                join_stage(w, "backbone", &mut stage_errors);
             }
             // All producers of q_post are done; let the post stage drain.
             q_post.close();
             for w in post_workers {
-                w.join().unwrap();
+                join_stage(w, "postprocess", &mut stage_errors);
             }
         });
         let duration_s = started.elapsed().as_secs_f64();
+        if let Some(err) = stage_errors.into_iter().next() {
+            // An unisolated panic means frames vanished unaccounted — no
+            // report can honestly be produced.
+            return Err(err);
+        }
 
-        let meter = meter.into_inner().unwrap();
-        let mut detections = results.into_inner().unwrap();
+        let meter = meter
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner());
+        let mut detections = results
+            .into_inner()
+            .unwrap_or_else(|poison| poison.into_inner());
         detections.sort_by_key(|(id, _)| *id);
 
         let completed = Counters::get(&counters.completed);
@@ -466,6 +628,10 @@ where
             dropped_backpressure: Counters::get(&counters.dropped_backpressure),
             dropped_deadline: Counters::get(&counters.dropped_deadline),
             failed: Counters::get(&counters.failed),
+            faulted: Counters::get(&counters.faulted),
+            quarantined: Counters::get(&counters.quarantined),
+            panics_caught: Counters::get(&counters.panics),
+            watchdog_cancels: Counters::get(&counters.watchdog_cancels),
             degraded: Counters::get(&counters.degraded),
             deadline_misses: Counters::get(&counters.deadline_misses),
             fps: if duration_s > 0.0 {
@@ -488,15 +654,77 @@ where
             overrides: policy.map(|p| p.overrides()),
         };
         debug_assert!(counters.accounted(), "pipeline lost track of a frame");
-        StreamOutcome { report, detections }
+        Ok(StreamOutcome { report, detections })
     }
+}
+
+/// Runs `f`, optionally isolating panics. `Err` carries the stringified
+/// panic payload; callers then charge the affected frames to `faulted`
+/// and respawn whatever state the panic may have poisoned.
+fn guarded<R>(isolate: bool, f: impl FnOnce() -> R) -> Result<R, String> {
+    if !isolate {
+        return Ok(f());
+    }
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+/// Best-effort stringification of a panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Joins a stage worker, converting a panic into a typed error instead
+/// of propagating it — the poison-recovering half of the teardown.
+fn join_stage(
+    handle: std::thread::ScopedJoinHandle<'_, ()>,
+    stage: &'static str,
+    errors: &mut Vec<PipelineError>,
+) {
+    if let Err(payload) = handle.join() {
+        errors.push(PipelineError::StagePanicked {
+            stage,
+            message: panic_message(payload.as_ref()),
+        });
+    }
+}
+
+/// Closes the queue if the owning thread unwinds, so a panicking stage
+/// releases its blocked neighbours (producers see `Closed`, consumers
+/// drain and exit) instead of deadlocking the teardown joins. A no-op on
+/// normal exit — every stage still closes its output explicitly.
+struct CloseOnUnwind<'a, T>(&'a BoundedQueue<T>);
+
+impl<T> Drop for CloseOnUnwind<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+/// Supervision context threaded into [`run_batch`].
+#[derive(Clone, Copy)]
+struct Supervised<'a> {
+    faults: Option<&'a FaultPlan>,
+    isolate: bool,
+    watchdog_s: Option<f64>,
 }
 
 /// Runs one batched forward pass over `jobs` at ladder `level` and hands
 /// every member to postprocess. Returns the invocation wall time, or
 /// `None` when the batched forward failed — in which case *all* member
 /// frames are charged to `failed` exactly once, keeping
-/// [`Counters::accounted`] exact even for multi-frame failures.
+/// [`Counters::accounted`] exact even for multi-frame failures. A caught
+/// panic or watchdog cancellation likewise charges every member, to
+/// `faulted`: one invocation, one fate for the whole group.
+#[allow(clippy::too_many_arguments)]
 fn run_batch<D: StreamingDetector>(
     variant: &VariantSpec<D>,
     level: usize,
@@ -505,9 +733,19 @@ fn run_batch<D: StreamingDetector>(
     slow_s: f64,
     q_post: &BoundedQueue<PostJob<D::Input>>,
     counters: &Counters,
+    sup: Supervised<'_>,
 ) -> Option<f64> {
     let t0 = Instant::now();
     let k = jobs.len();
+    // Resolve the batch's injected faults up front: one member's panic
+    // fails the shared invocation; the worst member's spike stretches it.
+    let (inject_panic, spike_s) = match sup.faults {
+        Some(plan) => jobs.iter().fold((false, 0.0f64), |(p, s), job| {
+            let ff = plan.frame(job.frame.id);
+            (p || ff.panic, s.max(ff.spike_s))
+        }),
+        None => (false, 0.0),
+    };
     let mut frames = Vec::with_capacity(k);
     let mut arrivals = Vec::with_capacity(k);
     let mut inputs = Vec::with_capacity(k);
@@ -518,7 +756,26 @@ fn run_batch<D: StreamingDetector>(
         map.insert(variant.detector.input_name().to_string(), job.input);
         inputs.push(map);
     }
-    if forward_batch_into(variant.detector.model(), &inputs, wss).is_err() {
+    let fwd = guarded(sup.isolate, || {
+        if inject_panic {
+            panic!("injected backbone fault (batch of {k})");
+        }
+        forward_batch_into(variant.detector.model(), &inputs, wss)
+    });
+    let fwd = match fwd {
+        Err(_panic) => {
+            // Respawn the batch workspaces and charge every member: the
+            // panic cost this group, not the run.
+            wss.clear();
+            for _ in 0..k {
+                Counters::bump(&counters.faulted);
+                Counters::bump(&counters.panics);
+            }
+            return None;
+        }
+        Ok(result) => result,
+    };
+    if fwd.is_err() {
         // One failed invocation covers the whole group: every member frame
         // failed, none reached postprocess, none is degraded or dropped.
         for _ in 0..k {
@@ -526,10 +783,20 @@ fn run_batch<D: StreamingDetector>(
         }
         return None;
     }
-    if slow_s > 0.0 {
-        std::thread::sleep(Duration::from_secs_f64(slow_s));
+    let extra_s = slow_s + spike_s;
+    if extra_s > 0.0 {
+        std::thread::sleep(Duration::from_secs_f64(extra_s));
     }
     let dt = t0.elapsed().as_secs_f64();
+    if sup.watchdog_s.is_some_and(|limit| dt > limit) {
+        // Stuck invocation: cancel the whole group instead of handing on
+        // stale outputs. The caller still records the true wall time.
+        for _ in 0..k {
+            Counters::bump(&counters.faulted);
+            Counters::bump(&counters.watchdog_cancels);
+        }
+        return Some(dt);
+    }
     for ((frame, arrived), ws) in frames.into_iter().zip(arrivals).zip(wss.iter()) {
         let head_out = ws.activations()[&variant.head].clone();
         let next = PostJob {
@@ -595,6 +862,12 @@ mod tests {
     use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
     use upaq_models::LidarDetector;
 
+    const UNSUPERVISED: Supervised<'static> = Supervised {
+        faults: None,
+        isolate: false,
+        watchdog_s: None,
+    };
+
     fn ladder() -> VariantLadder<LidarDetector> {
         let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
         VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), 5).unwrap()
@@ -619,7 +892,7 @@ mod tests {
             scenario: "deterministic".into(),
             ..PipelineConfig::default()
         });
-        let outcome = p.run(stream());
+        let outcome = p.run(stream()).expect("supervised run never aborts");
         let r = &outcome.report;
         assert_eq!(r.detector, "lidar");
         assert_eq!(r.frames_generated, 6);
@@ -650,7 +923,7 @@ mod tests {
             scenario: "overload".into(),
             ..PipelineConfig::default()
         });
-        let outcome = p.run(stream());
+        let outcome = p.run(stream()).expect("supervised run never aborts");
         let r = &outcome.report;
         assert_eq!(r.frames_generated, 12);
         assert_eq!(
@@ -701,7 +974,7 @@ mod tests {
                 ..PipelineConfig::default()
             },
         );
-        let outcome = p.run(stream());
+        let outcome = p.run(stream()).expect("supervised run never aborts");
         let r = &outcome.report;
         assert_eq!(r.frames_generated, 6);
         assert!(r.failed > 0, "sabotaged rungs must surface as failures");
@@ -770,7 +1043,16 @@ mod tests {
         // pillar backbone, so the batched forward pass errors out.
         jobs[1].input = Tensor::zeros(upaq_tensor::Shape::nchw(1, 1, 1, 1));
 
-        let dt = run_batch(variant, 0, jobs, &mut wss, 0.0, &q_post, &counters);
+        let dt = run_batch(
+            variant,
+            0,
+            jobs,
+            &mut wss,
+            0.0,
+            &q_post,
+            &counters,
+            UNSUPERVISED,
+        );
         assert!(dt.is_none(), "poisoned batch must report failure");
         assert_eq!(Counters::get(&counters.failed), 3);
         assert_eq!(Counters::get(&counters.degraded), 0);
@@ -804,7 +1086,16 @@ mod tests {
             })
             .collect();
 
-        let dt = run_batch(variant, 1, jobs, &mut wss, 0.0, &q_post, &counters);
+        let dt = run_batch(
+            variant,
+            1,
+            jobs,
+            &mut wss,
+            0.0,
+            &q_post,
+            &counters,
+            UNSUPERVISED,
+        );
         assert!(dt.is_some());
         assert_eq!(q_post.len(), 3);
         assert_eq!(Counters::get(&counters.degraded), 3);
@@ -823,7 +1114,7 @@ mod tests {
             scenario: "deterministic-batched".into(),
             ..PipelineConfig::default()
         });
-        let outcome = p.run(stream());
+        let outcome = p.run(stream()).expect("supervised run never aborts");
         let r = &outcome.report;
         assert_eq!(r.frames_generated, 8);
         assert_eq!(r.frames_completed, 8);
@@ -838,6 +1129,116 @@ mod tests {
         assert!(r.mean_batch_size >= 1.0);
         let ids: Vec<u64> = outcome.detections.iter().map(|(id, _)| *id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    /// The firewall quarantines exactly the frames the fault plan
+    /// poisoned with detectable payloads, and the six-class identity
+    /// balances with `faulted` carrying them.
+    #[test]
+    fn firewall_quarantines_poisoned_frames() {
+        let plan = upaq_kitti::faults::by_name("nan-burst").unwrap();
+        let scheduled = plan.payload_frames(8).len() as u64;
+        assert!(scheduled > 0, "plan must hit at least one of 8 frames");
+        let p = pipeline(PipelineConfig {
+            frames: 8,
+            deterministic: true,
+            faults: Some(plan),
+            scenario: "chaos-nan".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream()).expect("quarantine must not abort the run");
+        let r = &outcome.report;
+        assert_eq!(r.faulted, scheduled);
+        assert_eq!(r.quarantined, scheduled);
+        assert_eq!(r.panics_caught, 0);
+        assert_eq!(r.frames_completed, 8 - scheduled);
+        assert_eq!(
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed + r.faulted,
+            r.frames_generated
+        );
+    }
+
+    /// A panic inside the backbone costs exactly the scheduled frames;
+    /// the worker respawns its workspace and keeps serving the rest.
+    #[test]
+    fn caught_panic_costs_one_frame_not_the_run() {
+        let plan = upaq_kitti::faults::by_name("panic-storm").unwrap();
+        let scheduled = plan.panic_frames(8).len() as u64;
+        assert!(scheduled > 0);
+        let p = pipeline(PipelineConfig {
+            frames: 8,
+            deterministic: true,
+            backbone_workers: 1,
+            faults: Some(plan),
+            scenario: "chaos-panic".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream()).expect("isolated panics must not abort");
+        let r = &outcome.report;
+        assert_eq!(r.faulted, scheduled);
+        assert_eq!(r.panics_caught, scheduled);
+        assert_eq!(r.quarantined, 0);
+        assert_eq!(r.frames_completed, 8 - scheduled);
+        assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+    }
+
+    /// With supervision disabled, the same panic storm unwinds a worker —
+    /// and the teardown surfaces it as a typed error instead of a double
+    /// panic, with every stage still joined.
+    #[test]
+    fn unsupervised_worker_panic_surfaces_as_typed_error() {
+        let plan = upaq_kitti::faults::by_name("panic-storm").unwrap();
+        let p = pipeline(PipelineConfig {
+            frames: 6,
+            deterministic: true,
+            backbone_workers: 1,
+            faults: Some(plan),
+            supervision: None,
+            scenario: "chaos-unsupervised".into(),
+            ..PipelineConfig::default()
+        });
+        match p.run(stream()) {
+            Err(PipelineError::StagePanicked { stage, message }) => {
+                assert_eq!(stage, "backbone");
+                assert!(
+                    message.contains("injected backbone fault"),
+                    "panic payload lost: {message}"
+                );
+            }
+            Ok(_) => panic!("unsupervised panic must abort the run"),
+        }
+    }
+
+    /// The watchdog cancels invocations that exceed the stage deadline:
+    /// frames land in `faulted`, never stale in postprocess.
+    #[test]
+    fn watchdog_cancels_stuck_frames() {
+        let p = pipeline(PipelineConfig {
+            frames: 4,
+            backbone_workers: 1,
+            slow_backbone_s: 0.020,
+            supervision: Some(SupervisionConfig {
+                watchdog_stage_s: Some(0.005),
+                ..SupervisionConfig::default()
+            }),
+            // Generous admission deadline: every frame reaches the
+            // backbone, where the watchdog (not the scheduler) kills it.
+            scheduler: SchedulerConfig {
+                deadline_s: 10.0,
+                ema_alpha: 0.0,
+                headroom: 1.0,
+            },
+            scenario: "chaos-watchdog".into(),
+            ..PipelineConfig::default()
+        });
+        let outcome = p.run(stream()).expect("watchdog cancels, never aborts");
+        let r = &outcome.report;
+        assert!(r.watchdog_cancels > 0, "watchdog never fired");
+        assert_eq!(r.faulted, r.watchdog_cancels);
+        assert_eq!(
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed + r.faulted,
+            r.frames_generated
+        );
     }
 
     /// The happy-path counterpart: a delivered degraded frame counts as

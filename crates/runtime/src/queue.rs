@@ -362,6 +362,101 @@ mod tests {
         }
     }
 
+    /// The supervision-layer companion to the close-race test: a producer
+    /// that panics mid-run while holding a close-on-unwind guard (exactly
+    /// how pipeline stages die when panic isolation is off) must leave
+    /// the queue with clean close semantics — every item it pushed before
+    /// the panic is drained, every peer push after the close hands its
+    /// item back, and no item lands in more than one class:
+    /// `accepted == drained` and `accepted ∪ handed_back` covers every
+    /// attempted push exactly once.
+    #[test]
+    fn producer_panic_with_close_guard_preserves_exact_accounting() {
+        struct CloseOnUnwind(Arc<BoundedQueue<i32>>);
+        impl Drop for CloseOnUnwind {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.close();
+                }
+            }
+        }
+        const PANIC_AT: i32 = 57;
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut drained = Vec::new();
+                while let Some(v) = q.pop() {
+                    drained.push(v);
+                }
+                drained
+            })
+        };
+        // Panics partway through its stream; the guard closes the queue
+        // the way a dying pipeline stage does, so peers unblock instead
+        // of waiting forever on a producer that will never pop for them.
+        let faulty = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = CloseOnUnwind(Arc::clone(&q));
+                let mut accepted = Vec::new();
+                for i in 0..100 {
+                    if i == PANIC_AT {
+                        panic!("injected producer fault");
+                    }
+                    if q.push_wait(i).is_ok() {
+                        accepted.push(i);
+                    }
+                }
+                accepted
+            })
+        };
+        // A healthy peer racing the fault: every push either lands (and
+        // must be drained) or is refused with the item handed back.
+        let healthy = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                let mut handed_back = Vec::new();
+                for i in 1000..1100 {
+                    match q.push_wait(i) {
+                        Ok(()) => accepted.push(i),
+                        Err(v) => handed_back.push(v),
+                    }
+                }
+                (accepted, handed_back)
+            })
+        };
+        assert!(
+            faulty.join().is_err(),
+            "the injected producer fault must surface through join"
+        );
+        assert!(q.is_closed(), "the unwind guard must have closed the queue");
+        let (healthy_accepted, handed_back) = healthy.join().unwrap();
+        let drained = consumer.join().unwrap();
+        // The faulty producer accepted exactly its pre-panic prefix (the
+        // queue was open the whole time it was alive).
+        let mut accepted: Vec<i32> = (0..PANIC_AT).collect();
+        accepted.extend(&healthy_accepted);
+        accepted.sort_unstable();
+        let mut drained_sorted = drained.clone();
+        drained_sorted.sort_unstable();
+        assert_eq!(
+            drained_sorted, accepted,
+            "every accepted item is drained exactly once — close never truncates or duplicates"
+        );
+        // The healthy producer's attempts partition exactly: no push
+        // vanished into a third outcome.
+        let mut attempted = healthy_accepted;
+        attempted.extend(&handed_back);
+        attempted.sort_unstable();
+        assert_eq!(
+            attempted,
+            (1000..1100).collect::<Vec<_>>(),
+            "accepted + handed_back must cover every healthy push exactly once"
+        );
+    }
+
     /// After close, the backlog present at close time is still fully
     /// drainable from multiple consumers — close never truncates.
     #[test]

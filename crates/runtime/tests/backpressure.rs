@@ -42,7 +42,8 @@ fn queues_never_exceed_capacity_and_drops_account_for_every_frame() {
         scenario: "overload-integration".into(),
         ..PipelineConfig::default()
     })
-    .run(stream());
+    .run(stream())
+    .expect("pipeline run");
 
     let r = &outcome.report;
     assert_eq!(r.frames_generated, 20);
@@ -78,7 +79,8 @@ fn nominal_run_reports_latency_and_energy_per_variant() {
         scenario: "nominal-integration".into(),
         ..PipelineConfig::default()
     })
-    .run(stream());
+    .run(stream())
+    .expect("pipeline run");
 
     let r = &outcome.report;
     assert_eq!(r.frames_completed, 8);

@@ -41,7 +41,7 @@ fn camera_overload_degrades_and_accounts_for_every_frame() {
         scenario: "camera-overload".into(),
         ..PipelineConfig::default()
     });
-    let outcome = pipeline.run(stream);
+    let outcome = pipeline.run(stream).expect("pipeline run");
 
     let r = &outcome.report;
     assert_eq!(r.detector, "camera");
@@ -73,7 +73,7 @@ fn camera_nominal_run_reports_full_ladder() {
         scenario: "camera-nominal".into(),
         ..PipelineConfig::default()
     });
-    let outcome = pipeline.run(stream);
+    let outcome = pipeline.run(stream).expect("pipeline run");
 
     let r = &outcome.report;
     assert_eq!(r.detector, "camera");

@@ -133,7 +133,7 @@ fn multi_worker_postprocess_matches_single_worker_bitwise() {
                 ..PipelineConfig::default()
             },
         );
-        p.run(lidar_stream())
+        p.run(lidar_stream()).expect("pipeline run")
     };
     let baseline = run(1);
     assert_eq!(baseline.report.frames_completed, 6);

@@ -36,15 +36,18 @@
 //! pillarize/render stage across the pool instead of serializing it in
 //! one pipeline stage.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::ready::{FleetJob, PushVerdict, ReadyQueue};
 use crate::report::{FleetReport, RungFrames};
 use crate::stream::{StreamCounters, StreamState};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use upaq_det3d::Box3d;
 use upaq_hwmodel::EnergyMeter;
+use upaq_kitti::faults::FaultPlan;
 use upaq_kitti::fleet::FleetScenario;
 use upaq_kitti::stream::{Frame, SensorData};
 use upaq_models::StreamingDetector;
@@ -108,6 +111,17 @@ pub struct FleetConfig {
     /// Keep every delivered frame's detections in the outcome (the
     /// bit-identity tests need them; fleet-scale runs leave this off).
     pub collect_detections: bool,
+    /// Deterministic fault plan overlaid on admitted frames (Realtime
+    /// only): payload corruption and stalls apply at admission, panics
+    /// and latency spikes inside the workers. `None` = no chaos.
+    pub faults: Option<FaultPlan>,
+    /// Streams the fault plan poisons. Empty = every stream.
+    pub fault_streams: Vec<usize>,
+    /// Per-stream circuit breakers (Realtime only): a stream whose
+    /// consecutive faults cross the threshold is shed at admission until
+    /// its backoff expires, isolating the poison from healthy tenants.
+    /// `None` disables breaker gating.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for FleetConfig {
@@ -123,6 +137,9 @@ impl Default for FleetConfig {
             force_level: None,
             proactive: None,
             collect_detections: false,
+            faults: None,
+            fault_streams: Vec::new(),
+            breaker: Some(BreakerConfig::default()),
         }
     }
 }
@@ -151,6 +168,20 @@ struct WorkerCtx<'a, D: StreamingDetector> {
     policy: Option<&'a ProactivePolicy>,
     collect: bool,
     realtime: bool,
+    /// Per-stream breakers (index-aligned with `streams`); `None` slots
+    /// mean breaker gating is off for that run.
+    breakers: &'a [Option<Mutex<CircuitBreaker>>],
+    /// Active fault plan, when this is a chaos run.
+    faults: Option<&'a FaultPlan>,
+    /// Streams the plan poisons (empty = all).
+    fault_streams: &'a [usize],
+    /// The run clock every breaker timestamp is measured on.
+    epoch: Instant,
+}
+
+/// Whether the fault plan targets `stream`.
+fn fault_applies(fault_streams: &[usize], stream: usize) -> bool {
+    fault_streams.is_empty() || fault_streams.contains(&stream)
 }
 
 /// The fleet serving engine: a degrade ladder, a stream population, and
@@ -240,6 +271,22 @@ where
         let cross_frames = AtomicU64::new(0);
         let seq = AtomicU64::new(0);
         let max_batch = cfg.max_batch.max(1);
+        // Chaos and breakers are Realtime-only: Saturate is the lossless
+        // bit-identity harness and must stay untouched by supervision.
+        let faults = if realtime { cfg.faults.as_ref() } else { None };
+        let breakers: Vec<Option<Mutex<CircuitBreaker>>> = streams
+            .iter()
+            .map(|_| {
+                if realtime {
+                    cfg.breaker
+                        .as_ref()
+                        .map(|bc| Mutex::new(CircuitBreaker::new(bc.clone())))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let started = Instant::now();
 
         let ctx = WorkerCtx {
             ladder,
@@ -254,20 +301,30 @@ where
             policy: policy.as_ref(),
             collect: cfg.collect_detections,
             realtime,
+            breakers: &breakers,
+            faults,
+            fault_streams: &cfg.fault_streams,
+            epoch: started,
         };
 
-        let started = Instant::now();
         std::thread::scope(|s| {
             // Admission: one thread paces (or round-robins) every stream
             // into the shared ready queue, then closes it.
             let admission = {
                 let (ready, streams, seq) = (&ready, &streams, &seq);
                 let (per_stream_cap, mode) = (cfg.per_stream_queue.max(1), cfg.mode);
+                let ctx = &ctx;
                 s.spawn(move || {
                     match mode {
-                        FleetMode::Realtime => {
-                            admit_realtime(scenario, sources, ready, streams, seq, per_stream_cap)
-                        }
+                        FleetMode::Realtime => admit_realtime(
+                            scenario,
+                            sources,
+                            ready,
+                            streams,
+                            seq,
+                            per_stream_cap,
+                            ctx,
+                        ),
                         FleetMode::Saturate => admit_saturate(sources, ready, streams, seq),
                     }
                     ready.close();
@@ -349,7 +406,14 @@ where
         let mut detections = results.into_inner().unwrap();
         detections.sort_by_key(|(stream, id, _)| (*stream, *id));
 
-        let per_stream: Vec<_> = streams.iter().map(StreamState::report).collect();
+        let mut per_stream: Vec<_> = streams.iter().map(StreamState::report).collect();
+        for (row, breaker) in per_stream.iter_mut().zip(&breakers) {
+            row.breaker = breaker.as_ref().map(|b| {
+                b.lock()
+                    .unwrap_or_else(|poison| poison.into_inner())
+                    .snapshot()
+            });
+        }
         let sum =
             |f: fn(&crate::stream::StreamReport) -> u64| -> u64 { per_stream.iter().map(f).sum() };
         let completed = sum(|s| s.completed);
@@ -383,6 +447,8 @@ where
             dropped_backpressure: sum(|s| s.dropped_backpressure),
             dropped_deadline: sum(|s| s.dropped_deadline),
             failed: sum(|s| s.failed),
+            faulted: sum(|s| s.faulted),
+            quarantined: sum(|s| s.quarantined),
             deadline_misses: sum(|s| s.deadline_misses),
             boosts: sum(|s| s.boosts),
             delivered_fps: if duration_s > 0.0 {
@@ -428,14 +494,25 @@ where
 /// the wall clock, bounding each stream's backlog by per-tenant
 /// drop-oldest. Every eviction/rejection is charged to the right
 /// stream's backpressure counter — the handed-back job is never lost.
-fn admit_realtime<T: SensorData>(
+///
+/// This is also where the supervision layer fronts the fleet: an active
+/// fault plan corrupts or stalls the targeted streams' frames here, the
+/// per-stream circuit breaker sheds frames while open, and the input
+/// firewall quarantines frames whose payload fails the defect check —
+/// all charged to the owning tenant's `faulted` class before the shared
+/// pool ever sees the frame.
+#[allow(clippy::too_many_arguments)]
+fn admit_realtime<D: StreamingDetector>(
     scenario: &FleetScenario,
-    sources: Vec<Vec<Frame<T>>>,
-    ready: &ReadyQueue<T>,
+    sources: Vec<Vec<Frame<D::Input>>>,
+    ready: &ReadyQueue<D::Input>,
     streams: &[StreamState],
     seq: &AtomicU64,
     per_stream_cap: usize,
-) {
+    ctx: &WorkerCtx<'_, D>,
+) where
+    D::Input: SensorData,
+{
     let mut schedule: Vec<(f64, usize, usize)> = Vec::new();
     for p in scenario.profiles() {
         for k in 0..p.frames {
@@ -444,7 +521,7 @@ fn admit_realtime<T: SensorData>(
     }
     schedule.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let t0 = Instant::now();
-    let mut sources: Vec<Vec<Option<Frame<T>>>> = sources
+    let mut sources: Vec<Vec<Option<Frame<D::Input>>>> = sources
         .into_iter()
         .map(|frames| frames.into_iter().map(Some).collect())
         .collect();
@@ -454,9 +531,41 @@ fn admit_realtime<T: SensorData>(
         if target > now {
             std::thread::sleep(target - now);
         }
-        let frame = sources[id][k].take().expect("each frame emits once");
+        let mut frame = sources[id][k].take().expect("each frame emits once");
         let state = &streams[id];
         StreamCounters::bump(&state.counters.admitted);
+        if let Some(plan) = ctx.faults.filter(|_| fault_applies(ctx.fault_streams, id)) {
+            let ff = plan.frame(frame.id);
+            if let Some(payload) = &ff.payload {
+                frame.data.corrupt(payload, plan.salt(frame.id));
+            }
+            if ff.stall_s > 0.0 {
+                // A stalled sensor delivers late: the whole tail of this
+                // admission schedule slips, exactly like a real stall.
+                std::thread::sleep(Duration::from_secs_f64(ff.stall_s));
+            }
+        }
+        if let Some(breaker) = &ctx.breakers[id] {
+            let now_s = ctx.epoch.elapsed().as_secs_f64();
+            if !breaker.lock().unwrap().admit(now_s) {
+                // Open breaker: shed at admission, never runs.
+                StreamCounters::bump(&state.counters.faulted);
+                StreamCounters::bump(&state.counters.quarantined);
+                continue;
+            }
+        }
+        if frame.data.defect().is_some() {
+            // Input firewall: a defective payload is quarantined before
+            // it can reach the shared pool, and counts against the
+            // stream's breaker streak.
+            StreamCounters::bump(&state.counters.faulted);
+            StreamCounters::bump(&state.counters.quarantined);
+            if let Some(breaker) = &ctx.breakers[id] {
+                let now_s = ctx.epoch.elapsed().as_secs_f64();
+                breaker.lock().unwrap().record_fault(now_s);
+            }
+            continue;
+        }
         let job = FleetJob {
             stream: id,
             frame,
@@ -523,7 +632,10 @@ fn admit_saturate<T: SensorData>(
 /// finishes every member inline (decode, energy, latency, accounting).
 /// A failed invocation charges *all* members to their streams' `failed`
 /// counters exactly once — the accounting identity stays exact even for
-/// multi-stream failures.
+/// multi-stream failures. The forward runs under `catch_unwind`: a
+/// panicking invocation (injected or real) charges all members to
+/// `faulted`, feeds each member's breaker, and respawns the workspaces —
+/// the worker thread itself always survives.
 fn run_group<D: StreamingDetector>(
     ctx: &WorkerCtx<'_, D>,
     level: usize,
@@ -535,6 +647,18 @@ fn run_group<D: StreamingDetector>(
     if k == 0 {
         return;
     }
+    // One invocation, one fate: the group's injected faults fold into a
+    // single panic flag and the worst latency spike over its members.
+    let (inject_panic, spike_s) = match ctx.faults {
+        Some(plan) => jobs
+            .iter()
+            .filter(|job| fault_applies(ctx.fault_streams, job.stream))
+            .map(|job| plan.frame(job.frame.id))
+            .fold((false, 0.0f64), |(panic, spike), ff| {
+                (panic || ff.panic, spike.max(ff.spike_s))
+            }),
+        None => (false, 0.0),
+    };
     let variant = ctx.ladder.level(level);
     // Preprocessing is variant-independent (all rungs share the base
     // detector's input geometry), so level 0's detector serves it.
@@ -549,16 +673,47 @@ fn run_group<D: StreamingDetector>(
             map
         })
         .collect();
-    let ok = if k == 1 {
-        forward_into(variant.detector.model(), &inputs[0], ws).is_ok()
-    } else {
-        forward_batch_into(variant.detector.model(), &inputs, wss).is_ok()
+    let fwd = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("injected backbone fault (fleet group of {k})");
+        }
+        if k == 1 {
+            forward_into(variant.detector.model(), &inputs[0], ws).is_ok()
+        } else {
+            forward_batch_into(variant.detector.model(), &inputs, wss).is_ok()
+        }
+    }));
+    let ok = match fwd {
+        Err(_panic) => {
+            // The unwound workspaces may hold torn activations: respawn
+            // them, charge every member once, feed the breakers.
+            *ws = Workspace::new();
+            wss.clear();
+            let now_s = ctx.epoch.elapsed().as_secs_f64();
+            for job in &jobs {
+                StreamCounters::bump(&ctx.streams[job.stream].counters.faulted);
+                if let Some(breaker) = &ctx.breakers[job.stream] {
+                    breaker.lock().unwrap().record_fault(now_s);
+                }
+            }
+            return;
+        }
+        Ok(ok) => ok,
     };
     if !ok {
+        let now_s = ctx.epoch.elapsed().as_secs_f64();
         for job in &jobs {
             StreamCounters::bump(&ctx.streams[job.stream].counters.failed);
+            if let Some(breaker) = &ctx.breakers[job.stream] {
+                breaker.lock().unwrap().record_fault(now_s);
+            }
         }
         return;
+    }
+    if spike_s > 0.0 {
+        // Injected latency spike: the invocation really takes longer, so
+        // the EMA model and the deadline misses see it honestly.
+        std::thread::sleep(Duration::from_secs_f64(spike_s));
     }
     // The observed invocation cost includes preprocess: that is the work
     // a worker is busy for per group, which is what future admission
@@ -608,6 +763,12 @@ fn run_group<D: StreamingDetector>(
             StreamCounters::bump(&state.counters.degraded);
         } else {
             StreamCounters::bump(&state.counters.completed);
+        }
+        if let Some(breaker) = &ctx.breakers[job.stream] {
+            // A delivered frame is the success signal that resets the
+            // streak or recloses a half-open breaker.
+            let now_s = ctx.epoch.elapsed().as_secs_f64();
+            breaker.lock().unwrap().record_success(now_s);
         }
         ctx.meter
             .lock()

@@ -15,6 +15,9 @@
 //!
 //! Module map:
 //!
+//! * [`breaker`] — per-stream circuit breakers (closed → open with
+//!   exponential backoff → half-open probe) for tenant isolation under
+//!   faults;
 //! * [`ready`] — the global EDF + aging ready queue with per-tenant
 //!   drop-oldest backpressure;
 //! * [`stream`] — per-stream counters, latency, and the
@@ -24,11 +27,15 @@
 //! * [`report`] — the aggregate + per-stream JSON report with Jain
 //!   fairness.
 
+pub mod breaker;
 pub mod fleet;
 pub mod ready;
 pub mod report;
 pub mod stream;
 
+pub use breaker::{
+    BreakerConfig, BreakerSnapshot, BreakerState, BreakerTransitions, CircuitBreaker,
+};
 pub use fleet::{FleetConfig, FleetMode, FleetOutcome, FleetServer};
 pub use ready::{FleetJob, PushVerdict, ReadyQueue};
 pub use report::FleetReport;

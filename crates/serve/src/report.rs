@@ -66,6 +66,13 @@ pub struct FleetReport {
     pub dropped_deadline: u64,
     /// Frames whose execution failed.
     pub failed: u64,
+    /// Frames lost to the fault/supervision layer (identity class):
+    /// quarantined at admission, shed by open breakers, or consumed by
+    /// isolated panics.
+    pub faulted: u64,
+    /// Of `faulted`: frames refused at admission (firewall reject or
+    /// breaker-open shed).
+    pub quarantined: u64,
     /// Delivered frames past their stream's deadline.
     pub deadline_misses: u64,
     /// Starvation-aging promotions across the fleet.
@@ -116,9 +123,12 @@ impl FleetReport {
     /// sum of the per-stream rows (no frame counted against the wrong
     /// tenant or dropped from the table).
     pub fn accounted(&self) -> bool {
-        let aggregate =
-            self.delivered() + self.dropped_backpressure + self.dropped_deadline + self.failed
-                == self.admitted;
+        let aggregate = self.delivered()
+            + self.dropped_backpressure
+            + self.dropped_deadline
+            + self.failed
+            + self.faulted
+            == self.admitted;
         let per_stream = self.per_stream.iter().all(StreamReport::accounted);
         let sums = self.per_stream.iter().map(|s| s.admitted).sum::<u64>() == self.admitted
             && self.per_stream.iter().map(|s| s.completed).sum::<u64>() == self.completed
@@ -135,7 +145,9 @@ impl FleetReport {
                 .map(|s| s.dropped_deadline)
                 .sum::<u64>()
                 == self.dropped_deadline
-            && self.per_stream.iter().map(|s| s.failed).sum::<u64>() == self.failed;
+            && self.per_stream.iter().map(|s| s.failed).sum::<u64>() == self.failed
+            && self.per_stream.iter().map(|s| s.faulted).sum::<u64>() == self.faulted
+            && self.per_stream.iter().map(|s| s.quarantined).sum::<u64>() == self.quarantined;
         aggregate && per_stream && sums
     }
 
@@ -174,6 +186,8 @@ impl ToJson for FleetReport {
             "dropped_backpressure": self.dropped_backpressure,
             "dropped_deadline": self.dropped_deadline,
             "failed": self.failed,
+            "faulted": self.faulted,
+            "quarantined": self.quarantined,
             "deadline_misses": self.deadline_misses,
             "boosts": self.boosts,
             "delivered_fps": self.delivered_fps,
@@ -211,6 +225,9 @@ mod tests {
             dropped_backpressure: dropped,
             dropped_deadline: 0,
             failed: 0,
+            faulted: 0,
+            quarantined: 0,
+            breaker: None,
             boosts: 0,
             cross_batched: 0,
             deadline_misses: 0,
@@ -239,6 +256,8 @@ mod tests {
             dropped_backpressure: 2,
             dropped_deadline: 0,
             failed: 0,
+            faulted: 0,
+            quarantined: 0,
             deadline_misses: 0,
             boosts: 1,
             delivered_fps: 6.0,
@@ -305,6 +324,17 @@ mod tests {
         let mut lossy = report();
         lossy.admitted += 1;
         assert!(!lossy.accounted());
+        // A faulted frame balances the identity only when charged at both
+        // the aggregate and the owning stream.
+        let mut chaotic = report();
+        chaotic.admitted += 1;
+        chaotic.faulted += 1;
+        chaotic.quarantined += 1;
+        assert!(!chaotic.accounted(), "stream row not yet charged");
+        chaotic.per_stream[0].admitted += 1;
+        chaotic.per_stream[0].faulted += 1;
+        chaotic.per_stream[0].quarantined += 1;
+        assert!(chaotic.accounted());
     }
 
     #[test]
@@ -316,6 +346,8 @@ mod tests {
             Some(2.0)
         );
         assert_eq!(v.get("fairness_jain").and_then(|x| x.as_f64()), Some(0.9));
+        assert_eq!(v.get("faulted").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(v.get("quarantined").and_then(|x| x.as_f64()), Some(0.0));
         let rows = v.get("per_stream").and_then(|s| s.as_arr()).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[1].get("admitted").and_then(|x| x.as_f64()), Some(4.0));

@@ -8,10 +8,13 @@
 //! delivered level: a frame the stream offered to the server
 //! (`admitted`) ends up in exactly one of `completed` (delivered at
 //! level 0), `degraded` (delivered at a cheaper rung),
-//! `dropped_backpressure`, `dropped_deadline`, or `failed`. The
+//! `dropped_backpressure`, `dropped_deadline`, `failed`, or `faulted`
+//! (quarantined at the admission firewall, shed by an open circuit
+//! breaker, or lost to an isolated panic). The
 //! [`StreamCounters::accounted`] identity is the fleet's zero-silent-loss
 //! invariant; CI asserts it for every stream.
 
+use crate::breaker::BreakerSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 use upaq_json::{json, ToJson, Value};
 use upaq_kitti::fleet::StreamProfile;
@@ -34,6 +37,13 @@ pub struct StreamCounters {
     pub dropped_deadline: AtomicU64,
     /// Frames whose forward pass errored or whose delivery was refused.
     pub failed: AtomicU64,
+    /// Frames lost to the fault/supervision layer: quarantined at the
+    /// admission firewall, shed by an open circuit breaker, or consumed
+    /// by an isolated worker panic. An identity class.
+    pub faulted: AtomicU64,
+    /// Annotation (⊆ `faulted`): frames refused *at admission* — firewall
+    /// rejects plus breaker-open sheds — as opposed to execution faults.
+    pub quarantined: AtomicU64,
     /// Times starvation aging promoted one of this stream's frames.
     pub boosts: AtomicU64,
     /// Delivered frames that ran in a batch alongside *other* streams'
@@ -60,12 +70,14 @@ impl StreamCounters {
     }
 
     /// Zero-silent-loss identity: every admitted frame is delivered,
-    /// dropped, or failed — exactly once. Holds after the server drains.
+    /// dropped, failed, or faulted — exactly once. Holds after the
+    /// server drains.
     pub fn accounted(&self) -> bool {
         self.delivered()
             + StreamCounters::get(&self.dropped_backpressure)
             + StreamCounters::get(&self.dropped_deadline)
             + StreamCounters::get(&self.failed)
+            + StreamCounters::get(&self.faulted)
             == StreamCounters::get(&self.admitted)
     }
 }
@@ -106,6 +118,9 @@ impl StreamState {
             dropped_backpressure: StreamCounters::get(&c.dropped_backpressure),
             dropped_deadline: StreamCounters::get(&c.dropped_deadline),
             failed: StreamCounters::get(&c.failed),
+            faulted: StreamCounters::get(&c.faulted),
+            quarantined: StreamCounters::get(&c.quarantined),
+            breaker: None,
             boosts: StreamCounters::get(&c.boosts),
             cross_batched: StreamCounters::get(&c.cross_batched),
             deadline_misses: StreamCounters::get(&c.deadline_misses),
@@ -140,6 +155,15 @@ pub struct StreamReport {
     pub dropped_deadline: u64,
     /// Frames whose execution failed.
     pub failed: u64,
+    /// Frames lost to the fault/supervision layer (identity class).
+    pub faulted: u64,
+    /// Of `faulted`: frames refused at admission (firewall reject or
+    /// breaker-open shed).
+    pub quarantined: u64,
+    /// This stream's circuit-breaker snapshot, when breakers were on.
+    /// Attached by the fleet after the run drains (the stream state
+    /// itself never sees the breaker).
+    pub breaker: Option<BreakerSnapshot>,
     /// Starvation-aging promotions.
     pub boosts: u64,
     /// Delivered frames batched with other streams.
@@ -160,7 +184,11 @@ impl StreamReport {
 
     /// The zero-silent-loss identity on this snapshot.
     pub fn accounted(&self) -> bool {
-        self.delivered() + self.dropped_backpressure + self.dropped_deadline + self.failed
+        self.delivered()
+            + self.dropped_backpressure
+            + self.dropped_deadline
+            + self.failed
+            + self.faulted
             == self.admitted
     }
 }
@@ -177,6 +205,9 @@ impl ToJson for StreamReport {
             "dropped_backpressure": self.dropped_backpressure,
             "dropped_deadline": self.dropped_deadline,
             "failed": self.failed,
+            "faulted": self.faulted,
+            "quarantined": self.quarantined,
+            "breaker": self.breaker,
             "boosts": self.boosts,
             "cross_batched": self.cross_batched,
             "deadline_misses": self.deadline_misses,
@@ -204,7 +235,7 @@ mod tests {
     #[test]
     fn accounting_identity_tracks_every_class() {
         let c = StreamCounters::default();
-        for _ in 0..6 {
+        for _ in 0..7 {
             StreamCounters::bump(&c.admitted);
         }
         StreamCounters::bump(&c.completed);
@@ -212,15 +243,18 @@ mod tests {
         StreamCounters::bump(&c.dropped_backpressure);
         StreamCounters::bump(&c.dropped_deadline);
         StreamCounters::bump(&c.failed);
+        StreamCounters::bump(&c.faulted);
         assert_eq!(c.delivered(), 2);
         assert!(!c.accounted(), "one admitted frame is still unaccounted");
         StreamCounters::bump(&c.completed);
         assert!(c.accounted());
-        // Boosts, misses and cross-batch tags are annotations, not
-        // accounting classes: they never unbalance the identity.
+        // Boosts, misses, cross-batch tags and the quarantined subset are
+        // annotations, not accounting classes: they never unbalance the
+        // identity.
         StreamCounters::bump(&c.boosts);
         StreamCounters::bump(&c.cross_batched);
         StreamCounters::bump(&c.deadline_misses);
+        StreamCounters::bump(&c.quarantined);
         assert!(c.accounted());
     }
 
@@ -244,7 +278,28 @@ mod tests {
         let v = r.to_json();
         assert_eq!(v.get("admitted").and_then(|x| x.as_f64()), Some(4.0));
         assert_eq!(v.get("deadline_ms").and_then(|x| x.as_f64()), Some(150.0));
+        assert_eq!(v.get("faulted").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(v.get("quarantined").and_then(|x| x.as_f64()), Some(0.0));
         assert!(v.pretty().contains("delivered_fraction"));
+    }
+
+    #[test]
+    fn faulted_balances_the_identity_and_quarantined_is_a_subset_tag() {
+        let state = StreamState::new(profile());
+        for _ in 0..3 {
+            StreamCounters::bump(&state.counters.admitted);
+        }
+        StreamCounters::bump(&state.counters.completed);
+        // Two frames lost to the supervision layer, one of them refused
+        // at admission.
+        StreamCounters::bump(&state.counters.faulted);
+        StreamCounters::bump(&state.counters.faulted);
+        StreamCounters::bump(&state.counters.quarantined);
+        let r = state.report();
+        assert!(r.accounted());
+        assert_eq!(r.faulted, 2);
+        assert_eq!(r.quarantined, 1);
+        assert!(r.breaker.is_none(), "fleet attaches breaker snapshots");
     }
 
     #[test]

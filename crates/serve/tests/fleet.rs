@@ -85,7 +85,9 @@ fn cross_stream_batches_are_bit_identical_to_solo_runs() {
                 ..PipelineConfig::default()
             },
         );
-        let reference = pipeline.run(scen.stream::<PointCloud>(id));
+        let reference = pipeline
+            .run(scen.stream::<PointCloud>(id))
+            .expect("pipeline run");
         assert_eq!(reference.report.frames_completed, frames);
         for (frame_id, boxes) in reference.detections {
             solo.insert((id, frame_id), boxes);

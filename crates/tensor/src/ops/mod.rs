@@ -26,6 +26,6 @@ pub use batch::{
 pub use conv::{conv2d, conv2d_into, conv2d_packed_into, Conv2dParams};
 pub use linear::{linear, linear_into};
 pub use norm::{batch_norm, batch_norm_into, BatchNormParams};
-pub use parallel::{parallel_for_chunks, ExecMode, TensorParallel};
+pub use parallel::{parallel_for_chunks, ChunkPanic, ExecMode, TensorParallel};
 pub use pool::{avg_pool2d, max_pool2d, max_pool2d_into};
 pub use quantized::{quantized_conv2d, quantized_linear};

@@ -27,8 +27,8 @@
 //! and thread counts.
 
 use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static THREADS: AtomicUsize = AtomicUsize::new(1);
@@ -89,6 +89,31 @@ impl TensorParallel {
     }
 }
 
+/// Typed panic payload re-raised on the submitting thread when a pool
+/// chunk panics. Workers catch the original unwind (they must survive to
+/// serve later jobs), so the payload that crosses the completion barrier
+/// is this struct — callers that `catch_unwind` around a kernel can
+/// downcast it to learn which chunk failed and why, instead of matching
+/// on an opaque string.
+#[derive(Debug)]
+pub struct ChunkPanic {
+    /// Index of the first chunk observed to panic (claim order is
+    /// nondeterministic, so "first observed", not "lowest index").
+    pub chunk: usize,
+    /// Stringified payload of that chunk's original panic.
+    pub message: String,
+}
+
+impl std::fmt::Display for ChunkPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tensor pool chunk {} panicked: {}",
+            self.chunk, self.message
+        )
+    }
+}
+
 /// A raw-pointer wrapper that lets chunk closures derive disjoint `&mut`
 /// slices of one output buffer from worker threads. The caller guarantees
 /// disjointness (each chunk index maps to its own region).
@@ -125,7 +150,10 @@ struct Job {
     total: usize,
     next: AtomicUsize,
     pending: AtomicUsize,
-    panicked: AtomicBool,
+    /// First observed chunk panic `(chunk index, stringified payload)`,
+    /// re-raised as a typed [`ChunkPanic`] on the submitting thread once
+    /// the completion barrier has passed.
+    panic_slot: Mutex<Option<(usize, String)>>,
 }
 
 // SAFETY: the raw task pointer is only dereferenced while the submitting
@@ -174,8 +202,11 @@ fn run_chunks(p: &Pool, job: &Job) {
         // until `pending` reaches zero, which cannot happen before this
         // chunk's decrement below.
         let task = unsafe { &*job.task };
-        if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
-            job.panicked.store(true, Ordering::Relaxed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            let mut slot = job.panic_slot.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some((i, payload_message(payload.as_ref())));
+            }
         }
         // Release pairs with the submitter's Acquire load: chunk writes
         // become visible once it observes the final decrement (RMW
@@ -226,9 +257,7 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
         .saturating_sub(1)
         .min(MAX_POOL_WORKERS);
     if helpers == 0 {
-        for i in 0..total {
-            task(i);
-        }
+        run_inline(total, task);
         return;
     }
     // Single-submitter guard: when another thread already has a job fanned
@@ -241,9 +270,7 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
         .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
     {
-        for i in 0..total {
-            task(i);
-        }
+        run_inline(total, task);
         return;
     }
     // Releases the slot even when a chunk panic propagates below.
@@ -264,7 +291,7 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
         total,
         next: AtomicUsize::new(0),
         pending: AtomicUsize::new(total),
-        panicked: AtomicBool::new(false),
+        panic_slot: Mutex::new(None),
     });
     {
         let mut st = p.state.lock().unwrap();
@@ -285,8 +312,39 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
         guard = p.done_cv.wait(guard).unwrap();
     }
     drop(guard);
-    if job.panicked.load(Ordering::Relaxed) {
-        panic!("tensor worker-pool task panicked");
+    let stored = job.panic_slot.lock().unwrap().take();
+    if let Some((chunk, message)) = stored {
+        resume_unwind(Box::new(ChunkPanic { chunk, message }));
+    }
+}
+
+/// Serial fallback for Pool mode (no helpers available, or another
+/// submitter already has the pool fanned out). Mirrors pool semantics
+/// exactly: every chunk is attempted, and the first observed panic is
+/// re-raised afterwards as a typed [`ChunkPanic`] — so callers see one
+/// contract for Pool mode regardless of core count or contention.
+fn run_inline(total: usize, task: &(dyn Fn(usize) + Sync)) {
+    let mut first: Option<(usize, String)> = None;
+    for i in 0..total {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(i))) {
+            if first.is_none() {
+                first = Some((i, payload_message(payload.as_ref())));
+            }
+        }
+    }
+    if let Some((chunk, message)) = first {
+        resume_unwind(Box::new(ChunkPanic { chunk, message }));
+    }
+}
+
+/// Renders a caught panic payload for the [`ChunkPanic`] re-raise.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -298,7 +356,11 @@ fn run_on_pool(total: usize, task: &(dyn Fn(usize) + Sync)) {
 /// then results are bit-identical to the serial loop at any thread count
 /// and in either [`ExecMode`].
 ///
-/// Panics raised by `f` propagate to the caller in both modes.
+/// Panics raised by `f` propagate to the caller in both modes. In
+/// [`ExecMode::Pool`] the payload crossing the completion barrier is a
+/// typed [`ChunkPanic`] (first observed failing chunk + original
+/// message); in [`ExecMode::SpawnPerCall`] the scoped join re-raises the
+/// original payload unchanged.
 pub fn parallel_for_chunks<F: Fn(usize) + Sync>(total: usize, f: F) {
     let threads = TensorParallel::threads().min(total);
     if threads <= 1 {

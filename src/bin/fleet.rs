@@ -28,6 +28,11 @@
 //! arrival rate from the named [`upaq_kitti::scenario`] catalog profile;
 //! `--policy proactive` layers complexity-aware rung steering (with VRU
 //! and deadline-headroom safety overrides) over realtime admission.
+//! `--faults PLAN` (realtime mode) poisons stream 0 with the named
+//! deterministic fault plan from the `upaq-kitti` catalog; the admission
+//! firewall and per-stream circuit breaker quarantine the poison while
+//! the healthy tenants keep their service (see the `faulted`/
+//! `quarantined` counts and per-stream `breaker` sections of the report).
 //! The JSON report lands in `target/upaq-results/fleet.json`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,6 +42,7 @@ use upaq_bench::table::print_table;
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::{json, ToJson, Value};
 use upaq_kitti::dataset::Dataset;
+use upaq_kitti::faults;
 use upaq_kitti::fleet::{FleetScenario, FleetScenarioConfig, StreamClass};
 use upaq_kitti::scenario;
 use upaq_kitti::stream::{FrameStream, SensorData};
@@ -58,6 +64,7 @@ struct Args {
     mode: String,
     policy: String,
     scenario: Option<String>,
+    faults: Option<String>,
     threads: usize,
 }
 
@@ -71,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         mode: "compare".into(),
         policy: "reactive".into(),
         scenario: None,
+        faults: None,
         threads: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -137,6 +145,18 @@ fn parse_args() -> Result<Args, String> {
                 }
                 parsed.scenario = Some(name);
             }
+            "--faults" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--faults needs a value".to_string())?;
+                if faults::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown fault plan `{name}` (catalog: {})",
+                        faults::names().join(", ")
+                    ));
+                }
+                parsed.faults = Some(name);
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
@@ -182,7 +202,7 @@ where
                         ..PipelineConfig::default()
                     },
                 );
-                let outcome = pipeline.run(stream);
+                let outcome = pipeline.run(stream).expect("pipeline run");
                 delivered.fetch_add(outcome.report.frames_completed, Ordering::Relaxed);
             });
         }
@@ -231,6 +251,7 @@ where
             "mode": args.mode,
             "policy": args.policy,
             "scenario": args.scenario,
+            "faults": args.faults,
             "threads": args.threads,
         }),
     )];
@@ -241,6 +262,24 @@ where
             "Realtime fleet: {} streams × {} frames, {} workers, max batch {}…",
             args.streams, args.frames, args.workers, args.max_batch
         );
+        // Chaos runs poison stream 0: one bad tenant against a healthy
+        // population is the isolation scenario the breaker exists for.
+        let fault_plan = args
+            .faults
+            .as_deref()
+            .and_then(faults::by_name)
+            .filter(|p| !p.is_clean());
+        if let Some(plan) = &fault_plan {
+            println!(
+                "  fault plan `{}` on stream 0: {} (seed {:#x})",
+                plan.name, plan.description, plan.seed
+            );
+        }
+        let fault_streams = if fault_plan.is_some() {
+            vec![0]
+        } else {
+            Vec::new()
+        };
         let server = FleetServer::new(
             ladder,
             scenario,
@@ -249,6 +288,8 @@ where
                 max_batch: args.max_batch,
                 mode: FleetMode::Realtime,
                 proactive: (args.policy == "proactive").then(ProactiveConfig::default),
+                faults: fault_plan,
+                fault_streams,
                 ..FleetConfig::default()
             },
         );
@@ -268,6 +309,24 @@ where
             report.boosts,
             report.fairness_jain,
         );
+        if report.faulted > 0 {
+            println!(
+                "  supervision: {} faulted ({} quarantined at admission)",
+                report.faulted, report.quarantined
+            );
+            for row in &report.per_stream {
+                if let Some(b) = row.breaker.as_ref().filter(|b| b.transitions.opened > 0) {
+                    println!(
+                        "  stream {} breaker: {} (opened {}, half-opened {}, reclosed {})",
+                        row.id,
+                        b.state,
+                        b.transitions.opened,
+                        b.transitions.half_opened,
+                        b.transitions.reclosed
+                    );
+                }
+            }
+        }
         if let Some(ov) = &report.overrides {
             println!(
                 "  proactive overrides: vru_floor {} deadline_clamp {} headroom_fallback {} vru_unfit {}",
@@ -362,7 +421,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         format!(
             "{e}\nusage: fleet [--streams N] [--frames K] [--workers W] [--max-batch B] \
              [--detector lidar|camera] [--mode compare|realtime|saturate] \
-             [--policy reactive|proactive] [--scenario NAME] [--threads N]"
+             [--policy reactive|proactive] [--scenario NAME] [--faults PLAN] [--threads N]"
         )
     })?;
     upaq_tensor::ops::TensorParallel::set_threads(args.threads);

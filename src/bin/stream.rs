@@ -30,12 +30,19 @@
 //! detector head is least-squares fitted on the scenario's own scenes
 //! first, so the detection feedback that drives the proactive policy is
 //! meaningful rather than random-head noise.
+//!
+//! `--faults PLAN` overlays a deterministic fault plan from the
+//! `upaq-kitti` fault catalog (NaN bursts, truncated frames, sensor
+//! stalls, injected panics, latency spikes) on whichever scenario runs.
+//! The supervision layer quarantines or cancels the affected frames into
+//! the `faulted` accounting class; the run itself never aborts.
 
 use upaq_bench::harness::save_result;
 use upaq_bench::table::print_table;
 use upaq_hwmodel::DeviceProfile;
 use upaq_json::ToJson;
 use upaq_kitti::dataset::{Dataset, DatasetConfig};
+use upaq_kitti::faults::{self, FaultPlan};
 use upaq_kitti::scenario::{self, ScenarioProfile};
 use upaq_kitti::stream::{FrameStream, SensorData};
 use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
@@ -73,6 +80,7 @@ fn nominal(frames: u64, batch: usize, proactive: Option<ProactiveConfig>) -> Pip
         deterministic: false,
         proactive,
         scenario: "nominal".into(),
+        ..PipelineConfig::default()
     }
 }
 
@@ -100,6 +108,7 @@ fn overload(frames: u64, batch: usize, proactive: Option<ProactiveConfig>) -> Pi
         deterministic: false,
         proactive,
         scenario: "overload".into(),
+        ..PipelineConfig::default()
     }
 }
 
@@ -128,6 +137,7 @@ fn scenario_config(
         deterministic: false,
         proactive,
         scenario: profile.name.into(),
+        ..PipelineConfig::default()
     }
 }
 
@@ -140,6 +150,7 @@ fn summarize(r: &RuntimeReport) -> Vec<String> {
         format!("{}", r.frames_completed),
         format!("{}", r.dropped_backpressure + r.dropped_deadline),
         format!("{}", r.failed),
+        format!("{}", r.faulted),
         format!("{}", r.degraded),
         format!("{:.1}", r.fps),
         format!("{:.2}", r.mean_batch_size),
@@ -197,7 +208,9 @@ fn run_one<D: StreamingDetector>(
         },
     );
     let pipeline = Pipeline::new(ladder, config);
-    let outcome = pipeline.run(FrameStream::<D::Input>::generate(data_cfg, SEED));
+    let outcome = pipeline
+        .run(FrameStream::<D::Input>::generate(data_cfg, SEED))
+        .expect("pipeline run");
     if let Some(ov) = &outcome.report.overrides {
         println!(
             "  overrides: vru_floor {} deadline_clamp {} headroom_fallback {} vru_unfit {}",
@@ -213,6 +226,7 @@ fn run_scenarios<D: StreamingDetector>(
     frames: u64,
     batch: usize,
     proactive: Option<ProactiveConfig>,
+    faults: Option<FaultPlan>,
     reports: &mut Vec<RuntimeReport>,
 ) where
     D::Input: SensorData,
@@ -220,10 +234,11 @@ fn run_scenarios<D: StreamingDetector>(
     let modality = ladder.level(0).detector.modality();
     println!("\nDegrade ladder for `{modality}` (Jetson Orin Nano cost model):");
     print_ladder(&ladder);
-    for config in [
+    for mut config in [
         nominal(frames, batch, proactive.clone()),
         overload(frames, batch, proactive.clone()),
     ] {
+        config.faults = faults.clone();
         run_one(ladder.clone(), data_cfg, config, reports);
     }
 }
@@ -234,6 +249,7 @@ struct Args {
     batch: usize,
     threads: usize,
     scenario: Option<String>,
+    faults: Option<String>,
     proactive: bool,
 }
 
@@ -244,6 +260,7 @@ fn parse_args() -> Result<Args, String> {
         batch: 1,
         threads: 1,
         scenario: None,
+        faults: None,
         proactive: false,
     };
     let mut args = std::env::args().skip(1);
@@ -302,6 +319,18 @@ fn parse_args() -> Result<Args, String> {
                 }
                 parsed.scenario = Some(name);
             }
+            "--faults" => {
+                let name = args
+                    .next()
+                    .ok_or_else(|| "--faults needs a value".to_string())?;
+                if faults::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown fault plan `{name}` (catalog: {})",
+                        faults::names().join(", ")
+                    ));
+                }
+                parsed.faults = Some(name);
+            }
             "--policy" => {
                 let policy = args
                     .next()
@@ -326,7 +355,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e}\nusage: stream [--detector lidar|camera|both] [--frames N] [--batch K] \
-             [--threads N] [--policy reactive|proactive] [--scenario NAME]"
+             [--threads N] [--policy reactive|proactive] [--scenario NAME] [--faults PLAN]"
         )
     })?;
     // Kernel-level parallelism: the persistent worker pool splits each
@@ -337,6 +366,17 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     let device = DeviceProfile::jetson_orin_nano();
     let proactive = args.proactive.then(ProactiveConfig::default);
+    let fault_plan = args
+        .faults
+        .as_deref()
+        .and_then(faults::by_name)
+        .filter(|p| !p.is_clean());
+    if let Some(plan) = &fault_plan {
+        println!(
+            "Fault plan `{}`: {} (seed {:#x})",
+            plan.name, plan.description, plan.seed
+        );
+    }
     let mut reports = Vec::new();
 
     if let Some(name) = &args.scenario {
@@ -360,7 +400,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             // backbones — a base-fit head decoding compressed features
             // emits false-positive spray instead of graded recall.
             ladder.calibrate_heads(&data, 1e-3)?;
-            let config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            let mut config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            config.faults = fault_plan.clone();
             run_one(ladder, &profile.dataset, config, &mut reports);
         }
         if args.detector == "camera" || args.detector == "both" {
@@ -373,7 +414,8 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             fit_camera_head(&mut det, &data, &scenes, 1e-3)?;
             let mut ladder = VariantLadder::build(det, &device, SEED)?;
             ladder.calibrate_heads(&data, 1e-3)?;
-            let config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            let mut config = scenario_config(&profile, args.frames, args.batch, proactive.clone());
+            config.faults = fault_plan.clone();
             run_one(ladder, &data_cfg, config, &mut reports);
         }
     } else {
@@ -389,6 +431,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                 args.frames,
                 args.batch,
                 proactive.clone(),
+                fault_plan.clone(),
                 &mut reports,
             );
         }
@@ -402,6 +445,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                 args.frames,
                 args.batch,
                 proactive.clone(),
+                fault_plan.clone(),
                 &mut reports,
             );
         }
@@ -417,6 +461,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             "Completed",
             "Dropped",
             "Failed",
+            "Faulted",
             "Degraded",
             "FPS",
             "Avg batch",

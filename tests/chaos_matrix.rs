@@ -1,0 +1,363 @@
+//! Chaos-matrix integration suite: every fault plan × every scenario
+//! dataset through the supervised streaming pipeline.
+//!
+//! Three layers of assertion:
+//!
+//! 1. **No panic escapes** — every cell of the matrix returns `Ok`:
+//!    injected backbone panics are isolated, poisoned payloads are
+//!    quarantined at the firewall, and the process never aborts.
+//! 2. **Exact fault accounting** — in deterministic mode the fault plan
+//!    is enumerable, so the six-class identity `completed +
+//!    dropped_backpressure + dropped_deadline + failed + faulted ==
+//!    generated` is asserted with *exact* expected counts: detectable
+//!    payload corruption (NaN/Inf/empty) lands in `quarantined`,
+//!    scheduled panics in `panics_caught`, and nothing else moves.
+//! 3. **Supervision is free for clean frames** — with supervision on,
+//!    clean-frame detections are raw-bits identical to the unsupervised
+//!    run, and the surviving frames of a chaos run are raw-bits
+//!    identical to the same frames of a clean run.
+//!
+//! A final wall-clock sweep re-runs every plan under realtime pacing,
+//! where drop/degrade splits vary run to run — there only the identities
+//! that hold for *any* interleaving are asserted.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+use upaq_det3d::Box3d;
+use upaq_hwmodel::DeviceProfile;
+use upaq_kitti::dataset::DatasetConfig;
+use upaq_kitti::faults::{self, FaultPlan, PayloadFault};
+use upaq_kitti::scenario;
+use upaq_kitti::stream::{CameraFrameStream, FrameStream};
+use upaq_models::pointpillars::{PointPillars, PointPillarsConfig};
+use upaq_models::smoke::{Smoke, SmokeConfig};
+use upaq_models::LidarDetector;
+use upaq_runtime::pipeline::{Pipeline, PipelineConfig, SupervisionConfig};
+use upaq_runtime::scheduler::SchedulerConfig;
+use upaq_runtime::VariantLadder;
+use upaq_tensor::ops::TensorParallel;
+
+const SEED: u64 = 2025;
+const CHAOS_FRAMES: u64 = 10;
+
+fn test_threads() -> usize {
+    std::env::var("UPAQ_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+/// One unfitted tiny ladder, shared by every cell: the chaos matrix
+/// asserts accounting and bit-identity, not recall, so head fitting
+/// would only slow the suite down.
+fn lidar_ladder() -> VariantLadder<LidarDetector> {
+    static LADDER: OnceLock<VariantLadder<LidarDetector>> = OnceLock::new();
+    LADDER
+        .get_or_init(|| {
+            TensorParallel::set_threads(test_threads());
+            let det = PointPillars::build(&PointPillarsConfig::tiny()).unwrap();
+            VariantLadder::build(det, &DeviceProfile::jetson_orin_nano(), SEED).unwrap()
+        })
+        .clone()
+}
+
+fn small_stream() -> FrameStream {
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 2;
+    FrameStream::generate(&cfg, SEED)
+}
+
+/// Raw-bits view of a box: any arithmetic difference, however small,
+/// changes some lane — and NaN never breaks the compare.
+fn box_bits(b: &Box3d) -> [u32; 9] {
+    [
+        b.score.to_bits(),
+        b.yaw.to_bits(),
+        b.center[0].to_bits(),
+        b.center[1].to_bits(),
+        b.center[2].to_bits(),
+        b.dims[0].to_bits(),
+        b.dims[1].to_bits(),
+        b.dims[2].to_bits(),
+        b.class.index() as u32,
+    ]
+}
+
+fn bits(boxes: &[Box3d]) -> Vec<[u32; 9]> {
+    boxes.iter().map(box_bits).collect()
+}
+
+/// What the supervision layer must charge for a plan over `frames`
+/// frames of a lossless run: `(quarantined, panics_caught)`. A
+/// detectable payload fault (NaN/Inf/empty) quarantines the frame at
+/// admission, so a panic scheduled on the same frame never fires;
+/// truncation leaves a plausible frame that passes the firewall.
+fn expected_faults(plan: &FaultPlan, frames: u64) -> (u64, u64) {
+    let mut quarantined = 0;
+    let mut panics = 0;
+    for id in 0..frames {
+        let f = plan.frame(id);
+        let detectable = matches!(
+            f.payload,
+            Some(
+                PayloadFault::NanValues { .. }
+                    | PayloadFault::InfValues { .. }
+                    | PayloadFault::Empty
+            )
+        );
+        if detectable {
+            quarantined += 1;
+        } else if f.panic {
+            panics += 1;
+        }
+    }
+    (quarantined, panics)
+}
+
+/// Layer 1 + 2: the full plan × scenario matrix in deterministic mode,
+/// where the schedule is enumerable and the accounting must be *exact*.
+#[test]
+fn every_plan_accounts_exactly_on_every_scenario_dataset() {
+    let ladder = lidar_ladder();
+    let mut injected_anywhere = false;
+    for profile in scenario::catalog() {
+        for plan in faults::catalog() {
+            let (exp_quarantined, exp_panics) = expected_faults(&plan, CHAOS_FRAMES);
+            let label = format!("{} / {}", profile.name, plan.name);
+            let pipeline = Pipeline::new(
+                ladder.clone(),
+                PipelineConfig {
+                    frames: CHAOS_FRAMES,
+                    deterministic: true,
+                    faults: Some(plan.clone()),
+                    scenario: format!("chaos-{}-{}", profile.name, plan.name),
+                    ..PipelineConfig::default()
+                },
+            );
+            let outcome = pipeline
+                .run(FrameStream::generate(&profile.dataset, SEED))
+                .unwrap_or_else(|e| panic!("{label}: supervised run aborted: {e}"));
+            let r = &outcome.report;
+
+            assert_eq!(r.frames_generated, CHAOS_FRAMES, "{label}");
+            assert_eq!(
+                r.frames_completed
+                    + r.dropped_backpressure
+                    + r.dropped_deadline
+                    + r.failed
+                    + r.faulted,
+                r.frames_generated,
+                "{label}: silent frame loss"
+            );
+            // Lossless mode: nothing is shed, nothing fails — every loss
+            // is a scheduled fault, charged to exactly the right class.
+            assert_eq!(r.dropped_backpressure + r.dropped_deadline, 0, "{label}");
+            assert_eq!(r.failed, 0, "{label}");
+            assert_eq!(r.quarantined, exp_quarantined, "{label}");
+            assert_eq!(r.panics_caught, exp_panics, "{label}");
+            assert_eq!(r.watchdog_cancels, 0, "{label}");
+            assert_eq!(r.faulted, exp_quarantined + exp_panics, "{label}");
+            assert_eq!(r.frames_completed, CHAOS_FRAMES - r.faulted, "{label}");
+            assert_eq!(
+                outcome.detections.len(),
+                r.frames_completed as usize,
+                "{label}: detections must match completions"
+            );
+            if plan.is_clean() {
+                assert_eq!(r.faulted, 0, "{label}: clean control row faulted");
+            }
+            if r.faulted > 0 {
+                injected_anywhere = true;
+            }
+        }
+    }
+    assert!(
+        injected_anywhere,
+        "no plan injected anything in {CHAOS_FRAMES} frames — the matrix is inert"
+    );
+}
+
+/// Layer 3a: supervision costs nothing when nothing faults. The firewall
+/// inspects and passes clean frames through bit-identical, so a
+/// supervised clean run — with or without an (empty) fault plan — must
+/// produce raw-bits identical detections to the unsupervised run.
+#[test]
+fn clean_frames_are_bit_identical_with_supervision_on_and_off() {
+    let ladder = lidar_ladder();
+    let run = |supervision: Option<SupervisionConfig>, faults: Option<FaultPlan>| {
+        let pipeline = Pipeline::new(
+            ladder.clone(),
+            PipelineConfig {
+                frames: 8,
+                deterministic: true,
+                supervision,
+                faults,
+                scenario: "chaos-clean-identity".into(),
+                ..PipelineConfig::default()
+            },
+        );
+        pipeline
+            .run(small_stream())
+            .expect("clean run never aborts")
+    };
+    let unsupervised = run(None, None);
+    let supervised = run(Some(SupervisionConfig::default()), None);
+    let clean_plan = run(Some(SupervisionConfig::default()), Some(FaultPlan::clean()));
+
+    assert_eq!(unsupervised.detections.len(), 8);
+    for other in [&supervised, &clean_plan] {
+        assert_eq!(other.detections.len(), unsupervised.detections.len());
+        for ((id_a, a), (id_b, b)) in unsupervised.detections.iter().zip(&other.detections) {
+            assert_eq!(id_a, id_b);
+            assert_eq!(
+                bits(a),
+                bits(b),
+                "frame {id_a}: supervision changed clean-frame bits"
+            );
+        }
+    }
+}
+
+/// Layer 3b: fault isolation is surgical. The frames a chaos run
+/// delivers are exactly the non-scheduled ones, and their detections are
+/// raw-bits identical to the same frames of a clean run — a quarantine
+/// or an isolated panic never perturbs its neighbours.
+#[test]
+fn surviving_frames_of_a_chaos_run_match_the_clean_run_bitwise() {
+    let ladder = lidar_ladder();
+    let run = |faults: Option<FaultPlan>| {
+        let pipeline = Pipeline::new(
+            ladder.clone(),
+            PipelineConfig {
+                frames: CHAOS_FRAMES,
+                deterministic: true,
+                faults,
+                scenario: "chaos-survivors".into(),
+                ..PipelineConfig::default()
+            },
+        );
+        pipeline
+            .run(small_stream())
+            .expect("supervised run never aborts")
+    };
+    let clean = run(None);
+    assert_eq!(clean.detections.len(), CHAOS_FRAMES as usize);
+
+    for name in ["nan-burst", "panic-storm"] {
+        let plan = faults::by_name(name).unwrap();
+        let hit: HashSet<u64> = plan
+            .payload_frames(CHAOS_FRAMES)
+            .into_iter()
+            .chain(plan.panic_frames(CHAOS_FRAMES))
+            .collect();
+        assert!(!hit.is_empty(), "{name}: plan never fires");
+
+        let chaos = run(Some(plan));
+        let survivor_ids: Vec<u64> = chaos.detections.iter().map(|(id, _)| *id).collect();
+        let expected_ids: Vec<u64> = (0..CHAOS_FRAMES).filter(|id| !hit.contains(id)).collect();
+        assert_eq!(survivor_ids, expected_ids, "{name}: wrong frames survived");
+
+        for (id, boxes) in &chaos.detections {
+            let (_, clean_boxes) = &clean.detections[*id as usize];
+            assert_eq!(
+                bits(boxes),
+                bits(clean_boxes),
+                "{name}: fault on a neighbour perturbed frame {id}"
+            );
+        }
+    }
+}
+
+/// Camera-path spot check: the firewall and accounting are generic over
+/// the detector, so a truncation plan against the SMOKE pipeline must
+/// quarantine exactly the empty frames (zeroed rows pass the firewall)
+/// and keep the identity exact.
+#[test]
+fn camera_path_quarantines_and_accounts_exactly() {
+    TensorParallel::set_threads(test_threads());
+    let smoke_cfg = SmokeConfig::tiny();
+    let mut cfg = DatasetConfig::small();
+    cfg.scenes = 2;
+    cfg.camera = smoke_cfg.calib.clone();
+    let stream = CameraFrameStream::generate(&cfg, SEED);
+    let base = Smoke::build(&smoke_cfg).unwrap();
+    let ladder = VariantLadder::build(base, &DeviceProfile::jetson_orin_nano(), SEED).unwrap();
+
+    let frames = 8u64;
+    let plan = faults::by_name("truncation").unwrap();
+    let (exp_quarantined, exp_panics) = expected_faults(&plan, frames);
+    assert!(exp_quarantined > 0, "plan must empty at least one frame");
+    assert_eq!(exp_panics, 0);
+
+    let pipeline = Pipeline::new(
+        ladder,
+        PipelineConfig {
+            frames,
+            deterministic: true,
+            faults: Some(plan),
+            scenario: "chaos-camera-truncation".into(),
+            ..PipelineConfig::default()
+        },
+    );
+    let outcome = pipeline.run(stream).expect("camera chaos run never aborts");
+    let r = &outcome.report;
+    assert_eq!(r.detector, "camera");
+    assert_eq!(r.quarantined, exp_quarantined);
+    assert_eq!(r.faulted, exp_quarantined);
+    assert_eq!(r.frames_completed, frames - exp_quarantined);
+    assert_eq!(
+        r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed + r.faulted,
+        r.frames_generated
+    );
+    assert_eq!(outcome.detections.len(), r.frames_completed as usize);
+}
+
+/// The wall-clock sweep: every plan under realtime pacing against a
+/// loaded backbone, with the watchdog armed. Drop/degrade splits vary
+/// with the interleaving, so only the interleaving-independent
+/// guarantees are asserted: the run returns `Ok` (no panic escapes) and
+/// the six-class identity holds exactly.
+#[test]
+fn wall_clock_chaos_never_escapes_a_panic_and_always_accounts() {
+    let ladder = lidar_ladder();
+    for plan in faults::catalog() {
+        let label = format!("wall-clock / {}", plan.name);
+        let pipeline = Pipeline::new(
+            ladder.clone(),
+            PipelineConfig {
+                frames: 8,
+                queue_capacity: 2,
+                backbone_workers: 1,
+                source_interval_s: 0.002,
+                slow_backbone_s: 0.005,
+                scheduler: SchedulerConfig {
+                    deadline_s: 0.050,
+                    ..SchedulerConfig::default()
+                },
+                faults: Some(plan.clone()),
+                supervision: Some(SupervisionConfig {
+                    watchdog_stage_s: Some(0.500),
+                    ..SupervisionConfig::default()
+                }),
+                scenario: format!("chaos-wallclock-{}", plan.name),
+                ..PipelineConfig::default()
+            },
+        );
+        let outcome = pipeline
+            .run(small_stream())
+            .unwrap_or_else(|e| panic!("{label}: supervised run aborted: {e}"));
+        let r = &outcome.report;
+        assert_eq!(r.frames_generated, 8, "{label}");
+        assert_eq!(
+            r.frames_completed + r.dropped_backpressure + r.dropped_deadline + r.failed + r.faulted,
+            r.frames_generated,
+            "{label}: silent frame loss"
+        );
+        assert!(r.quarantined <= r.faulted, "{label}: quarantined ⊄ faulted");
+        assert_eq!(
+            outcome.detections.len(),
+            r.frames_completed as usize,
+            "{label}"
+        );
+    }
+}

@@ -86,7 +86,7 @@ fn streaming_detections_match_batch_bitwise() {
             ..PipelineConfig::default()
         },
     );
-    let outcome = pipeline.run(stream.clone());
+    let outcome = pipeline.run(stream.clone()).expect("pipeline run");
     assert_eq!(outcome.report.frames_completed, frames);
     assert_eq!(outcome.detections.len(), frames as usize);
 
@@ -121,7 +121,7 @@ fn camera_streaming_detections_match_batch_bitwise() {
             ..PipelineConfig::default()
         },
     );
-    let outcome = pipeline.run(stream.clone());
+    let outcome = pipeline.run(stream.clone()).expect("pipeline run");
     assert_eq!(outcome.report.frames_completed, frames);
     assert_eq!(outcome.report.detector, "camera");
     assert_eq!(outcome.detections.len(), frames as usize);
@@ -233,7 +233,7 @@ fn batched_streaming_detections_match_batch_bitwise() {
             ..PipelineConfig::default()
         },
     );
-    let outcome = pipeline.run(stream.clone());
+    let outcome = pipeline.run(stream.clone()).expect("pipeline run");
     assert_eq!(outcome.report.frames_completed, frames);
     assert_eq!(outcome.detections.len(), frames as usize);
 

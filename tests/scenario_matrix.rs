@@ -100,7 +100,9 @@ fn every_profile_accounts_every_frame_under_both_policies() {
                 ..PipelineConfig::default()
             };
             let pipeline = Pipeline::new(ladder.clone(), config);
-            let outcome = pipeline.run(FrameStream::generate(&profile.dataset, SEED));
+            let outcome = pipeline
+                .run(FrameStream::generate(&profile.dataset, SEED))
+                .expect("pipeline run");
             let r = &outcome.report;
             let label = format!("{} / {}", profile.name, r.policy);
 
