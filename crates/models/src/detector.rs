@@ -10,7 +10,7 @@ use upaq_det3d::camera_head::{decode_camera, CameraHeadSpec};
 use upaq_det3d::complexity::{channel_activity, tensor_activity, FrameComplexity};
 use upaq_det3d::head::{decode, HeadSpec};
 use upaq_det3d::nms::nms;
-use upaq_det3d::pillars::{pillarize, PillarConfig};
+use upaq_det3d::pillars::{pillarize, pillarize_active, PillarConfig};
 use upaq_det3d::refine::{refine_all, RefineConfig};
 use upaq_det3d::Box3d;
 use upaq_kitti::camera::CameraImage;
@@ -65,6 +65,16 @@ pub trait StreamingDetector: Clone + Send + Sync + 'static {
 
     /// Stage 1: sensor sample → network input tensor.
     fn preprocess(&self, input: &Self::Input) -> Tensor;
+
+    /// Stage 1 plus the input's active-site list for sparse-activation
+    /// execution: sorted row-major linear indices (`y * w + x`) of the
+    /// sites that differ from the all-zero background. `None` means the
+    /// modality has no sparse encoding and the runtime executes dense
+    /// even when `--sparse-act` is on. The tensor must be bit-identical
+    /// to [`preprocess`][Self::preprocess].
+    fn preprocess_sparse(&self, input: &Self::Input) -> (Tensor, Option<Vec<u32>>) {
+        (self.preprocess(input), None)
+    }
 
     /// Stage 3: raw head output (+ the original sample, for refinement) →
     /// final 3D boxes.
@@ -190,6 +200,14 @@ impl LidarDetector {
     /// [`preprocess`][Self::preprocess]; `detect` delegates here, so
     /// streaming and batch detections are bit-identical by construction.
     pub fn postprocess(&self, output: &Tensor, cloud: &PointCloud) -> Vec<Box3d> {
+        // Empty-scene gate: with zero points there is no evidence of any
+        // object — whatever constant the head's biases put on the all-zero
+        // BEV is background, not detections. Without this gate a bias
+        // crossing the logit threshold would hallucinate a box in every
+        // cell of an empty sweep.
+        if cloud.is_empty() {
+            return Vec::new();
+        }
         let proposals = decode(output, &self.head_spec);
         match &self.refine {
             Some(cfg) => {
@@ -301,6 +319,14 @@ impl StreamingDetector for LidarDetector {
 
     fn preprocess(&self, input: &PointCloud) -> Tensor {
         LidarDetector::preprocess(self, input)
+    }
+
+    fn preprocess_sparse(&self, input: &PointCloud) -> (Tensor, Option<Vec<u32>>) {
+        // The pillarizer knows exactly which BEV cells are occupied, and
+        // every pillar channel is zero at unoccupied cells, so the
+        // occupied-cell list *is* the active set.
+        let (tensor, active) = pillarize_active(input, &self.pillar_config);
+        (tensor, Some(active))
     }
 
     fn postprocess(&self, output: &Tensor, input: &PointCloud) -> Vec<Box3d> {

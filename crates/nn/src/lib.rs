@@ -43,6 +43,7 @@ mod model;
 pub mod exec;
 pub mod group;
 pub mod init;
+pub mod sparse;
 pub mod stats;
 
 pub use error::NnError;

@@ -38,9 +38,11 @@ pub mod ops;
 pub mod packed;
 pub mod quant;
 pub mod sparse;
+pub mod sparse_act;
 
 pub use error::TensorError;
 pub use shape::Shape;
+pub use sparse_act::SparseActivation;
 pub use tensor::Tensor;
 
 /// Convenience result alias used throughout the crate.

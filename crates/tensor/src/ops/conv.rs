@@ -158,39 +158,10 @@ pub(super) fn conv2d_channel(
     let (oy_lo, oy_hi) = interior_range(oh, h, packed.kh(), stride, pad);
     let (ox_lo, ox_hi) = interior_range(ow, w, packed.kw(), stride, pad);
     let in_c = packed.in_c();
-    // Matching the historical order exactly: bias joins the sum last, and
-    // a zero bias performs no add at all (preserving even the sign of a
-    // negative-zero total).
-    let finish = |total: f32| if bias_v != 0.0 { total + bias_v } else { total };
+    let finish = |total: f32| finish_bias(total, bias_v);
     // Boundary-checked fallback for border pixels.
-    let checked = |oy: usize, ox: usize| -> f32 {
-        let (iy0, ix0) = (oy * stride, ox * stride);
-        let mut total = 0.0f32;
-        for ic in 0..in_c {
-            let taps = packed.group(oc, ic);
-            if taps.is_empty() {
-                continue;
-            }
-            let ibase = ic * h * w;
-            let mut acc = 0.0f32;
-            for t in taps {
-                let iy = iy0 + t.r as usize;
-                let ix = ix0 + t.c as usize;
-                // Padding: translate to unpadded coordinates.
-                if iy < pad || ix < pad {
-                    continue;
-                }
-                let iy = iy - pad;
-                let ix = ix - pad;
-                if iy >= h || ix >= w {
-                    continue;
-                }
-                acc += t.v * idata[ibase + iy * w + ix];
-            }
-            total += acc;
-        }
-        total
-    };
+    let checked =
+        |oy: usize, ox: usize| -> f32 { conv2d_site(oc, idata, packed, params, (h, w), oy, ox) };
     // Interior pixels are register-blocked `LANES` wide: the per-pixel
     // accumulators are fully independent, so blocking amortizes group
     // lookups and loop control without touching any pixel's own
@@ -267,11 +238,74 @@ pub(super) fn conv2d_channel(
     }
 }
 
+/// One output site of the convolution, boundary-checked: per input
+/// channel, the packed taps accumulate in row-major kernel order into a
+/// local sum, and the per-channel sums join in channel order — the exact
+/// sequence every dense path (reference, border, interior fast path)
+/// uses. The sparse-activation gather kernel calls this for each active
+/// output site, which is what makes sparse and dense execution
+/// bit-identical. Bias is excluded; callers apply [`finish_bias`].
+pub(super) fn conv2d_site(
+    oc: usize,
+    idata: &[f32],
+    packed: &PackedConv,
+    params: Conv2dParams,
+    hw: (usize, usize),
+    oy: usize,
+    ox: usize,
+) -> f32 {
+    let (h, w) = hw;
+    let (stride, pad) = (params.stride, params.padding);
+    let (iy0, ix0) = (oy * stride, ox * stride);
+    let mut total = 0.0f32;
+    for ic in 0..packed.in_c() {
+        let taps = packed.group(oc, ic);
+        if taps.is_empty() {
+            continue;
+        }
+        let ibase = ic * h * w;
+        let mut acc = 0.0f32;
+        for t in taps {
+            let iy = iy0 + t.r as usize;
+            let ix = ix0 + t.c as usize;
+            // Padding: translate to unpadded coordinates.
+            if iy < pad || ix < pad {
+                continue;
+            }
+            let iy = iy - pad;
+            let ix = ix - pad;
+            if iy >= h || ix >= w {
+                continue;
+            }
+            acc += t.v * idata[ibase + iy * w + ix];
+        }
+        total += acc;
+    }
+    total
+}
+
+/// Matching the historical order exactly: bias joins the sum last, and a
+/// zero bias performs no add at all (preserving even the sign of a
+/// negative-zero total).
+pub(super) fn finish_bias(total: f32, bias_v: f32) -> f32 {
+    if bias_v != 0.0 {
+        total + bias_v
+    } else {
+        total
+    }
+}
+
 /// Half-open output range `[lo, hi)` along one axis where a kernel of
 /// size `k` stays fully inside the unpadded input of size `i` — i.e.
 /// `o * stride - pad >= 0` and `o * stride - pad + k <= i` for every
 /// output coordinate `o` in the range.
-fn interior_range(out: usize, i: usize, k: usize, stride: usize, pad: usize) -> (usize, usize) {
+pub(super) fn interior_range(
+    out: usize,
+    i: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
     let lo = pad.div_ceil(stride).min(out);
     let hi = if i + pad >= k {
         ((i + pad - k) / stride + 1).min(out)

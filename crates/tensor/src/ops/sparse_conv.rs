@@ -1,0 +1,495 @@
+//! Gather/scatter convolution over sparse activations.
+//!
+//! The dense kernels in [`super::conv`] touch every output site even when
+//! the input map is almost entirely a constant background. These kernels
+//! instead compute only the output sites *reachable* from active input
+//! sites (the active set dilated by the kernel footprint, exactly as
+//! strided/padded dense conv would spread them) and fill the rest with a
+//! per-channel background propagated through the same arithmetic.
+//!
+//! # Bit-identity argument
+//!
+//! Each computed site runs [`conv2d_site`] — the same per-site
+//! boundary-checked accumulation (row-major tap order per input channel,
+//! channel-order joins, bias last) every dense path uses — so active sites
+//! match the dense kernel by construction. Inactive sites hold the
+//! propagated background `bg_out[oc] = Σ_ic Σ_taps w·bg_in[ic] (+ bias)`,
+//! accumulated in the identical order. That equals the dense value at
+//! every non-dilated site because:
+//!
+//! * an **interior** site's receptive field is entirely in-bounds, so its
+//!   dense value over an all-background neighbourhood is exactly the
+//!   full-tap sum `bg_out[oc]`;
+//! * a padded **border** site drops taps. When `bg_in` is all zero bits
+//!   (`±0.0`), every tap contributes `w · ±0.0 = ±0.0` and IEEE-754
+//!   round-to-nearest sums of zeros starting from `+0.0` stay `+0.0`
+//!   regardless of which taps participate — border and interior agree
+//!   bit-for-bit. When any `bg_in` channel is nonzero, border sites *are*
+//!   different, so [`dilate_active`] force-activates the whole border ring
+//!   and they are computed explicitly.
+
+use super::conv::{conv2d_packed_dims, conv2d_site, finish_bias, interior_range};
+use super::parallel::{parallel_for_chunks, SendPtr};
+use super::Conv2dParams;
+use crate::packed::PackedConv;
+use crate::sparse_act::SparseActivation;
+use crate::{Result, Shape, Tensor, TensorError};
+
+/// Dilates an active input set through a conv: returns the sorted output
+/// sites whose receptive field overlaps at least one active input site,
+/// plus the output spatial size `(oh, ow)`.
+///
+/// Input site `(iy, ix)` reaches output `(oy, ox)` iff some kernel tap
+/// `(r, c)` satisfies `oy·stride + r - pad == iy` (and likewise for x),
+/// i.e. `oy ∈ [⌈(iy + pad + 1 - kh) / stride⌉, ⌊(iy + pad) / stride⌋]`
+/// clamped to `[0, oh)`.
+///
+/// When `background_nonzero`, every non-interior (border) output site is
+/// additionally marked active: with a nonzero background, border sites sum
+/// fewer taps than the interior and hold a different value, so they must
+/// be computed rather than background-filled (see the module docs).
+pub fn dilate_active(
+    sites: &[u32],
+    in_hw: (usize, usize),
+    kernel: (usize, usize),
+    params: Conv2dParams,
+    background_nonzero: bool,
+) -> (Vec<u32>, (usize, usize)) {
+    let (h, w) = in_hw;
+    let (kh, kw) = kernel;
+    let (stride, pad) = (params.stride, params.padding);
+    let (oh, ow) = (params.out_size(h, kh), params.out_size(w, kw));
+    if oh == 0 || ow == 0 {
+        return (Vec::new(), (oh, ow));
+    }
+    let mut mask = vec![false; oh * ow];
+    let span = |i: usize, k: usize, out: usize| -> (usize, usize) {
+        let lo = (i + pad + 1).saturating_sub(k).div_ceil(stride);
+        let hi = ((i + pad) / stride).min(out - 1);
+        (lo, hi)
+    };
+    for &site in sites {
+        let (iy, ix) = (site as usize / w, site as usize % w);
+        let (y_lo, y_hi) = span(iy, kh, oh);
+        let (x_lo, x_hi) = span(ix, kw, ow);
+        if y_lo > y_hi || x_lo > x_hi {
+            continue;
+        }
+        for oy in y_lo..=y_hi {
+            mask[oy * ow + x_lo..=oy * ow + x_hi].fill(true);
+        }
+    }
+    if background_nonzero {
+        let (y_lo, y_hi) = interior_range(oh, h, kh, stride, pad);
+        let (x_lo, x_hi) = interior_range(ow, w, kw, stride, pad);
+        for oy in 0..oh {
+            if oy < y_lo || oy >= y_hi {
+                mask[oy * ow..(oy + 1) * ow].fill(true);
+            } else {
+                mask[oy * ow..oy * ow + x_lo].fill(true);
+                mask[oy * ow + x_hi..(oy + 1) * ow].fill(true);
+            }
+        }
+    }
+    let out_sites = mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i as u32))
+        .collect();
+    (out_sites, (oh, ow))
+}
+
+/// Propagates a per-channel background through packed conv weights:
+/// `bg_out[oc] = Σ_ic Σ_taps w·bg_in[ic] (+ bias)`, accumulated in the
+/// exact tap/channel/bias order of the dense kernels.
+pub(crate) fn conv_background(
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    background: &[f32],
+) -> Vec<f32> {
+    (0..packed.out_c())
+        .map(|oc| {
+            let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+            let mut total = 0.0f32;
+            for (ic, &bg) in background.iter().enumerate().take(packed.in_c()) {
+                let taps = packed.group(oc, ic);
+                if taps.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0f32;
+                for t in taps {
+                    acc += t.v * bg;
+                }
+                total += acc;
+            }
+            finish_bias(total, bias_v)
+        })
+        .collect()
+}
+
+/// The sparse-activation gather kernel's workhorse: convolves a dense
+/// input whose inactive sites all hold `background`, computing only the
+/// listed `out_sites` (each via the dense per-site arithmetic) and filling
+/// every other output site with the propagated background. Writes the
+/// full dense output into `out` and returns the output background.
+///
+/// `out_sites` must be the result of [`dilate_active`] (or a superset of
+/// it, sorted and in-range) for the listed/unlisted split to reproduce the
+/// dense kernel bit-for-bit — see the module docs. Output channels are
+/// distributed over the worker pool; per-site arithmetic is unchanged by
+/// thread count.
+///
+/// # Errors
+///
+/// All `conv2d` validation errors, plus [`TensorError::Invalid`] for a
+/// wrong background length and [`TensorError::ShapeMismatch`] when `out`
+/// has the wrong shape.
+pub fn conv2d_sparse_act_gather_into(
+    input: &Tensor,
+    background: &[f32],
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+    out_sites: &[u32],
+    out: &mut Tensor,
+) -> Result<Vec<f32>> {
+    let (oh, ow) = conv2d_packed_dims(input, packed, bias, params)?;
+    if background.len() != packed.in_c() {
+        return Err(TensorError::Invalid(format!(
+            "background length {} does not match {} input channels",
+            background.len(),
+            packed.in_c()
+        )));
+    }
+    let expected = [1, packed.out_c(), oh, ow];
+    if out.shape().dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            left: expected.to_vec(),
+            right: out.shape().dims().to_vec(),
+        });
+    }
+    let bg_out = conv_background(packed, bias, background);
+    let chan = oh * ow;
+    if chan == 0 {
+        return Ok(bg_out);
+    }
+    if let Some(&last) = out_sites.last() {
+        if last as usize >= chan {
+            return Err(TensorError::Invalid(format!(
+                "output site {last} out of range for {oh}×{ow} map"
+            )));
+        }
+    }
+    let ishape = input.shape();
+    let hw = (ishape.dim(2), ishape.dim(3));
+    let (h, w) = hw;
+    let idata = input.as_slice();
+    let base = SendPtr(out.as_mut_slice().as_mut_ptr());
+    let bg_ref = &bg_out;
+    let (stride, pad) = (params.stride, params.padding);
+    let (oy_lo, oy_hi) = interior_range(oh, h, packed.kh(), stride, pad);
+    let (ox_lo, ox_hi) = interior_range(ow, w, packed.kw(), stride, pad);
+    let in_c = packed.in_c();
+    // Register-block width of the interior fast path — matches the dense
+    // kernel's blocking, and like there the per-pixel accumulators are
+    // independent so blocking never changes any site's float sequence.
+    const LANES: usize = 4;
+    parallel_for_chunks(packed.out_c(), move |oc| {
+        // SAFETY: chunk `oc` derives the disjoint per-channel slice
+        // `odata[oc*chan .. (oc+1)*chan]`; the buffer outlives the call
+        // because `parallel_for_chunks` blocks until all chunks finish.
+        let ochan = unsafe { std::slice::from_raw_parts_mut(base.get().add(oc * chan), chan) };
+        ochan.fill(bg_ref[oc]);
+        let bias_v = bias.map_or(0.0, |b| b.as_slice()[oc]);
+        // Dilated active sets are unions of horizontal runs (dilate_active
+        // fills x-spans), so walk maximal runs of consecutive interior
+        // sites and give them the dense kernel's unchecked blocked loop;
+        // border sites and singletons take the boundary-checked site
+        // kernel. Per-site arithmetic (per-`ic` local sums over row-major
+        // taps, joined in channel order, bias last) is the same on every
+        // path, so the split is invisible in the output bits.
+        let n = out_sites.len();
+        let mut k = 0usize;
+        while k < n {
+            let site = out_sites[k] as usize;
+            let (oy, ox) = (site / ow, site % ow);
+            if oy < oy_lo || oy >= oy_hi || ox < ox_lo || ox >= ox_hi {
+                ochan[site] =
+                    finish_bias(conv2d_site(oc, idata, packed, params, hw, oy, ox), bias_v);
+                k += 1;
+                continue;
+            }
+            // Maximal run of consecutive interior sites on this row.
+            let max_len = ox_hi - ox;
+            let mut len = 1usize;
+            while len < max_len && k + len < n && out_sites[k + len] as usize == site + len {
+                len += 1;
+            }
+            let row_in = (oy * stride - pad) * w;
+            let mut j = 0usize;
+            while j + LANES <= len {
+                let pixel = row_in + (ox + j) * stride - pad;
+                let mut total = [0.0f32; LANES];
+                for ic in 0..in_c {
+                    let taps = packed.group(oc, ic);
+                    if taps.is_empty() {
+                        continue;
+                    }
+                    let p = ic * h * w + pixel;
+                    let mut acc = [0.0f32; LANES];
+                    for t in taps {
+                        let off = p + t.r as usize * w + t.c as usize;
+                        for (l, a) in acc.iter_mut().enumerate() {
+                            // SAFETY: all `LANES` pixels lie in the
+                            // interior (`ox + j + LANES <= ox_hi`), where
+                            // `interior_range` bounds every tap in the
+                            // unpadded input, and the caller validated
+                            // `idata.len() == in_c * h * w`.
+                            *a += t.v * unsafe { *idata.get_unchecked(off + l * stride) };
+                        }
+                    }
+                    for (t, a) in total.iter_mut().zip(acc) {
+                        *t += a;
+                    }
+                }
+                for (l, t) in total.into_iter().enumerate() {
+                    ochan[site + j + l] = finish_bias(t, bias_v);
+                }
+                j += LANES;
+            }
+            while j < len {
+                let p = row_in + (ox + j) * stride - pad;
+                let mut total = 0.0f32;
+                for ic in 0..in_c {
+                    let taps = packed.group(oc, ic);
+                    if taps.is_empty() {
+                        continue;
+                    }
+                    let ibase = ic * h * w + p;
+                    let mut acc = 0.0f32;
+                    for t in taps {
+                        // SAFETY: interior pixel — same invariant as the
+                        // blocked loop above.
+                        acc += t.v
+                            * unsafe {
+                                *idata.get_unchecked(ibase + t.r as usize * w + t.c as usize)
+                            };
+                    }
+                    total += acc;
+                }
+                ochan[site + j] = finish_bias(total, bias_v);
+                j += 1;
+            }
+            k += len;
+        }
+    });
+    Ok(bg_out)
+}
+
+/// Sparse-activation convolution over pre-packed weights: zero weights
+/// (absent taps) *and* background activations are both skipped. Returns
+/// the output as a [`SparseActivation`] whose active set is the dilation
+/// of the input's.
+///
+/// # Errors
+///
+/// All [`conv2d_sparse_act_gather_into`] error conditions.
+pub fn conv2d_sparse_act_packed(
+    input: &SparseActivation,
+    packed: &PackedConv,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<SparseActivation> {
+    let dense_in = input.to_dense();
+    let (h, w) = (input.shape().dim(2), input.shape().dim(3));
+    let (out_sites, (oh, ow)) = dilate_active(
+        input.sites(),
+        (h, w),
+        (packed.kh(), packed.kw()),
+        params,
+        input.background_nonzero(),
+    );
+    let mut out = Tensor::zeros(Shape::nchw(1, packed.out_c(), oh, ow));
+    let bg_out = conv2d_sparse_act_gather_into(
+        &dense_in,
+        input.background(),
+        packed,
+        bias,
+        params,
+        &out_sites,
+        &mut out,
+    )?;
+    SparseActivation::from_dense_sites(&out, out_sites, bg_out)
+}
+
+/// [`conv2d_sparse_act_packed`] over raw weight tensors (packs them per
+/// call) — the convenience entry point mirroring [`super::conv2d`].
+///
+/// # Errors
+///
+/// All [`conv2d_sparse_act_packed`] error conditions, plus packing errors
+/// for malformed weight tensors.
+pub fn conv2d_sparse_act(
+    input: &SparseActivation,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    params: Conv2dParams,
+) -> Result<SparseActivation> {
+    let packed = PackedConv::pack(weights)?;
+    conv2d_sparse_act_packed(input, &packed, bias, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conv2d;
+    use super::*;
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn sparse_input(c: usize, h: usize, w: usize, sites: &[u32], seed: u32) -> SparseActivation {
+        let mut dense = Tensor::zeros(Shape::nchw(1, c, h, w));
+        let data = dense.as_mut_slice();
+        for (k, &site) in sites.iter().enumerate() {
+            for ch in 0..c {
+                let v = ((seed as f32 + k as f32 * 1.7 + ch as f32 * 0.31).sin()) * 2.0;
+                data[ch * h * w + site as usize] = if v == 0.0 { 1.0 } else { v };
+            }
+        }
+        SparseActivation::from_dense(&dense, vec![0.0; c]).unwrap()
+    }
+
+    fn weights(out_c: usize, in_c: usize, k: usize, seed: f32) -> Tensor {
+        Tensor::from_fn(Shape::nchw(out_c, in_c, k, k), |i| {
+            // Mix of zero (pruned) and nonzero taps.
+            if i % 3 == 0 {
+                0.0
+            } else {
+                (i as f32 * 0.13 + seed).cos()
+            }
+        })
+    }
+
+    /// Dense-oracle identity for one geometry: raw bits everywhere, and
+    /// the active set covers every site where dense differs from bg.
+    fn check_geometry(k: usize, stride: usize, padding: usize, bias: Option<Tensor>) {
+        let (c_in, c_out, h, w) = (3, 4, 9, 11);
+        let params = Conv2dParams { stride, padding };
+        let sites = [0u32, 5, 37, 38, 39, 60, 97];
+        let sp = sparse_input(c_in, h, w, &sites, 3);
+        let wts = weights(c_out, c_in, k, 0.4);
+        let dense_out = conv2d(&sp.to_dense(), &wts, bias.as_ref(), params).unwrap();
+        let sparse_out = conv2d_sparse_act(&sp, &wts, bias.as_ref(), params).unwrap();
+        assert_eq!(
+            bits(&sparse_out.to_dense()),
+            bits(&dense_out),
+            "k{k} s{stride} p{padding}"
+        );
+        // Dilation correctness: superset allowed, never subset.
+        let (oh, ow) = (dense_out.shape().dim(2), dense_out.shape().dim(3));
+        let odata = dense_out.as_slice();
+        let bg = sparse_out.background();
+        for site in 0..oh * ow {
+            let differs =
+                (0..c_out).any(|oc| odata[oc * oh * ow + site].to_bits() != bg[oc].to_bits());
+            if differs {
+                assert!(
+                    sparse_out.sites().binary_search(&(site as u32)).is_ok(),
+                    "k{k} s{stride} p{padding}: site {site} differs from bg but is inactive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backbone_geometry_3x3_s1_identity_and_dilation() {
+        check_geometry(3, 1, 1, None);
+    }
+
+    #[test]
+    fn backbone_geometry_3x3_s2_identity_and_dilation() {
+        check_geometry(3, 2, 1, None);
+    }
+
+    #[test]
+    fn backbone_geometry_1x1_identity_and_dilation() {
+        check_geometry(1, 1, 0, None);
+    }
+
+    #[test]
+    fn nonzero_bias_activates_border_and_matches_dense() {
+        // A nonzero bias makes the background nonzero downstream; with a
+        // nonzero *input* background the border ring must be computed.
+        let bias = Tensor::from_vec(Shape::vector(4), vec![0.5, -1.25, 0.0, 2.0]).unwrap();
+        check_geometry(3, 1, 1, Some(bias));
+
+        // Now feed a nonzero-background input directly.
+        let params = Conv2dParams::same(3);
+        let (c, h, w) = (2, 7, 7);
+        let mut dense = Tensor::full(Shape::nchw(1, c, h, w), 0.75);
+        dense.as_mut_slice()[3 * w + 4] = 2.5;
+        let sp = SparseActivation::from_dense(&dense, vec![0.75; c]).unwrap();
+        assert_eq!(sp.len(), 1);
+        assert!(sp.background_nonzero());
+        let wts = weights(3, c, 3, 1.1);
+        let dense_out = conv2d(&dense, &wts, None, params).unwrap();
+        let sparse_out = conv2d_sparse_act(&sp, &wts, None, params).unwrap();
+        assert_eq!(bits(&sparse_out.to_dense()), bits(&dense_out));
+    }
+
+    #[test]
+    fn empty_active_set_yields_background_map() {
+        let sp =
+            SparseActivation::from_dense(&Tensor::zeros(Shape::nchw(1, 2, 6, 6)), vec![0.0; 2])
+                .unwrap();
+        let wts = weights(3, 2, 3, 0.9);
+        let out = conv2d_sparse_act(&sp, &wts, None, Conv2dParams::same(3)).unwrap();
+        assert!(out.is_empty());
+        let dense = conv2d(&sp.to_dense(), &wts, None, Conv2dParams::same(3)).unwrap();
+        assert_eq!(bits(&out.to_dense()), bits(&dense));
+    }
+
+    #[test]
+    fn dilation_spans_match_brute_force() {
+        // Every (kernel, stride, pad) small case: dilate_active must equal
+        // the brute-force receptive-field scan.
+        for &(k, s, p) in &[
+            (3usize, 1usize, 1usize),
+            (3, 2, 1),
+            (1, 1, 0),
+            (5, 2, 2),
+            (3, 1, 0),
+        ] {
+            let (h, w) = (8, 6);
+            let params = Conv2dParams {
+                stride: s,
+                padding: p,
+            };
+            let sites: Vec<u32> = vec![0, 7, 23, 41, 47];
+            let (got, (oh, ow)) = dilate_active(&sites, (h, w), (k, k), params, false);
+            let mut expect = Vec::new();
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut hit = false;
+                    for r in 0..k {
+                        for c in 0..k {
+                            let (iy, ix) = (oy * s + r, ox * s + c);
+                            if iy < p || ix < p {
+                                continue;
+                            }
+                            let (iy, ix) = (iy - p, ix - p);
+                            if iy < h && ix < w && sites.contains(&((iy * w + ix) as u32)) {
+                                hit = true;
+                            }
+                        }
+                    }
+                    if hit {
+                        expect.push((oy * ow + ox) as u32);
+                    }
+                }
+            }
+            assert_eq!(got, expect, "k{k} s{s} p{p}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Perf probe (ignored by default): packed dense vs sparse gather cost
+//! at varying active fractions. This is the measurement behind the
+//! sparse plan's dense-fallback threshold — the gather kernel walks
+//! horizontal runs with the dense kernel's register blocking, so its
+//! cost tracks `active_frac × dense` and break-even sits just under 1.
+//!
+//! Run with: `cargo test -p upaq-tensor --release -- --ignored --nocapture probe_sparse`
+
+use std::time::Instant;
+use upaq_tensor::ops::{conv2d_packed_into, conv2d_sparse_act_gather_into, Conv2dParams};
+use upaq_tensor::packed::PackedConv;
+use upaq_tensor::{Shape, Tensor};
+
+#[test]
+#[ignore]
+fn probe_sparse_kernel_crossover() {
+    let (c_in, c_out, h, w) = (64usize, 64usize, 32usize, 32usize);
+    let params = Conv2dParams {
+        stride: 1,
+        padding: 1,
+    };
+    let mut seed = 7u64;
+    let mut next = || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as f32 / (1u64 << 31) as f32 - 0.5
+    };
+    let weights = Tensor::from_fn(Shape::nchw(c_out, c_in, 3, 3), |i| {
+        if i % 3 == 0 {
+            0.0
+        } else {
+            next()
+        }
+    });
+    let bias = Tensor::zeros(Shape::vector(c_out));
+    let packed = PackedConv::pack(&weights).unwrap();
+    let input = Tensor::from_fn(Shape::nchw(1, c_in, h, w), |_| next());
+    let mut out = Tensor::zeros(Shape::nchw(1, c_out, h, w));
+    let iters = 200;
+
+    let t = Instant::now();
+    for _ in 0..iters {
+        conv2d_packed_into(&input, &packed, Some(&bias), params, &mut out).unwrap();
+    }
+    let dense_us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!("dense packed: {dense_us:.1} us");
+
+    let bg = vec![0.0f32; c_in];
+    for frac in [0.02, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let n = ((h * w) as f64 * frac) as usize;
+        let step = (h * w) / n.max(1);
+        let sites: Vec<u32> = (0..h * w)
+            .step_by(step.max(1))
+            .take(n)
+            .map(|s| s as u32)
+            .collect();
+        let t = Instant::now();
+        for _ in 0..iters {
+            conv2d_sparse_act_gather_into(
+                &input,
+                &bg,
+                &packed,
+                Some(&bias),
+                params,
+                &sites,
+                &mut out,
+            )
+            .unwrap();
+        }
+        let us = t.elapsed().as_secs_f64() * 1e6 / iters as f64;
+        println!(
+            "sparse frac {frac:.2} ({} sites): {us:.1} us ({:.2}x dense)",
+            sites.len(),
+            us / dense_us
+        );
+    }
+}
